@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation — batch composition: FIFO versus similarity batching of an
+ * incoming query stream. The unique-index mechanism (Section IV-C) makes
+ * which queries share a batch matter: grouping overlapping queries
+ * raises the dedup rate and cuts both reads and time, a pure host-
+ * software win on top of the hardware.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "embedding/batcher.hh"
+#include "fafnir/engine.hh"
+
+using namespace fafnir;
+using namespace fafnir::bench;
+using namespace fafnir::embedding;
+
+namespace
+{
+
+std::vector<Query>
+queryStream(unsigned count, double skew, double hot)
+{
+    WorkloadConfig wc;
+    wc.tables = {32, 1u << 20, 512, 4};
+    wc.batchSize = 1;
+    wc.querySize = 16;
+    wc.zipfSkew = skew;
+    wc.hotFraction = hot;
+    BatchGenerator gen(wc, 321);
+    std::vector<Query> stream;
+    for (unsigned i = 0; i < count; ++i) {
+        Query q = gen.next().queries.front();
+        q.id = 0;
+        stream.push_back(std::move(q));
+    }
+    return stream;
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned kQueries = 512;
+
+    TextTable table("Ablation — FIFO vs similarity batching "
+                    "(512-query stream, B=32, 32 ranks)");
+    table.setHeader({"trace", "policy", "window", "unique frac", "reads",
+                     "stream (us)"});
+
+    struct Trace
+    {
+        const char *name;
+        double skew;
+        double hot;
+    };
+    for (const Trace &trace :
+         {Trace{"hot (skew 1.05)", 1.05, 0.00002},
+          Trace{"warm (skew 0.9)", 0.9, 0.0005}}) {
+        const auto stream = queryStream(kQueries, trace.skew, trace.hot);
+
+        struct Policy
+        {
+            const char *name;
+            BatchPolicy policy;
+            unsigned window;
+        };
+        for (const Policy &policy :
+             {Policy{"FIFO", BatchPolicy::Fifo, 0},
+              Policy{"similarity", BatchPolicy::Similarity, 128},
+              Policy{"similarity", BatchPolicy::Similarity, 512}}) {
+            BatcherConfig cfg;
+            cfg.batchSize = 32;
+            cfg.windowSize = policy.window ? policy.window : 32;
+            cfg.policy = policy.policy;
+            const auto composed = composeBatches(stream, cfg);
+
+            LookupRig rig(32);
+            core::FafnirEngine engine(rig.memory, rig.layout,
+                                      core::EngineConfig{});
+            const auto timings =
+                engine.lookupMany(composed.batches, 0);
+            std::size_t reads = 0;
+            for (const auto &t : timings)
+                reads += t.memAccesses;
+
+            table.row(trace.name, policy.name,
+                      policy.window ? std::to_string(policy.window) : "-",
+                      TextTable::num(composed.meanUniqueFraction(), 3),
+                      reads, us(timings.back().complete));
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nsimilarity batching is free dedup: the same hardware "
+                 "reads fewer vectors when the host groups overlapping "
+                 "queries.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablation — timing-model fidelity: the analytic trace-replay engine
+ * (per-PE barriers: a PE waits for its last input) versus the
+ * event-driven pipeline (distinct tree routes flow independently,
+ * Section IV-A's "simultaneously activates distinct routes"). Both run
+ * the identical functional tree; only the timing abstraction differs.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "fafnir/engine.hh"
+#include "fafnir/event_engine.hh"
+
+using namespace fafnir;
+using namespace fafnir::bench;
+
+namespace
+{
+
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double batchNs = 0.0;
+};
+
+Percentiles
+percentiles(const std::vector<Tick> &latencies, Tick complete, Tick start)
+{
+    std::vector<Tick> sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    Percentiles p;
+    p.p50 = ns(sorted[sorted.size() / 2] - start);
+    p.p99 = ns(sorted[sorted.size() * 99 / 100] - start);
+    p.batchNs = ns(complete - start);
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable table("Ablation — analytic barriers vs event-driven "
+                    "pipeline (32 ranks, q=16)");
+    table.setHeader({"batch", "model", "query p50 (ns)", "query p99 (ns)",
+                     "batch (ns)", "fifo overflows", "forward waits"});
+
+    for (unsigned batch_size : {8u, 16u, 32u}) {
+        const auto batch =
+            makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 1,
+                        batch_size, 16, 0.9, 0.01, 21)
+                .front();
+
+        {
+            LookupRig rig(32);
+            core::FafnirEngine engine(rig.memory, rig.layout,
+                                      core::EngineConfig{});
+            const auto t = engine.lookup(batch, 0);
+            const auto p =
+                percentiles(t.queryComplete, t.complete, t.issued);
+            table.row(batch_size, "analytic", p.p50, p.p99, p.batchNs,
+                      "-", "-");
+        }
+        {
+            LookupRig rig(32);
+            core::EventDrivenEngine engine(rig.memory, rig.layout,
+                                           core::EventEngineConfig{});
+            const auto t = engine.lookup(batch, 0);
+            const auto p =
+                percentiles(t.queryComplete, t.complete, t.issued);
+            table.row(batch_size, "event-driven", p.p50, p.p99, p.batchNs,
+                      t.fifoOverflows, t.forwardWaits);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nthe event pipeline lets early queries exit before "
+                 "the batch's stragglers; per-query p50 improves while "
+                 "batch completion stays comparable.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation — pooling factor q (indices per query). Real recommendation
+ * models pool anywhere from a couple to dozens of rows per feature;
+ * Section VI lists "vector ... number in a query" among the parameters
+ * that set each design's behavior. Fafnir's tree folds q vectors in
+ * log-depth while TensorDIMM's pipeline is linear in q and RecNMP's
+ * host share grows with the DIMM spread of the q indices.
+ */
+
+#include <iostream>
+
+#include "baselines/recnmp.hh"
+#include "baselines/tensordimm.hh"
+#include "bench_util.hh"
+#include "fafnir/engine.hh"
+
+using namespace fafnir;
+using namespace fafnir::bench;
+
+int
+main()
+{
+    TextTable table("Ablation — query size q (B=16, 32 ranks, mean "
+                    "serialized batch latency, us)");
+    table.setHeader({"q", "Fafnir", "RecNMP", "TensorDIMM",
+                     "RecNMP/Fafnir", "TensorDIMM/Fafnir"});
+
+    for (unsigned q : {2u, 4u, 8u, 16u, 32u}) {
+        const auto batches =
+            makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 16,
+                        16, q, 0.9, 0.01, 404);
+
+        auto serialized = [&](auto &engine) {
+            Tick t = 0;
+            for (const auto &batch : batches)
+                t = engine.lookup(batch, t).complete;
+            return static_cast<double>(t) / batches.size() / kTicksPerUs;
+        };
+
+        LookupRig ff_rig(32);
+        core::FafnirEngine ff(ff_rig.memory, ff_rig.layout,
+                              core::EngineConfig{});
+        const double ff_us = serialized(ff);
+
+        LookupRig rn_rig(32);
+        baselines::RecNmpEngine rn(rn_rig.memory, rn_rig.layout);
+        const double rn_us = serialized(rn);
+
+        LookupRig td_rig(32);
+        baselines::TensorDimmEngine td(td_rig.memory, td_rig.tables);
+        const double td_us = serialized(td);
+
+        table.row(q, ff_us, rn_us, td_us,
+                  TextTable::num(rn_us / ff_us, 2) + "x",
+                  TextTable::num(td_us / ff_us, 2) + "x");
+    }
+    table.print(std::cout);
+
+    std::cout << "\nFafnir's advantage widens with q: tree depth is "
+                 "logarithmic where the baselines pay linearly.\n";
+    return 0;
+}

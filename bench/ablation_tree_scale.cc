@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation — tree scale (Section IV-B): one leaf PE per 1, 2, or 4
+ * ranks. Fewer leaf PEs mean fewer, cheaper chips but more leaf-input
+ * multiplexing; more leaf PEs shorten per-rank queues at the cost of a
+ * deeper tree and more silicon. The paper fabricates 1PE:2R and calls
+ * the other scales implementable.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "fafnir/engine.hh"
+#include "hwmodel/asic.hh"
+
+using namespace fafnir;
+using namespace fafnir::bench;
+
+int
+main()
+{
+    const auto batches =
+        makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 32, 16,
+                    16, 0.9, 0.001, 55);
+
+    const hwmodel::AsicModel asic;
+
+    TextTable table("Ablation — ranks per leaf PE (32 ranks, B=16)");
+    table.setHeader({"scale", "PEs", "levels", "mean batch (us)",
+                     "stream (us)", "tree area (mm^2)"});
+
+    for (unsigned rpl : {1u, 2u, 4u}) {
+        LookupRig rig(32);
+        core::EngineConfig cfg;
+        cfg.ranksPerLeafPe = rpl;
+        core::FafnirEngine engine(rig.memory, rig.layout, cfg);
+
+        // Serialized batch latency.
+        Tick serial = 0;
+        for (const auto &batch : batches)
+            serial = engine.lookup(batch, serial).complete;
+
+        // Pipelined stream.
+        LookupRig rig2(32);
+        core::FafnirEngine engine2(rig2.memory, rig2.layout, cfg);
+        const auto timings = engine2.lookupMany(batches, 0);
+
+        const unsigned pes = engine.topology().numPes();
+        table.row("1PE:" + std::to_string(rpl) + "R", pes,
+                  engine.topology().numLevels(),
+                  us(serial) / batches.size(),
+                  us(timings.back().complete),
+                  TextTable::num(pes * asic.peAreaMm2(), 3));
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper: 1PE:2R is the fabricated design point; other "
+                 "scales trade tree depth against chip count.\n";
+    return 0;
+}

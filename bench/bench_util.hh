@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure/per-table benchmark harnesses.
+ *
+ * Every harness builds a fresh LookupRig (tables + DDR4 memory + layout)
+ * per engine so resource state never leaks between designs, generates the
+ * workload it needs, and prints the paper's rows with TextTable.
+ */
+
+#ifndef FAFNIR_BENCH_BENCH_UTIL_HH
+#define FAFNIR_BENCH_BENCH_UTIL_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/table.hh"
+#include "common/types.hh"
+#include "dram/memsystem.hh"
+#include "embedding/generator.hh"
+#include "embedding/layout.hh"
+#include "sim/eventq.hh"
+
+namespace fafnir::bench
+{
+
+/** A complete memory + layout rig for one engine instance. */
+struct LookupRig
+{
+    EventQueue eq;
+    embedding::TableConfig tables;
+    dram::Geometry geometry;
+    dram::MemorySystem memory;
+    dram::AddressMapper mapper;
+    embedding::VectorLayout layout;
+
+    explicit LookupRig(unsigned total_ranks = 32,
+                       dram::Timing timing = dram::Timing::ddr4_2400(),
+                       std::uint64_t rows_per_table = 1ull << 20)
+        : tables{32, rows_per_table, 512, 4},
+          geometry(dram::Geometry::withTotalRanks(total_ranks)),
+          memory(eq, geometry, timing, dram::Interleave::BlockRank,
+                 tables.vectorBytes),
+          mapper(geometry, dram::Interleave::BlockRank,
+                 tables.vectorBytes),
+          layout(tables, mapper)
+    {}
+};
+
+/** The trace-like workload used across lookup benches. */
+inline std::vector<embedding::Batch>
+makeBatches(const embedding::TableConfig &tables, unsigned num_batches,
+            unsigned batch_size, unsigned query_size, double skew,
+            double hot_fraction, std::uint64_t seed)
+{
+    embedding::WorkloadConfig wc;
+    wc.tables = tables;
+    wc.batchSize = batch_size;
+    wc.querySize = query_size;
+    wc.popularity = skew > 0 ? embedding::Popularity::Zipfian
+                             : embedding::Popularity::Uniform;
+    wc.zipfSkew = skew;
+    wc.hotFraction = hot_fraction;
+    embedding::BatchGenerator gen(wc, seed);
+    std::vector<embedding::Batch> batches;
+    batches.reserve(num_batches);
+    for (unsigned i = 0; i < num_batches; ++i)
+        batches.push_back(gen.next());
+    return batches;
+}
+
+/** Nanoseconds with two decimals. */
+inline double
+ns(Tick ticks)
+{
+    return static_cast<double>(ticks) / kTicksPerNs;
+}
+
+/** Microseconds with two decimals. */
+inline double
+us(Tick ticks)
+{
+    return static_cast<double>(ticks) / kTicksPerUs;
+}
+
+} // namespace fafnir::bench
+
+#endif // FAFNIR_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 11: the latency of a single query — random accesses to 16 512 B
+ * vectors distributed over 32 ranks (4 channels x 4 DIMMs x 2 ranks) —
+ * broken into memory-access and computation contributions, for the
+ * no-NDP CPU baseline, TensorDIMM, RecNMP, and Fafnir.
+ *
+ * Memory latency comes from the DDR4-2400 run; computation latency is
+ * the same engine run against a zero-latency memory model, which
+ * isolates everything that is not DRAM (NDP pipelines, channel
+ * transfers, host reduction).
+ *
+ * Paper shape: TensorDIMM memory ~4.45x Fafnir (up to 16x with no row
+ * hits) and computation ~2.5x; RecNMP memory equals Fafnir's but its
+ * computation is worse because ~25 % of reductions are forwarded to the
+ * CPU.
+ */
+
+#include <iostream>
+
+#include "baselines/cpu.hh"
+#include "baselines/recnmp.hh"
+#include "baselines/tensordimm.hh"
+#include "bench_util.hh"
+#include "fafnir/engine.hh"
+
+using namespace fafnir;
+using namespace fafnir::bench;
+
+namespace
+{
+
+struct Breakdown
+{
+    double memoryNs = 0.0;
+    double computeNs = 0.0;
+    double totalNs = 0.0;
+};
+
+template <typename MakeEngine>
+Breakdown
+measure(MakeEngine &&make_engine, const embedding::Batch &batch)
+{
+    Breakdown b;
+    {
+        LookupRig rig(32);
+        auto engine = make_engine(rig);
+        const auto t = engine.lookup(batch, 0);
+        b.memoryNs = ns(t.memoryTime());
+        b.totalNs = ns(t.totalTime());
+    }
+    {
+        LookupRig rig(32, dram::Timing::ideal());
+        auto engine = make_engine(rig);
+        const auto t = engine.lookup(batch, 0);
+        b.computeNs = ns(t.totalTime());
+    }
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Average over several random single-query placements.
+    const auto batches = makeBatches(embedding::TableConfig{32, 1u << 20,
+                                                            512, 4},
+                                     20, 1, 16, 0.0, 1.0, 7);
+
+    Distribution cpu_m, cpu_c, cpu_t;
+    Distribution td_m, td_c, td_t;
+    Distribution rn_m, rn_c, rn_t;
+    Distribution ff_m, ff_c, ff_t;
+
+    for (const auto &batch : batches) {
+        const Breakdown cpu = measure(
+            [](LookupRig &rig) {
+                return baselines::CpuEngine(rig.memory, rig.layout);
+            },
+            batch);
+        cpu_m.sample(cpu.memoryNs);
+        cpu_c.sample(cpu.computeNs);
+        cpu_t.sample(cpu.totalNs);
+
+        const Breakdown td = measure(
+            [](LookupRig &rig) {
+                return baselines::TensorDimmEngine(rig.memory, rig.tables);
+            },
+            batch);
+        td_m.sample(td.memoryNs);
+        td_c.sample(td.computeNs);
+        td_t.sample(td.totalNs);
+
+        const Breakdown rn = measure(
+            [](LookupRig &rig) {
+                return baselines::RecNmpEngine(rig.memory, rig.layout);
+            },
+            batch);
+        rn_m.sample(rn.memoryNs);
+        rn_c.sample(rn.computeNs);
+        rn_t.sample(rn.totalNs);
+
+        const Breakdown ff = measure(
+            [](LookupRig &rig) {
+                return core::FafnirEngine(rig.memory, rig.layout,
+                                          core::EngineConfig{});
+            },
+            batch);
+        ff_m.sample(ff.memoryNs);
+        ff_c.sample(ff.computeNs);
+        ff_t.sample(ff.totalNs);
+    }
+
+    TextTable table("Figure 11 — single-query latency (q=16, 512 B "
+                    "vectors, 32 ranks; mean of 20 queries, ns)");
+    table.setHeader({"design", "memory", "computation", "total",
+                     "mem vs Fafnir", "comp vs Fafnir"});
+    auto row = [&](const char *name, Distribution &m, Distribution &c,
+                   Distribution &t) {
+        table.row(name, m.mean(), c.mean(), t.mean(),
+                  TextTable::num(m.mean() / ff_m.mean(), 2) + "x",
+                  TextTable::num(c.mean() / ff_c.mean(), 2) + "x");
+    };
+    row("CPU (no NDP)", cpu_m, cpu_c, cpu_t);
+    row("TensorDIMM", td_m, td_c, td_t);
+    row("RecNMP", rn_m, rn_c, rn_t);
+    row("Fafnir", ff_m, ff_c, ff_t);
+    table.print(std::cout);
+
+    std::cout << "\npaper: TensorDIMM memory ~4.45x / compute ~2.5x of "
+                 "Fafnir; RecNMP memory == Fafnir, compute worse (~25% "
+                 "forwarded to CPU).\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Figure 12: end-to-end inference speedup over the 1-rank baseline as
+ * ranks grow from 2 to 32, for RecNMP and Fafnir.
+ *
+ * Total inference latency = embedding lookup (simulated) + fully-
+ * connected layers (fixed 0.5 ms on the host, per the paper) + other
+ * operations (fixed). The paper's observation: both designs track the
+ * ideal linear line at low rank counts, but only Fafnir keeps following
+ * it to 32 ranks, because its channel-node chip performs ALL reductions
+ * at NDP while RecNMP forwards ever more non-co-located partials to the
+ * host as the indices spread over more DIMMs.
+ */
+
+#include <iostream>
+
+#include "baselines/recnmp.hh"
+#include "bench_util.hh"
+#include "fafnir/engine.hh"
+
+using namespace fafnir;
+using namespace fafnir::bench;
+
+#include "common/cli.hh"
+
+namespace
+{
+
+double kFcMs = 0.5;
+double kOtherMs = 0.05;
+unsigned kBatches = 96;
+unsigned kBatchSize = 32;
+unsigned kQuerySize = 16;
+
+// Tables sized to fit even the 1-rank system (32 x 16k x 512 B =
+// 256 MB), identical across all rank counts so the workload is fixed.
+constexpr std::uint64_t kRowsPerTable = 1ull << 14;
+
+double
+embeddingMsFafnir(unsigned ranks)
+{
+    LookupRig rig(ranks, dram::Timing::ddr4_2400(), kRowsPerTable);
+    core::EngineConfig cfg;
+    core::FafnirEngine engine(rig.memory, rig.layout, cfg);
+    const auto batches = makeBatches(rig.tables, kBatches, kBatchSize,
+                                     kQuerySize, 0.9, 0.01, 77);
+    const auto timings = engine.lookupMany(batches, 0);
+    return static_cast<double>(timings.back().complete) / kTicksPerMs;
+}
+
+double
+embeddingMsRecNmp(unsigned ranks)
+{
+    LookupRig rig(ranks, dram::Timing::ddr4_2400(), kRowsPerTable);
+    baselines::RecNmpEngine engine(rig.memory, rig.layout);
+    const auto batches = makeBatches(rig.tables, kBatches, kBatchSize,
+                                     kQuerySize, 0.9, 0.01, 77);
+    const auto timings = engine.lookupMany(batches, 0);
+    return static_cast<double>(timings.back().complete) / kTicksPerMs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("Figure 12: end-to-end speedup vs rank count");
+    flags.addDouble("fc-ms", kFcMs, "fixed FC-layer time (ms)");
+    flags.addDouble("other-ms", kOtherMs, "fixed other-operations time");
+    flags.addUnsigned("batches", kBatches, "batches per measurement");
+    flags.addUnsigned("batch", kBatchSize, "queries per batch");
+    flags.addUnsigned("query-size", kQuerySize, "indices per query");
+    flags.parse(argc, argv);
+
+    // The 1-rank baseline: the same lookup stream on a single rank. Use
+    // Fafnir's own engine at 1 rank (a single leaf PE) so the baseline is
+    // the paper's "baseline (1-rank)" memory-bound configuration.
+    const double base_embed = embeddingMsFafnir(1);
+    const double base_total = base_embed + kFcMs + kOtherMs;
+
+    TextTable table("Figure 12 — end-to-end inference speedup over the "
+                    "1-rank baseline (FC fixed at 0.5 ms)");
+    table.setHeader({"ranks", "Fafnir embed(ms)", "RecNMP embed(ms)",
+                     "Fafnir e2e", "RecNMP e2e", "ideal embed",
+                     "Fafnir embed", "RecNMP embed"});
+
+    for (unsigned ranks : {2u, 4u, 8u, 16u, 32u}) {
+        const double ff = embeddingMsFafnir(ranks);
+        const double rn = embeddingMsRecNmp(ranks);
+        table.row(ranks, ff, rn,
+                  TextTable::num(base_total / (ff + kFcMs + kOtherMs), 2) +
+                      "x",
+                  TextTable::num(base_total / (rn + kFcMs + kOtherMs), 2) +
+                      "x",
+                  TextTable::num(ranks, 0) + "x",
+                  TextTable::num(base_embed / ff, 2) + "x",
+                  TextTable::num(base_embed / rn, 2) + "x");
+    }
+    table.print(std::cout);
+
+    std::cout << "\nbaseline embedding time (1 rank): "
+              << TextTable::num(base_embed, 3)
+              << " ms; paper: Fafnir tracks the ideal line to 32 ranks, "
+                 "RecNMP falls away as ranks grow.\n";
+    return 0;
+}

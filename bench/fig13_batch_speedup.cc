@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Figure 13: embedding-lookup speedup over RecNMP as the batch size
+ * grows (8 / 16 / 32), on the 32-rank system.
+ *
+ * Two comparisons, as in the paper:
+ *  - solid bars: neither design eliminates redundant memory accesses
+ *    (Fafnir dedup off, RecNMP cache off) — paper: 3.1x / 6.7x / 12.3x;
+ *  - striped extra: Fafnir's unique-index mechanism on versus RecNMP
+ *    with its 128 KB per-rank cache — paper: up to an extra 3.4x.
+ * TensorDIMM is included for the RecNMP-vs-TensorDIMM (~15x) reference.
+ */
+
+#include <iostream>
+
+#include "baselines/recnmp.hh"
+#include "baselines/tensordimm.hh"
+#include "bench_util.hh"
+#include "fafnir/engine.hh"
+
+using namespace fafnir;
+using namespace fafnir::bench;
+
+#include "common/cli.hh"
+
+namespace
+{
+
+unsigned kBatches = 64;
+unsigned kQuerySize = 16;
+double kSkew = 1.05;
+double kHotFraction = 0.00001;
+std::uint64_t kSeed = 1234;
+
+/**
+ * Mean serialized batch latency: each batch runs to completion before the
+ * next is admitted, which is what exposes how well a design converts
+ * batch size into parallelism (Fafnir's tree does; RecNMP's host-side
+ * finish and TensorDIMM's serial slice pipeline do not).
+ */
+template <typename Engine>
+Tick
+streamTime(Engine &engine, const std::vector<embedding::Batch> &batches)
+{
+    Tick t = 0;
+    for (const auto &batch : batches)
+        t = engine.lookup(batch, t).complete;
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FlagParser flags("Figure 13: lookup speedup over RecNMP vs batch "
+                     "size");
+    flags.addUnsigned("batches", kBatches, "batches per measurement");
+    flags.addUnsigned("query-size", kQuerySize, "indices per query");
+    flags.addDouble("skew", kSkew, "Zipfian skew of the trace");
+    flags.addDouble("hot-fraction", kHotFraction,
+                    "fraction of rows in the hot set");
+    flags.addUint64("seed", kSeed, "workload seed");
+    flags.parse(argc, argv);
+
+    TextTable table("Figure 13 — lookup speedup on 32 ranks (" +
+                    std::to_string(kBatches) +
+                    " batches, q=" + std::to_string(kQuerySize) +
+                    ", Zipfian trace)");
+    table.setHeader({"batch", "Fafnir us/batch", "RecNMP us/batch",
+                     "TensorDIMM us/batch",
+                     "Fafnir/RecNMP (no dedup, no cache)",
+                     "Fafnir+dedup/RecNMP+cache", "extra from dedup",
+                     "RecNMP/TensorDIMM", "throughput F/R (raw)",
+                     "throughput F/R (+mech)"});
+
+    for (unsigned batch_size : {8u, 16u, 32u}) {
+        const auto batches =
+            makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4},
+                        kBatches, batch_size, kQuerySize, kSkew,
+                        kHotFraction, kSeed);
+
+        // --- No redundancy elimination on either side. ---
+        Tick fafnir_raw;
+        {
+            LookupRig rig(32);
+            core::EngineConfig cfg;
+            cfg.dedup = false;
+            core::FafnirEngine engine(rig.memory, rig.layout, cfg);
+            fafnir_raw = streamTime(engine, batches);
+        }
+        Tick recnmp_raw;
+        {
+            LookupRig rig(32);
+            baselines::RecNmpConfig cfg;
+            cfg.cacheEnabled = false;
+            baselines::RecNmpEngine engine(rig.memory, rig.layout, cfg);
+            recnmp_raw = streamTime(engine, batches);
+        }
+
+        // --- Each design's redundancy mechanism enabled. ---
+        Tick fafnir_dedup;
+        {
+            LookupRig rig(32);
+            core::EngineConfig cfg;
+            cfg.dedup = true;
+            core::FafnirEngine engine(rig.memory, rig.layout, cfg);
+            fafnir_dedup = streamTime(engine, batches);
+        }
+        Tick recnmp_cache;
+        {
+            LookupRig rig(32);
+            baselines::RecNmpConfig cfg;
+            cfg.cacheEnabled = true;
+            baselines::RecNmpEngine engine(rig.memory, rig.layout, cfg);
+            recnmp_cache = streamTime(engine, batches);
+        }
+
+        Tick tensordimm;
+        {
+            LookupRig rig(32);
+            baselines::TensorDimmEngine engine(rig.memory, rig.tables);
+            tensordimm = streamTime(engine, batches);
+        }
+
+        // Pipelined-throughput comparison: batches admitted as memory
+        // drains (the host backlog carries over), which is the regime
+        // the paper's biggest factors come from.
+        Tick tp_fafnir_raw;
+        Tick tp_recnmp_raw;
+        Tick tp_fafnir_dedup;
+        Tick tp_recnmp_cache;
+        {
+            LookupRig rig(32);
+            core::EngineConfig cfg;
+            cfg.dedup = false;
+            core::FafnirEngine engine(rig.memory, rig.layout, cfg);
+            tp_fafnir_raw =
+                engine.lookupMany(batches, 0).back().complete;
+        }
+        {
+            LookupRig rig(32);
+            baselines::RecNmpConfig cfg;
+            cfg.cacheEnabled = false;
+            baselines::RecNmpEngine engine(rig.memory, rig.layout, cfg);
+            tp_recnmp_raw =
+                engine.lookupMany(batches, 0).back().complete;
+        }
+        {
+            LookupRig rig(32);
+            core::FafnirEngine engine(rig.memory, rig.layout,
+                                      core::EngineConfig{});
+            tp_fafnir_dedup =
+                engine.lookupMany(batches, 0).back().complete;
+        }
+        {
+            LookupRig rig(32);
+            baselines::RecNmpConfig cfg;
+            cfg.cacheEnabled = true;
+            baselines::RecNmpEngine engine(rig.memory, rig.layout, cfg);
+            tp_recnmp_cache =
+                engine.lookupMany(batches, 0).back().complete;
+        }
+
+        const double base = static_cast<double>(recnmp_raw) / fafnir_raw;
+        const double with = static_cast<double>(recnmp_cache) /
+                            fafnir_dedup;
+        table.row(batch_size, us(fafnir_raw) / kBatches,
+                  us(recnmp_raw) / kBatches, us(tensordimm) / kBatches,
+                  TextTable::num(base, 2) + "x",
+                  TextTable::num(with, 2) + "x",
+                  TextTable::num(with / base, 2) + "x",
+                  TextTable::num(static_cast<double>(tensordimm) /
+                                     recnmp_raw,
+                                 2) +
+                      "x",
+                  TextTable::num(static_cast<double>(tp_recnmp_raw) /
+                                     tp_fafnir_raw,
+                                 2) +
+                      "x",
+                  TextTable::num(static_cast<double>(tp_recnmp_cache) /
+                                     tp_fafnir_dedup,
+                                 2) +
+                      "x");
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper: 3.1x / 6.7x / 12.3x without redundancy "
+                 "elimination, up to an extra 3.4x from dedup vs the "
+                 "128 KB 50%-hit cache; RecNMP ~15x over TensorDIMM.\n";
+    return 0;
+}

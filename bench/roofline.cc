@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Roofline view — the paper's framing made quantitative: recommendation
+ * inference sits "in the memory-bound region ... far below the ceiling
+ * because of memory bandwidth underutilization" (Section II), and
+ * Fafnir's speedup comes from "filling the gap under the roofline"
+ * (Section VI). This harness runs the same lookup stream on every
+ * design and reports achieved bandwidth and bus utilizations against
+ * the DDR4-2400 peak.
+ */
+
+#include <iostream>
+
+#include "baselines/cpu.hh"
+#include "baselines/recnmp.hh"
+#include "baselines/tensordimm.hh"
+#include "bench_util.hh"
+#include "fafnir/engine.hh"
+
+using namespace fafnir;
+using namespace fafnir::bench;
+
+int
+main()
+{
+    const auto batches =
+        makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 64, 32,
+                    16, 0.9, 0.01, 606);
+
+    const dram::Timing t = dram::Timing::ddr4_2400();
+    const dram::Geometry g;
+    const double peak_gbs = static_cast<double>(g.burstBytes) /
+                            (static_cast<double>(t.tBurst) / kTicksPerNs) *
+                            g.totalRanks();
+
+    TextTable table("Roofline — 64 batches of 32 queries, q=16 "
+                    "(DDR4-2400 aggregate peak " +
+                    TextTable::num(peak_gbs, 0) + " GB/s)");
+    table.setHeader({"design", "time (us)", "achieved GB/s",
+                     "% of peak", "rank-bus util", "channel-bus util"});
+
+    auto row = [&](const char *name, dram::MemorySystem &memory,
+                   Tick complete) {
+        table.row(name, us(complete),
+                  memory.achievedBandwidthGBs(complete),
+                  TextTable::num(memory.achievedBandwidthGBs(complete) /
+                                     peak_gbs * 100.0,
+                                 1) +
+                      "%",
+                  TextTable::num(
+                      memory.rankBusUtilization(complete) * 100.0, 1) +
+                      "%",
+                  TextTable::num(
+                      memory.channelBusUtilization(complete) * 100.0,
+                      1) +
+                      "%");
+    };
+
+    {
+        LookupRig rig(32);
+        baselines::CpuEngine engine(rig.memory, rig.layout);
+        const auto timings = engine.lookupMany(batches, 0);
+        row("CPU (no NDP)", rig.memory, timings.back().complete);
+    }
+    {
+        LookupRig rig(32);
+        baselines::TensorDimmEngine engine(rig.memory, rig.tables);
+        const auto timings = engine.lookupMany(batches, 0);
+        row("TensorDIMM", rig.memory, timings.back().complete);
+    }
+    {
+        LookupRig rig(32);
+        baselines::RecNmpEngine engine(rig.memory, rig.layout);
+        const auto timings = engine.lookupMany(batches, 0);
+        row("RecNMP", rig.memory, timings.back().complete);
+    }
+    {
+        LookupRig rig(32);
+        core::FafnirEngine engine(rig.memory, rig.layout,
+                                  core::EngineConfig{});
+        const auto timings = engine.lookupMany(batches, 0);
+        row("Fafnir", rig.memory, timings.back().complete);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nthe CPU path is capped by the 4 channel buses; "
+                 "TensorDIMM overfetches (high bus busy, low useful "
+                 "bytes); Fafnir converts rank-bus capacity directly "
+                 "into useful gather bandwidth.\n";
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Table I: total buffer sizes of PEs and nodes for batch sizes 8/16/32.
+ *
+ * Paper values: PE buffers of 4.6 / 9.3 / 18.5 KB and DIMM/rank-node
+ * totals of 32.4 / 64.8 / 129.5 KB.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "fafnir/sizing.hh"
+
+using namespace fafnir;
+using namespace fafnir::core;
+
+int
+main()
+{
+    const BufferSizing sizing;
+
+    TextTable table("Table I — buffer sizing (KiB)");
+    table.setHeader({"component", "B=8", "B=16", "B=32", "paper(B=8/16/32)"});
+    table.row("PE buffer", sizing.peBufferKiB(8), sizing.peBufferKiB(16),
+              sizing.peBufferKiB(32), "4.6 / 9.3 / 18.5");
+    table.row("DIMM/rank node (7 PEs)", sizing.dimmRankNodeKiB(8),
+              sizing.dimmRankNodeKiB(16), sizing.dimmRankNodeKiB(32),
+              "32.4 / 64.8 / 129.5");
+    table.row("channel node (3 PEs)", sizing.channelNodeKiB(8),
+              sizing.channelNodeKiB(16), sizing.channelNodeKiB(32), "-");
+    table.print(std::cout);
+
+    std::cout << "\nentry = " << sizing.entryBytes()
+              << " B (512 B value + " << sizing.headerBytes()
+              << " B header: q=16 indices at 5 bits plus "
+              << sizing.residualSlots << " query residuals)\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table IV: latency of the compute-unit components at the 200 MHz FPGA
+ * clock, and the resulting per-level critical path. The supplied paper
+ * text garbles this table (see DESIGN.md), so we print the calibrated
+ * model parameters, the derived paths, and the derived single-query tree
+ * traversal they imply.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "common/types.hh"
+#include "fafnir/pe.hh"
+#include "fafnir/tree.hh"
+
+using namespace fafnir;
+using namespace fafnir::core;
+
+int
+main()
+{
+    const PeLatency lat;
+    const double period_ns = 1000.0 / 200.0; // 200 MHz
+
+    TextTable table("Table IV — compute-unit component latencies "
+                    "(cycles @200 MHz)");
+    table.setHeader({"operation", "cycles", "ns"});
+    table.row("compare", lat.compare,
+              static_cast<double>(lat.compare) * period_ns);
+    table.row("reduce (value)", lat.reduceValue,
+              static_cast<double>(lat.reduceValue) * period_ns);
+    table.row("reduce (header)", lat.reduceHeader,
+              static_cast<double>(lat.reduceHeader) * period_ns);
+    table.row("forward", lat.forward,
+              static_cast<double>(lat.forward) * period_ns);
+    table.row("merge pass", lat.merge,
+              static_cast<double>(lat.merge) * period_ns);
+    table.print(std::cout);
+
+    TextTable paths("Derived pipeline paths");
+    paths.setHeader({"path", "cycles", "ns"});
+    paths.row("reduce path (compare + max(reduce))", lat.reducePath(),
+              static_cast<double>(lat.reducePath()) * period_ns);
+    paths.row("forward path (compare + forward)", lat.forwardPath(),
+              static_cast<double>(lat.forwardPath()) * period_ns);
+    const TreeTopology topo(32);
+    const Cycles per_level = lat.reducePath() + lat.merge;
+    paths.row("tree traversal (" + std::to_string(topo.numLevels()) +
+                  " levels, 32 ranks)",
+              per_level * topo.numLevels(),
+              static_cast<double>(per_level * topo.numLevels()) *
+                  period_ns);
+    paths.print(std::cout);
+
+    std::cout << "\npaper: critical path = compare + reduce (reduce and "
+                 "forward are parallel paths).\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table VI: 7 nm ASIC area and power of Fafnir's PEs, nodes, and the
+ * whole 32-rank system, plus the connection-count comparison of Section
+ * IV-A and the RecNMP cost comparison point.
+ *
+ * Paper: PE 0.077 mm^2 (274x282 um), DIMM/rank node 0.283 mm^2
+ * (492x575 um), channel node 0.121 mm^2, ~1.25 mm^2 and 111.64 mW for
+ * the full system (23.82 mW per four DIMMs, 5.9 mW per DIMM) —
+ * negligible against ~13 W per DDR4 DIMM. RecNMP: 0.54 mm^2 / 184.2 mW
+ * per DIMM at 40 nm.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "fafnir/tree.hh"
+#include "hwmodel/asic.hh"
+
+using namespace fafnir;
+using namespace fafnir::hwmodel;
+
+int
+main()
+{
+    const AsicModel model;
+
+    TextTable table("Table VI — 7 nm ASIC area / power");
+    table.setHeader({"block", "area (mm^2)", "power (mW)"});
+    for (const auto &block : model.tableVi(4))
+        table.row(block.name, TextTable::num(block.areaMm2, 3),
+                  TextTable::num(block.powerMw, 2));
+    table.print(std::cout);
+
+    std::cout << "\nper-DIMM power: "
+              << TextTable::num(model.params().dimmNodePowerMw / 4.0, 2)
+              << " mW against " << model.params().dimmPowerW
+              << " W DRAM per DIMM ("
+              << TextTable::num(model.powerOverheadFraction(16) * 100.0, 3)
+              << "% of memory power)\n";
+
+    const RecNmpCost recnmp;
+    TextTable cmp("Comparison point — RecNMP processing units (40 nm)");
+    cmp.setHeader({"system", "area (mm^2)", "power (mW)"});
+    cmp.row("Fafnir (32 ranks, 4+1 nodes)",
+            TextTable::num(model.systemAreaMm2(4), 2),
+            TextTable::num(model.systemPowerMw(4), 2));
+    cmp.row("RecNMP (16 DIMMs)", TextTable::num(recnmp.systemAreaMm2(16),
+                                                2),
+            TextTable::num(recnmp.systemPowerMw(16), 1));
+    cmp.print(std::cout);
+
+    // Section IV-A: connection counts.
+    const core::TreeTopology topo(32);
+    TextTable conn("Connections — tree vs all-to-all (m = 16 DIMMs, "
+                   "c = 4 cores)");
+    conn.setHeader({"organization", "connections"});
+    conn.row("all-to-all (c x m)",
+             core::TreeTopology::allToAllConnections(4, 16));
+    conn.row("Fafnir tree ((2m-2) + c + rank links)",
+             topo.connectionCount(4));
+    conn.print(std::cout);
+    return 0;
+}

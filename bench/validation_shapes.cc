@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Executable validation of the paper-shape claims recorded in
+ * EXPERIMENTS.md. Each check is a range assertion on a simulated
+ * quantity; any violation prints the offending value and exits
+ * non-zero, so calibration drift fails ctest instead of silently
+ * invalidating the writeup.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "baselines/cpu.hh"
+#include "baselines/recnmp.hh"
+#include "baselines/tensordimm.hh"
+#include "baselines/two_step.hh"
+#include "bench_util.hh"
+#include "fafnir/engine.hh"
+#include "sparse/fafnir_spmv.hh"
+#include "sparse/matgen.hh"
+
+using namespace fafnir;
+using namespace fafnir::bench;
+
+namespace
+{
+
+int failures = 0;
+
+void
+check(const char *claim, double value, double lo, double hi)
+{
+    const bool ok = value >= lo && value <= hi;
+    std::printf("[%s] %-58s %8.2f in [%g, %g]\n", ok ? "ok" : "FAIL",
+                claim, value, lo, hi);
+    if (!ok)
+        ++failures;
+}
+
+} // namespace
+
+int
+main()
+{
+    // ---- Figure 11: single-query latency relationships. -----------------
+    {
+        const auto batch =
+            makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 1,
+                        1, 16, 0.0, 1.0, 71)
+                .front();
+
+        LookupRig ff_rig(32);
+        core::FafnirEngine ff(ff_rig.memory, ff_rig.layout,
+                              core::EngineConfig{});
+        const auto f = ff.lookup(batch, 0);
+
+        LookupRig td_rig(32);
+        baselines::TensorDimmEngine td(td_rig.memory, td_rig.tables);
+        const auto t = td.lookup(batch, 0);
+
+        LookupRig rn_rig(32);
+        baselines::RecNmpEngine rn(rn_rig.memory, rn_rig.layout);
+        const auto r = rn.lookup(batch, 0);
+
+        check("fig11: TensorDIMM/Fafnir memory latency (paper 4.45x)",
+              static_cast<double>(t.memoryTime()) / f.memoryTime(), 3.0,
+              16.0);
+        check("fig11: RecNMP/Fafnir memory latency (paper 1.0x)",
+              static_cast<double>(r.memoryTime()) / f.memoryTime(), 0.9,
+              1.1);
+        check("fig11: Fafnir fastest overall (total ratio vs RecNMP)",
+              static_cast<double>(r.totalTime()) / f.totalTime(), 1.2,
+              10.0);
+        check("fig11: Fafnir fastest overall (total ratio vs TensorDIMM)",
+              static_cast<double>(t.totalTime()) / f.totalTime(), 1.2,
+              10.0);
+    }
+
+    // ---- Figure 13: batch-size scaling of the RecNMP gap. ---------------
+    {
+        double prev = 0.0;
+        bool grows = true;
+        double at32 = 0.0;
+        for (unsigned b : {8u, 16u, 32u}) {
+            const auto batches =
+                makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4},
+                            16, b, 16, 1.05, 0.00001, 1234);
+            LookupRig ff_rig(32);
+            core::EngineConfig nf;
+            nf.dedup = false;
+            core::FafnirEngine ff(ff_rig.memory, ff_rig.layout, nf);
+            Tick tf = 0;
+            for (const auto &batch : batches)
+                tf = ff.lookup(batch, tf).complete;
+
+            LookupRig rn_rig(32);
+            baselines::RecNmpEngine rn(rn_rig.memory, rn_rig.layout);
+            Tick tr = 0;
+            for (const auto &batch : batches)
+                tr = rn.lookup(batch, tr).complete;
+
+            const double ratio = static_cast<double>(tr) / tf;
+            grows &= ratio > prev;
+            prev = ratio;
+            at32 = ratio;
+        }
+        check("fig13: Fafnir/RecNMP grows with batch size (1 = yes)",
+              grows ? 1.0 : 0.0, 1.0, 1.0);
+        check("fig13: Fafnir/RecNMP at B=32 (paper 12.3x, compressed)",
+              at32, 2.0, 15.0);
+    }
+
+    // ---- Figure 15: dedup savings at the paper's operating point. -------
+    {
+        const auto batches =
+            makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 50,
+                        32, 16, 1.05, 0.00001, 99);
+        double saved = 0.0;
+        for (const auto &batch : batches)
+            saved += 1.0 - batch.uniqueFraction();
+        saved = saved / batches.size() * 100.0;
+        check("fig15: accesses saved at B=32 (paper 58%)", saved, 45.0,
+              70.0);
+    }
+
+    // ---- Figure 12: scaling divergence. ----------------------------------
+    {
+        auto embed_time = [](unsigned ranks, bool fafnir) {
+            LookupRig rig(ranks, dram::Timing::ddr4_2400(), 1ull << 14);
+            const auto batches = makeBatches(rig.tables, 24, 32, 16, 0.9,
+                                             0.01, 77);
+            if (fafnir) {
+                core::FafnirEngine engine(rig.memory, rig.layout,
+                                          core::EngineConfig{});
+                return engine.lookupMany(batches, 0).back().complete;
+            }
+            baselines::RecNmpEngine engine(rig.memory, rig.layout);
+            return engine.lookupMany(batches, 0).back().complete;
+        };
+        const double fafnir_scaling =
+            static_cast<double>(embed_time(4, true)) /
+            embed_time(32, true);
+        const double recnmp_scaling =
+            static_cast<double>(embed_time(4, false)) /
+            embed_time(32, false);
+        check("fig12: Fafnir 4->32 rank speedup (near 8x ideal)",
+              fafnir_scaling, 3.0, 9.0);
+        check("fig12: Fafnir out-scales RecNMP (ratio of scalings)",
+              fafnir_scaling / recnmp_scaling, 1.5, 50.0);
+    }
+
+    // ---- Figure 14: SpMV ordering and range. -----------------------------
+    {
+        Rng rng(2024);
+        const auto small = sparse::makeBanded(1u << 11, 24, rng);
+        const auto large = sparse::makeRoadNetwork(1u << 17, rng);
+        auto speedup = [](const sparse::CsrMatrix &m) {
+            const auto lil = sparse::LilMatrix::fromCsr(m);
+            const auto x = sparse::makeOperand(m.cols());
+            LookupRig f_rig(32);
+            sparse::FafnirSpmv f(f_rig.memory, sparse::FafnirSpmvConfig{});
+            sparse::SpmvTiming tf;
+            (void)f.multiply(lil, x, 0, tf);
+            LookupRig t_rig(32);
+            baselines::TwoStepEngine two(t_rig.memory,
+                                         baselines::TwoStepConfig{});
+            sparse::SpmvTiming tt;
+            (void)two.multiply(lil, x, 0, tt);
+            return static_cast<double>(tt.totalTime()) / tf.totalTime();
+        };
+        const double s_small = speedup(small);
+        const double s_large = speedup(large);
+        check("fig14: Fafnir/Two-Step on small scientific (paper <=4.6x)",
+              s_small, 1.2, 4.6);
+        check("fig14: Fafnir/Two-Step on large graph (paper >=1.1x)",
+              s_large, 1.05, 3.0);
+        check("fig14: advantage shrinks with size (1 = yes)",
+              s_small > s_large ? 1.0 : 0.0, 1.0, 1.0);
+    }
+
+    if (failures > 0) {
+        std::printf("\n%d shape claim(s) VIOLATED — recalibrate or "
+                    "update EXPERIMENTS.md\n",
+                    failures);
+        return 1;
+    }
+    std::printf("\nall paper-shape claims hold\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scientific computing on the Fafnir tree: a Jacobi solver for a banded
+ * linear system A x = b.
+ *
+ * Matrix-inversion-style kernels are the paper's second "other sparse
+ * problems" domain (Section VIII names matrix inversion and
+ * differential-equation solvers). The example uses the library kernel
+ * (`sparse::jacobiSolve`), whose off-diagonal SpMV runs on the Fafnir
+ * hardware model each step, and checks the recovered solution against
+ * the manufactured one.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/random.hh"
+#include "dram/memsystem.hh"
+#include "sparse/algorithms.hh"
+#include "sparse/matgen.hh"
+
+using namespace fafnir;
+using namespace fafnir::sparse;
+
+int
+main()
+{
+    Rng rng(17);
+    const std::uint32_t n = 1u << 13;
+    // makeBanded produces a diagonally dominant system (diagonal ~4.5+,
+    // at most four off-diagonal entries below 1.5 in magnitude).
+    const CsrMatrix a = makeBanded(n, 32, rng);
+
+    // Manufactured solution: x* known, b = A x*.
+    DenseVector x_star(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        x_star[i] = 0.5f + static_cast<float>(i % 31) / 30.0f;
+    const DenseVector b = a.multiply(x_star);
+
+    EventQueue eq;
+    dram::MemorySystem memory(eq, dram::Geometry{},
+                              dram::Timing::ddr4_2400());
+    FafnirSpmv engine(memory, FafnirSpmvConfig{});
+
+    std::printf("Jacobi on a %u x %u banded system (%zu non-zeros)\n", n,
+                n, a.nnz());
+
+    IterativeConfig cfg;
+    cfg.maxIterations = 120;
+    cfg.tolerance = 1e-5;
+    const IterativeResult result = jacobiSolve(engine, a, b, cfg);
+
+    if (!result.converged) {
+        std::printf("did not converge in %u iterations (residual %.6f)\n",
+                    result.iterations, result.residual);
+        return 1;
+    }
+
+    double err = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        err += std::fabs(result.solution[i] - x_star[i]);
+    err /= n;
+
+    std::printf("converged after %u iterations; mean |x - x*| = %.6f\n",
+                result.iterations, err);
+    std::printf("simulated near-memory SpMV time: %.2f us (%llu "
+                "multiply-accumulates)\n",
+                static_cast<double>(result.simulatedTicks) / kTicksPerUs,
+                static_cast<unsigned long long>(result.multiplies));
+    return err < 1e-2 ? 0 : 1;
+}

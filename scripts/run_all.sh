@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, and regenerate every paper
+# table/figure plus the ablations into results/.
+#
+# Usage: scripts/run_all.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+results_dir="$repo_root/results"
+
+cmake -B "$build_dir" -G Ninja -S "$repo_root"
+cmake --build "$build_dir"
+
+ctest --test-dir "$build_dir" --output-on-failure
+
+mkdir -p "$results_dir"
+for bench in "$build_dir"/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    name="$(basename "$bench")"
+    case "$name" in
+      micro_primitives)
+        # google-benchmark output: keep it, but don't let jitter into the
+        # table outputs.
+        "$bench" --benchmark_min_time=0.01 \
+            > "$results_dir/$name.txt" 2>&1 || true
+        ;;
+      *)
+        echo "== $name =="
+        "$bench" | tee "$results_dir/$name.txt"
+        echo
+        ;;
+    esac
+done
+
+echo "results written to $results_dir"

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Implementation of the CPU (no-NDP) baseline.
+ */
+
+#include "cpu.hh"
+
+#include <algorithm>
+
+namespace fafnir::baselines
+{
+
+LookupTiming
+CpuEngine::lookup(const embedding::Batch &batch, Tick start)
+{
+    core_.reset();
+    return lookupKeepCore(batch, start);
+}
+
+std::vector<LookupTiming>
+CpuEngine::lookupMany(const std::vector<embedding::Batch> &batches,
+                      Tick start)
+{
+    core_.reset();
+    std::vector<LookupTiming> timings;
+    timings.reserve(batches.size());
+    Tick t = start;
+    for (const auto &batch : batches) {
+        timings.push_back(lookupKeepCore(batch, t));
+        t = timings.back().memLast;
+    }
+    return timings;
+}
+
+LookupTiming
+CpuEngine::lookupKeepCore(const embedding::Batch &batch, Tick start)
+{
+    batch.check();
+
+    const unsigned vector_bytes = layout_.tables().vectorBytes;
+    const unsigned dim = layout_.tables().dim();
+
+    LookupTiming timing;
+    timing.issued = start;
+    timing.memLast = start;
+    timing.queryComplete.assign(batch.size(), 0);
+
+    for (const auto &query : batch.queries) {
+        // All vectors of the query cross the channel bus to the host;
+        // the running partial sum folds each vector in as it lands.
+        Tick partial_ready = 0;
+        bool first = true;
+        for (IndexId index : query.indices) {
+            const auto result =
+                memory_.read(layout_.addressOf(index), vector_bytes, start,
+                             dram::Destination::Host);
+            ++timing.memAccesses;
+            timing.memLast = std::max(timing.memLast, result.complete);
+            if (first) {
+                partial_ready = result.complete;
+                first = false;
+            } else {
+                partial_ready = core_.reduceAt(
+                    std::max(partial_ready, result.complete), dim);
+                ++timing.hostReduces;
+            }
+        }
+        timing.queryComplete[query.id] = partial_ready;
+        timing.complete = std::max(timing.complete, partial_ready);
+    }
+    return timing;
+}
+
+} // namespace fafnir::baselines

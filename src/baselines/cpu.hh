@@ -1,0 +1,55 @@
+/**
+ * @file
+ * No-NDP baseline (Figure 2a): every embedding vector crosses the channel
+ * bus to the CPU, which performs all reductions. Data movement is
+ * n * q * v elements per batch and the channel buses are the shared
+ * bottleneck.
+ */
+
+#ifndef FAFNIR_BASELINES_CPU_HH
+#define FAFNIR_BASELINES_CPU_HH
+
+#include "baselines/timing.hh"
+#include "dram/memsystem.hh"
+#include "embedding/layout.hh"
+#include "embedding/query.hh"
+
+namespace fafnir::baselines
+{
+
+/** Parameters of the CPU lookup baseline. */
+struct CpuConfig
+{
+    double hostClockGhz = 3.0;
+    unsigned simdLanes = 16;
+};
+
+/** Gather-reduce entirely on the host. */
+class CpuEngine
+{
+  public:
+    CpuEngine(dram::MemorySystem &memory,
+              const embedding::VectorLayout &layout,
+              const CpuConfig &config = {})
+        : memory_(memory), layout_(layout), config_(config),
+          core_(config.hostClockGhz, config.simdLanes)
+    {}
+
+    /** Run one batch starting at @p start. */
+    LookupTiming lookup(const embedding::Batch &batch, Tick start);
+
+    /** Run batches back to back (memory pipelined under host work). */
+    std::vector<LookupTiming>
+    lookupMany(const std::vector<embedding::Batch> &batches, Tick start);
+
+  private:
+    LookupTiming lookupKeepCore(const embedding::Batch &batch, Tick start);
+    dram::MemorySystem &memory_;
+    const embedding::VectorLayout &layout_;
+    CpuConfig config_;
+    HostCore core_;
+};
+
+} // namespace fafnir::baselines
+
+#endif // FAFNIR_BASELINES_CPU_HH

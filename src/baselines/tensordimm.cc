@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Implementation of the TensorDIMM baseline.
+ */
+
+#include "tensordimm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fafnir::baselines
+{
+
+TensorDimmEngine::TensorDimmEngine(dram::MemorySystem &memory,
+                                   const embedding::TableConfig &tables,
+                                   const TensorDimmConfig &config)
+    : memory_(memory), tables_(tables), config_(config),
+      ndpPeriod_(periodFromMhz(config.ndpClockMhz))
+{
+    const unsigned ranks = memory_.geometry().totalRanks();
+    FAFNIR_ASSERT(tables_.vectorBytes % ranks == 0,
+                  "vector size must divide across ranks");
+    sliceBytes_ = tables_.vectorBytes / ranks;
+}
+
+dram::Coordinates
+TensorDimmEngine::sliceCoords(unsigned rank, IndexId index) const
+{
+    const dram::Geometry &g = memory_.geometry();
+
+    // Rank-local linear placement: slice of vector i at offset
+    // i * sliceBytes. Distinct vectors of a query land in unrelated rows.
+    const std::uint64_t offset =
+        static_cast<std::uint64_t>(index) * sliceBytes_;
+    const std::uint64_t row_linear = offset / g.rowBytes;
+
+    dram::Coordinates c;
+    const unsigned ranks_per_channel = g.ranksPerChannel();
+    c.channel = rank / ranks_per_channel;
+    const unsigned in_channel = rank % ranks_per_channel;
+    c.dimm = in_channel / g.ranksPerDimm;
+    c.rank = in_channel % g.ranksPerDimm;
+    c.bank = static_cast<unsigned>(row_linear % g.banksPerRank);
+    c.row = (row_linear / g.banksPerRank) % g.rowsPerBank;
+    c.column = static_cast<unsigned>(offset % g.rowBytes);
+    return c;
+}
+
+std::vector<LookupTiming>
+TensorDimmEngine::lookupMany(const std::vector<embedding::Batch> &batches,
+                             Tick start)
+{
+    std::vector<LookupTiming> timings;
+    timings.reserve(batches.size());
+    Tick t = start;
+    for (const auto &batch : batches) {
+        timings.push_back(lookup(batch, t));
+        t = timings.back().memLast;
+    }
+    return timings;
+}
+
+LookupTiming
+TensorDimmEngine::lookup(const embedding::Batch &batch, Tick start)
+{
+    batch.check();
+    const dram::Geometry &g = memory_.geometry();
+    const unsigned ranks = g.totalRanks();
+    const Tick add_ticks = config_.addCycles * ndpPeriod_;
+
+    LookupTiming timing;
+    timing.issued = start;
+    timing.memLast = start;
+    timing.queryComplete.assign(batch.size(), 0);
+
+    // Every rank runs the same serial slice pipeline over the batch; the
+    // next read is issued once the current one's data starts returning
+    // (command pipelining), and the adder folds slices as they land.
+    std::vector<Tick> reduce_done(batch.size(), 0);
+    for (unsigned rank = 0; rank < ranks; ++rank) {
+        Tick next_issue = start;
+        for (const auto &query : batch.queries) {
+            Tick partial = 0;
+            for (std::size_t k = 0; k < query.indices.size(); ++k) {
+                const auto result = memory_.readAt(
+                    sliceCoords(rank, query.indices[k]), sliceBytes_,
+                    next_issue, dram::Destination::Ndp);
+                ++timing.memAccesses;
+                timing.memLast = std::max(timing.memLast, result.complete);
+                // The NDP pipeline is a dependent chain: the next slice
+                // is fetched while the current one is summed, i.e. once
+                // the current data has landed (Section III-B).
+                next_issue = result.complete;
+                partial = k == 0
+                    ? result.complete
+                    : std::max(partial, result.complete) + add_ticks;
+                if (k > 0)
+                    ++timing.ndpReduces;
+            }
+            reduce_done[query.id] =
+                std::max(reduce_done[query.id], partial);
+        }
+    }
+
+    // Each channel's DIMM buffers forward their aggregated share of the
+    // output vector (v / c bytes per channel per query).
+    const unsigned bytes_per_channel =
+        std::max(tables_.vectorBytes / g.channels, g.burstBytes);
+    for (const auto &query : batch.queries) {
+        Tick done = reduce_done[query.id];
+        for (unsigned ch = 0; ch < g.channels; ++ch) {
+            done = std::max(done,
+                            memory_.transferToHost(ch, bytes_per_channel,
+                                                   reduce_done[query.id]));
+        }
+        timing.queryComplete[query.id] = done;
+        timing.complete = std::max(timing.complete, done);
+    }
+    return timing;
+}
+
+} // namespace fafnir::baselines

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared timing result type and the host-core model used by the
+ * baseline engines.
+ *
+ * Every lookup engine (CPU, TensorDIMM, RecNMP, and Fafnir itself via its
+ * own LookupTiming) reports the same quantities so the benches can print
+ * the paper's comparisons directly.
+ */
+
+#ifndef FAFNIR_BASELINES_TIMING_HH
+#define FAFNIR_BASELINES_TIMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/types.hh"
+
+namespace fafnir::baselines
+{
+
+/** Timing of one batch on a baseline engine. */
+struct LookupTiming
+{
+    Tick issued = 0;
+    /** Last DRAM data delivery. */
+    Tick memLast = 0;
+    /** Last query result available at the host. */
+    Tick complete = 0;
+    /** DRAM read requests issued (vector or slice granularity). */
+    std::size_t memAccesses = 0;
+    std::uint64_t ndpReduces = 0;
+    std::uint64_t hostReduces = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::vector<Tick> queryComplete;
+
+    Tick memoryTime() const { return memLast - issued; }
+
+    Tick
+    computeTime() const
+    {
+        return complete > memLast ? complete - memLast : 0;
+    }
+
+    Tick totalTime() const { return complete - issued; }
+};
+
+/**
+ * The host CPU as a serializing SIMD reduce resource. Element-wise vector
+ * addition of dim floats takes ceil(dim / lanes) core cycles; adds issued
+ * to the core queue behind each other.
+ */
+class HostCore
+{
+  public:
+    explicit HostCore(double clock_ghz = 3.0, unsigned simd_lanes = 16,
+                      Tick overhead_per_op = 30 * kTicksPerNs)
+        : period_(static_cast<Tick>(1000.0 / clock_ghz)),
+          lanes_(simd_lanes), overhead_(overhead_per_op)
+    {}
+
+    /** Latency of one vector add, including the cache traffic around the
+     *  arithmetic (loads/stores of 512 B operands). */
+    Tick
+    addLatency(unsigned dim) const
+    {
+        return divCeil(dim, lanes_) * period_ + overhead_;
+    }
+
+    /**
+     * Execute one vector add whose operands are ready at @p ready.
+     * @return completion tick.
+     */
+    Tick
+    reduceAt(Tick ready, unsigned dim)
+    {
+        const Tick start = std::max(ready, freeAt_);
+        freeAt_ = start + addLatency(dim);
+        return freeAt_;
+    }
+
+    void reset() { freeAt_ = 0; }
+    Tick freeAt() const { return freeAt_; }
+
+  private:
+    Tick period_;
+    unsigned lanes_;
+    Tick overhead_;
+    Tick freeAt_ = 0;
+};
+
+} // namespace fafnir::baselines
+
+#endif // FAFNIR_BASELINES_TIMING_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Two-Step SpMV baseline (the state-of-the-art NDP SpMV accelerator the
+ * paper compares against in Figure 14).
+ *
+ * Step 1 converts the random accesses of SpMV into regular streams: the
+ * matrix is processed in column chunks sized to the on-chip operand
+ * buffer, producing row-sorted intermediate runs. Step 2 is the design's
+ * centerpiece — a parallel binary-tree multi-way merge core that folds
+ * ALL runs in a single pass at stream rate. Relative to Fafnir: step 1 is
+ * slower (the decompression/multiply front-end does not keep up with the
+ * full stream rate), step 2 is faster (one optimized pass versus Fafnir's
+ * tree re-streaming per merge iteration), which is exactly the trade
+ * Figure 14 explores.
+ */
+
+#ifndef FAFNIR_BASELINES_TWO_STEP_HH
+#define FAFNIR_BASELINES_TWO_STEP_HH
+
+#include "common/types.hh"
+#include "dram/memsystem.hh"
+#include "sparse/fafnir_spmv.hh"
+#include "sparse/matrix.hh"
+
+namespace fafnir::baselines
+{
+
+/** Parameters of the Two-Step model. */
+struct TwoStepConfig
+{
+    /** Columns of the operand buffered on chip per step-1 run. */
+    unsigned chunkColumns = 1024;
+    /**
+     * Step-1 effective fraction of stream bandwidth (decompression and
+     * multiply front-end bound).
+     */
+    double multiplyRate = 0.35;
+    /** Step-2 merge throughput as a fraction of stream bandwidth. */
+    double mergeRate = 1.0;
+    unsigned valueBytes = 4;
+    unsigned indexBytes = 4;
+};
+
+/** Two-Step SpMV engine (functional + timed). */
+class TwoStepEngine
+{
+  public:
+    TwoStepEngine(dram::MemorySystem &memory,
+                  const TwoStepConfig &config = {})
+        : memory_(memory), config_(config)
+    {}
+
+    /** Compute y = A * x starting at @p start. */
+    sparse::DenseVector multiply(const sparse::LilMatrix &matrix,
+                                 const sparse::DenseVector &x, Tick start,
+                                 sparse::SpmvTiming &timing);
+
+    const TwoStepConfig &config() const { return config_; }
+
+  private:
+    dram::MemorySystem &memory_;
+    TwoStepConfig config_;
+};
+
+} // namespace fafnir::baselines
+
+#endif // FAFNIR_BASELINES_TWO_STEP_HH

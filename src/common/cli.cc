@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Implementation of the flag parser.
+ */
+
+#include "cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "logging.hh"
+
+namespace fafnir
+{
+
+void
+FlagParser::add(const std::string &name, Kind kind, void *target,
+                const std::string &help, std::string default_value)
+{
+    for (const auto &flag : flags_)
+        FAFNIR_ASSERT(flag.name != name, "duplicate flag --", name);
+    flags_.push_back({name, kind, target, help,
+                      std::move(default_value)});
+}
+
+void
+FlagParser::addUnsigned(const std::string &name, unsigned &value,
+                        const std::string &help)
+{
+    add(name, Kind::Unsigned, &value, help, std::to_string(value));
+}
+
+void
+FlagParser::addUint64(const std::string &name, std::uint64_t &value,
+                      const std::string &help)
+{
+    add(name, Kind::Uint64, &value, help, std::to_string(value));
+}
+
+void
+FlagParser::addDouble(const std::string &name, double &value,
+                      const std::string &help)
+{
+    add(name, Kind::Double, &value, help, std::to_string(value));
+}
+
+void
+FlagParser::addBool(const std::string &name, bool &value,
+                    const std::string &help)
+{
+    add(name, Kind::Bool, &value, help, value ? "true" : "false");
+}
+
+void
+FlagParser::addString(const std::string &name, std::string &value,
+                      const std::string &help)
+{
+    add(name, Kind::String, &value, help, value);
+}
+
+void
+FlagParser::assign(const Flag &flag, const std::string &text)
+{
+    try {
+        switch (flag.kind) {
+          case Kind::Unsigned:
+            *static_cast<unsigned *>(flag.target) =
+                static_cast<unsigned>(std::stoul(text));
+            break;
+          case Kind::Uint64:
+            *static_cast<std::uint64_t *>(flag.target) = std::stoull(text);
+            break;
+          case Kind::Double:
+            *static_cast<double *>(flag.target) = std::stod(text);
+            break;
+          case Kind::Bool:
+            if (text == "true" || text == "1") {
+                *static_cast<bool *>(flag.target) = true;
+            } else if (text == "false" || text == "0") {
+                *static_cast<bool *>(flag.target) = false;
+            } else {
+                FAFNIR_FATAL("--", flag.name, " expects true/false, got '",
+                             text, "'");
+            }
+            break;
+          case Kind::String:
+            *static_cast<std::string *>(flag.target) = text;
+            break;
+        }
+    } catch (const std::exception &) {
+        FAFNIR_FATAL("bad value for --", flag.name, ": '", text, "'");
+    }
+}
+
+void
+FlagParser::printHelpAndExit(const char *argv0) const
+{
+    std::printf("%s — %s\n\nflags:\n", argv0, summary_.c_str());
+    for (const auto &flag : flags_) {
+        std::printf("  --%-16s %s (default: %s)\n", flag.name.c_str(),
+                    flag.help.c_str(), flag.defaultValue.c_str());
+    }
+    std::exit(0);
+}
+
+void
+FlagParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            printHelpAndExit(argv[0]);
+        FAFNIR_ASSERT(arg.rfind("--", 0) == 0, "expected --flag, got '",
+                      arg, "'");
+        arg = arg.substr(2);
+
+        std::string name;
+        std::string value;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            FAFNIR_ASSERT(i + 1 < argc, "--", name, " needs a value");
+            value = argv[++i];
+        }
+
+        bool matched = false;
+        for (const auto &flag : flags_) {
+            if (flag.name == name) {
+                assign(flag, value);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            FAFNIR_FATAL("unknown flag --", name, " (see --help)");
+    }
+}
+
+} // namespace fafnir

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the bench harnesses.
+ *
+ * Flags use the form `--name=value` (or `--name value`). Unknown flags
+ * are fatal so typos never silently fall back to defaults; `--help`
+ * prints the registered flags and exits.
+ */
+
+#ifndef FAFNIR_COMMON_CLI_HH
+#define FAFNIR_COMMON_CLI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fafnir
+{
+
+/** Registry of typed flags bound to caller-owned variables. */
+class FlagParser
+{
+  public:
+    explicit FlagParser(std::string program_summary)
+        : summary_(std::move(program_summary))
+    {}
+
+    /** Register flags before parse(). */
+    void addUnsigned(const std::string &name, unsigned &value,
+                     const std::string &help);
+    void addUint64(const std::string &name, std::uint64_t &value,
+                   const std::string &help);
+    void addDouble(const std::string &name, double &value,
+                   const std::string &help);
+    void addBool(const std::string &name, bool &value,
+                 const std::string &help);
+    void addString(const std::string &name, std::string &value,
+                   const std::string &help);
+
+    /**
+     * Parse argv. Exits with code 0 on --help; faults on unknown flags
+     * or malformed values.
+     */
+    void parse(int argc, char **argv);
+
+  private:
+    enum class Kind
+    {
+        Unsigned,
+        Uint64,
+        Double,
+        Bool,
+        String,
+    };
+
+    struct Flag
+    {
+        std::string name;
+        Kind kind;
+        void *target;
+        std::string help;
+        std::string defaultValue;
+    };
+
+    void add(const std::string &name, Kind kind, void *target,
+             const std::string &help, std::string default_value);
+    void assign(const Flag &flag, const std::string &text);
+    [[noreturn]] void printHelpAndExit(const char *argv0) const;
+
+    std::string summary_;
+    std::vector<Flag> flags_;
+};
+
+} // namespace fafnir
+
+#endif // FAFNIR_COMMON_CLI_HH

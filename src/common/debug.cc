@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Implementation of the debug-flag registry.
+ */
+
+#include "debug.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace fafnir
+{
+
+DebugFlags &
+DebugFlags::instance()
+{
+    static DebugFlags flags;
+    return flags;
+}
+
+DebugFlags::DebugFlags()
+{
+    if (const char *env = std::getenv("FAFNIR_DEBUG"))
+        enableFromString(env);
+}
+
+void
+DebugFlags::enableFromString(const std::string &list)
+{
+    std::istringstream stream(list);
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+        if (name.empty())
+            continue;
+        if (name == "dram") {
+            enable(DebugFlag::Dram);
+        } else if (name == "tree") {
+            enable(DebugFlag::Tree);
+        } else if (name == "host") {
+            enable(DebugFlag::Host);
+        } else if (name == "spmv") {
+            enable(DebugFlag::Spmv);
+        } else if (name == "controller") {
+            enable(DebugFlag::Controller);
+        } else {
+            FAFNIR_FATAL("unknown debug flag '", name,
+                         "' (known: dram, tree, host, spmv, controller)");
+        }
+    }
+}
+
+} // namespace fafnir

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Category-gated debug tracing (the gem5 DPRINTF idiom).
+ *
+ * FAFNIR_DPRINTF(Category, ...) prints "cycle-by-cycle" diagnostics when
+ * the category is enabled at runtime (DebugFlags::enable or the
+ * FAFNIR_DEBUG environment variable, comma-separated). Disabled
+ * categories cost one branch; message formatting is never evaluated.
+ */
+
+#ifndef FAFNIR_COMMON_DEBUG_HH
+#define FAFNIR_COMMON_DEBUG_HH
+
+#include <cstdio>
+#include <string>
+
+#include "logging.hh"
+
+namespace fafnir
+{
+
+/** Trace categories (a bitmask). */
+enum class DebugFlag : unsigned
+{
+    Dram = 1u << 0,
+    Tree = 1u << 1,
+    Host = 1u << 2,
+    Spmv = 1u << 3,
+    Controller = 1u << 4,
+};
+
+/** Runtime debug-flag registry. */
+class DebugFlags
+{
+  public:
+    static DebugFlags &instance();
+
+    void enable(DebugFlag flag) { mask_ |= static_cast<unsigned>(flag); }
+    void disable(DebugFlag flag)
+    {
+        mask_ &= ~static_cast<unsigned>(flag);
+    }
+    void clear() { mask_ = 0; }
+
+    bool
+    enabled(DebugFlag flag) const
+    {
+        return (mask_ & static_cast<unsigned>(flag)) != 0;
+    }
+
+    /** Parse a comma-separated list ("dram,tree"); unknown names fatal. */
+    void enableFromString(const std::string &list);
+
+  private:
+    DebugFlags();
+
+    unsigned mask_ = 0;
+};
+
+} // namespace fafnir
+
+/** Emit a trace line when @p flag is enabled. */
+#define FAFNIR_DPRINTF(flag, ...)                                          \
+    do {                                                                   \
+        if (::fafnir::DebugFlags::instance().enabled(                      \
+                ::fafnir::DebugFlag::flag)) {                              \
+            std::fprintf(stderr, "%s: %s\n", #flag,                        \
+                         ::fafnir::detail::format(__VA_ARGS__).c_str());   \
+        }                                                                  \
+    } while (0)
+
+#endif // FAFNIR_COMMON_DEBUG_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of the process-wide logger.
+ */
+
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace fafnir
+{
+
+namespace
+{
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic:
+        return "panic";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Inform:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string &message, const char *file,
+            int line)
+{
+    const bool is_error =
+        level == LogLevel::Panic || level == LogLevel::Fatal;
+    if (!is_error && static_cast<int>(level) > static_cast<int>(threshold_))
+        return;
+
+    if (is_error) {
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level),
+                     message.c_str(), file, line);
+    } else {
+        std::fprintf(stderr, "%s: %s\n", levelName(level), message.c_str());
+    }
+    std::fflush(stderr);
+    // Termination for panic/fatal happens in the macro so the compiler can
+    // see the [[noreturn]] control flow at the call site.
+}
+
+} // namespace fafnir

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug); aborts.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   — something may work but not as well as it should.
+ * inform() — normal status output.
+ */
+
+#ifndef FAFNIR_COMMON_LOGGING_HH
+#define FAFNIR_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fafnir
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Panic,
+    Fatal,
+    Warn,
+    Inform,
+    Debug,
+};
+
+/**
+ * Global log verbosity control. Messages below the threshold are dropped.
+ */
+class Logger
+{
+  public:
+    /** Returns the process-wide logger. */
+    static Logger &instance();
+
+    /** Emit a message at the given level; panic/fatal do not return. */
+    [[gnu::cold]] void log(LogLevel level, const std::string &message,
+                           const char *file, int line);
+
+    /** Set the minimum level that is printed (default: Inform). */
+    void setThreshold(LogLevel level) { threshold_ = level; }
+    LogLevel threshold() const { return threshold_; }
+
+    /**
+     * Abort instead of exit on fatal() — useful under death tests.
+     * Panic always aborts.
+     */
+    void setAbortOnFatal(bool abort_on_fatal)
+    {
+        abortOnFatal_ = abort_on_fatal;
+    }
+
+  private:
+    Logger() = default;
+
+    LogLevel threshold_ = LogLevel::Inform;
+    bool abortOnFatal_ = false;
+};
+
+namespace detail
+{
+
+/** Build a message from stream-formattable parts. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace fafnir
+
+/** Report an unrecoverable internal error and abort. */
+#define FAFNIR_PANIC(...)                                                   \
+    do {                                                                    \
+        ::fafnir::Logger::instance().log(                                   \
+            ::fafnir::LogLevel::Panic,                                      \
+            ::fafnir::detail::format(__VA_ARGS__), __FILE__, __LINE__);    \
+        ::std::abort();                                                     \
+    } while (0)
+
+/** Report an unrecoverable user error and exit. */
+#define FAFNIR_FATAL(...)                                                   \
+    do {                                                                    \
+        ::fafnir::Logger::instance().log(                                   \
+            ::fafnir::LogLevel::Fatal,                                      \
+            ::fafnir::detail::format(__VA_ARGS__), __FILE__, __LINE__);    \
+        ::std::abort();                                                     \
+    } while (0)
+
+/** Report a suspicious-but-survivable condition. */
+#define FAFNIR_WARN(...)                                                    \
+    ::fafnir::Logger::instance().log(                                       \
+        ::fafnir::LogLevel::Warn,                                           \
+        ::fafnir::detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Report normal operating status. */
+#define FAFNIR_INFORM(...)                                                  \
+    ::fafnir::Logger::instance().log(                                       \
+        ::fafnir::LogLevel::Inform,                                         \
+        ::fafnir::detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Panic when @p cond is false. Cheap enough to keep in release builds. */
+#define FAFNIR_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            FAFNIR_PANIC("assertion failed: " #cond " ",                    \
+                         ::fafnir::detail::format("" __VA_ARGS__));         \
+        }                                                                   \
+    } while (0)
+
+#endif // FAFNIR_COMMON_LOGGING_HH

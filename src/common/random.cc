@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Implementation of the RNG and the Zipfian sampler.
+ */
+
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace fafnir
+{
+
+namespace
+{
+
+/** splitmix64 — used only to expand the user seed into xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+double
+zeta(std::uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : state_)
+        word = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    FAFNIR_ASSERT(bound != 0, "nextBelow(0)");
+    // Lemire's nearly-divisionless bounded sampling would be overkill here;
+    // 128-bit multiply-shift keeps bias below 2^-64.
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    FAFNIR_ASSERT(lo <= hi, "nextRange lo > hi");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double skew)
+    : n_(n), skew_(skew)
+{
+    FAFNIR_ASSERT(n_ > 0, "Zipfian population must be nonzero");
+    FAFNIR_ASSERT(skew_ >= 0.0, "Zipfian skew must be non-negative");
+    theta_ = skew_;
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = (theta_ == 1.0) ? 0.0 : 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t
+ZipfianGenerator::sample(Rng &rng) const
+{
+    if (skew_ == 0.0)
+        return rng.nextBelow(n_);
+
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+
+    double rank;
+    if (theta_ == 1.0) {
+        // Harmonic case: invert the continuous approximation directly.
+        rank = std::exp(u * std::log(static_cast<double>(n_)));
+    } else {
+        rank = static_cast<double>(n_) *
+               std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    }
+    auto item = static_cast<std::uint64_t>(rank);
+    return item >= n_ ? n_ - 1 : item;
+}
+
+} // namespace fafnir

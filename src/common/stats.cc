@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Implementation of the statistics package.
+ */
+
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace fafnir
+{
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+StatGroup::addCounter(const std::string &stat, const Counter &counter,
+                      const std::string &desc)
+{
+    entries_.push_back({stat,
+                        [&counter] { return std::to_string(counter.value()); },
+                        desc});
+}
+
+void
+StatGroup::addDistribution(const std::string &stat, const Distribution &dist,
+                           const std::string &desc)
+{
+    entries_.push_back(
+        {stat,
+         [&dist] {
+             std::ostringstream os;
+             os << std::fixed << std::setprecision(2) << dist.mean()
+                << " (n=" << dist.count() << ", min=" << dist.min()
+                << ", max=" << dist.max() << ")";
+             return os.str();
+         },
+         desc});
+}
+
+void
+StatGroup::addFormula(const std::string &stat, std::function<double()> fn,
+                      const std::string &desc)
+{
+    entries_.push_back({stat,
+                        [fn = std::move(fn)] {
+                            std::ostringstream os;
+                            os << std::fixed << std::setprecision(4) << fn();
+                            return os.str();
+                        },
+                        desc});
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &entry : entries_) {
+        os << name_ << '.' << entry.name << ' ' << entry.render();
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << '\n';
+    }
+}
+
+} // namespace fafnir

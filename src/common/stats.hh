@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Every model component owns named counters/scalars registered into a
+ * StatGroup; benches and examples dump groups as aligned text. This is a
+ * deliberately small subset of gem5's stats framework: scalar counters,
+ * averages, histograms, and formulas evaluated at dump time.
+ */
+
+#ifndef FAFNIR_COMMON_STATS_HH
+#define FAFNIR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fafnir
+{
+
+/** A named monotonic counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean/min/max over a stream of samples. */
+class Distribution
+{
+  public:
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A group of named statistics belonging to one component. Values are
+ * registered by reference; the group never owns them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &stat, const Counter &counter,
+                    const std::string &desc = "");
+    void addDistribution(const std::string &stat, const Distribution &dist,
+                         const std::string &desc = "");
+    /** A value computed at dump time from other stats. */
+    void addFormula(const std::string &stat, std::function<double()> fn,
+                    const std::string &desc = "");
+
+    /** Write "group.stat value # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::function<std::string()> render;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::vector<Entry> entries_;
+};
+
+} // namespace fafnir
+
+#endif // FAFNIR_COMMON_STATS_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Implementation of the ASCII table printer.
+ */
+
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace fafnir
+{
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    FAFNIR_ASSERT(rows_.empty(), "setHeader after rows were added");
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    FAFNIR_ASSERT(header_.empty() || row.size() == header_.size(),
+                  "row width ", row.size(), " != header width ",
+                  header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double value, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        widths.resize(std::max(widths.size(), row.size()), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "| ";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]))
+               << cell << " | ";
+        }
+        os << '\n';
+    };
+
+    std::size_t total = 4;
+    for (auto w : widths)
+        total += w + 3;
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        print_row(header_);
+        os << std::string(total - 4, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        print_row(row);
+    os.flush();
+}
+
+} // namespace fafnir

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Aligned ASCII table printer used by the benchmark harnesses to emit the
+ * rows/series of the paper's tables and figures.
+ */
+
+#ifndef FAFNIR_COMMON_TABLE_HH
+#define FAFNIR_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace fafnir
+{
+
+/** Column-aligned text table with a header row and optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Define the column headers; must be called before addRow(). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; cell count must match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format heterogeneous cells. */
+    template <typename... Cells>
+    void
+    row(Cells &&...cells)
+    {
+        addRow({toCell(std::forward<Cells>(cells))...});
+    }
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format a number with @p digits fractional digits. */
+    static std::string num(double value, int digits = 2);
+
+  private:
+    static std::string toCell(const std::string &s) { return s; }
+    static std::string toCell(const char *s) { return s; }
+    static std::string toCell(double v) { return num(v); }
+    static std::string toCell(float v) { return num(v); }
+
+    template <typename T>
+        requires std::is_integral_v<T>
+    static std::string
+    toCell(T v)
+    {
+        return std::to_string(v);
+    }
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fafnir
+
+#endif // FAFNIR_COMMON_TABLE_HH

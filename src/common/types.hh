@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef FAFNIR_COMMON_TYPES_HH
+#define FAFNIR_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace fafnir
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock edges of some clocked object. */
+using Cycles = std::uint64_t;
+
+/** Physical memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** Identifier of an embedding vector: (table, row) flattened by the host. */
+using IndexId = std::uint32_t;
+
+/** Identifier of a query within a batch. */
+using QueryId = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+inline constexpr Tick MaxTick = ~Tick(0);
+
+/** Picoseconds per common time units. */
+inline constexpr Tick kTicksPerNs = 1000;
+inline constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+inline constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+inline constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert a frequency in MHz to a clock period in ticks (ps). */
+constexpr Tick
+periodFromMhz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz);
+}
+
+} // namespace fafnir
+
+#endif // FAFNIR_COMMON_TYPES_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DRAM command logging and protocol checking.
+ *
+ * The timing model is a resource calculator; this pair of tools makes
+ * its behavior auditable. A CommandLog attached to a MemorySystem
+ * records every ACT/RD/PRE/REF with its issue tick; checkProtocol() then
+ * replays the per-bank state machines and independently verifies the
+ * JEDEC-style constraints (tRCD, tRAS, tRP, tRRD, tFAW, open-row
+ * discipline). The checker shares no code with the calculator, so a bug
+ * in either shows up as a reported violation — this is how the DRAM
+ * model is property-tested.
+ */
+
+#ifndef FAFNIR_DRAM_CMDLOG_HH
+#define FAFNIR_DRAM_CMDLOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/config.hh"
+#include "dram/timing.hh"
+
+namespace fafnir::dram
+{
+
+/** DRAM bus command kinds. */
+enum class DramCommand
+{
+    Act,
+    Read,
+    Pre,
+    Refresh,
+};
+
+const char *toString(DramCommand command);
+
+/** One logged command. */
+struct CommandRecord
+{
+    Tick at = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    DramCommand command = DramCommand::Act;
+};
+
+/** Append-only command log. */
+class CommandLog
+{
+  public:
+    void
+    record(Tick at, unsigned rank, unsigned bank, std::uint64_t row,
+           DramCommand command)
+    {
+        records_.push_back({at, rank, bank, row, command});
+    }
+
+    const std::vector<CommandRecord> &records() const { return records_; }
+    void clear() { records_.clear(); }
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<CommandRecord> records_;
+};
+
+/** One detected protocol violation. */
+struct ProtocolViolation
+{
+    CommandRecord offender;
+    std::string rule;
+};
+
+/**
+ * Independently re-check @p log against @p timing. Commands are sorted
+ * per rank by time before checking (the calculator computes ranks out of
+ * call order).
+ */
+std::vector<ProtocolViolation>
+checkProtocol(const CommandLog &log, const Timing &timing,
+              const Geometry &geometry);
+
+} // namespace fafnir::dram
+
+#endif // FAFNIR_DRAM_CMDLOG_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * DRAM system geometry.
+ *
+ * The paper's target system (Figure 4a) is a four-channel DDR4 memory with
+ * four DIMMs per channel and two ranks per DIMM — 32 ranks total. The
+ * geometry here is fully parameterized so the scalability experiments
+ * (Figure 12 sweeps ranks from 2 to 32) reuse the same model.
+ */
+
+#ifndef FAFNIR_DRAM_CONFIG_HH
+#define FAFNIR_DRAM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fafnir::dram
+{
+
+/** Physical organization of the memory system. */
+struct Geometry
+{
+    unsigned channels = 4;
+    unsigned dimmsPerChannel = 4;
+    unsigned ranksPerDimm = 2;
+    unsigned banksPerRank = 16;
+    /** DDR4 bank groups per rank: back-to-back column commands to
+     *  different groups pace at tCCD_S, same group at tCCD_L. */
+    unsigned bankGroups = 4;
+    /** Row-buffer (page) size per rank in bytes (8 chips x 1 KB page). */
+    unsigned rowBytes = 8192;
+    /** Bytes moved by one burst (BL8 on a 64-bit rank interface). */
+    unsigned burstBytes = 64;
+    /** Rows per bank. */
+    std::uint64_t rowsPerBank = 1ULL << 16;
+
+    unsigned
+    ranksPerChannel() const
+    {
+        return dimmsPerChannel * ranksPerDimm;
+    }
+
+    unsigned totalDimms() const { return channels * dimmsPerChannel; }
+    unsigned totalRanks() const { return channels * ranksPerChannel(); }
+
+    std::uint64_t
+    bytesPerRank() const
+    {
+        return static_cast<std::uint64_t>(banksPerRank) * rowsPerBank *
+               rowBytes;
+    }
+
+    std::uint64_t
+    capacityBytes() const
+    {
+        return bytesPerRank() * totalRanks();
+    }
+
+    /** Validate invariants the address mapper depends on. */
+    void
+    check() const
+    {
+        FAFNIR_ASSERT(channels > 0 && dimmsPerChannel > 0 &&
+                          ranksPerDimm > 0 && banksPerRank > 0,
+                      "empty geometry");
+        FAFNIR_ASSERT(isPowerOf2(channels), "channels must be a power of 2");
+        FAFNIR_ASSERT(isPowerOf2(ranksPerChannel()),
+                      "ranks/channel must be a power of 2");
+        FAFNIR_ASSERT(isPowerOf2(banksPerRank),
+                      "banks must be a power of 2");
+        FAFNIR_ASSERT(bankGroups > 0 && banksPerRank % bankGroups == 0,
+                      "banks must divide evenly into groups");
+        FAFNIR_ASSERT(isPowerOf2(rowBytes) && isPowerOf2(burstBytes),
+                      "row/burst sizes must be powers of 2");
+        FAFNIR_ASSERT(rowBytes % burstBytes == 0,
+                      "row must hold whole bursts");
+    }
+
+    /**
+     * HBM2 organization for the Section VIII future-work integration:
+     * 32 pseudo channels (two 16-PC stacks), each modelled as a
+     * single-rank "channel" with a 1 KB page and 32 B bursts. The tree's
+     * leaves attach to pseudo channels instead of ranks; everything else
+     * is unchanged.
+     */
+    static Geometry
+    hbm2()
+    {
+        Geometry g;
+        g.channels = 32;
+        g.dimmsPerChannel = 1;
+        g.ranksPerDimm = 1;
+        g.banksPerRank = 16;
+        g.rowBytes = 1024;
+        g.burstBytes = 32;
+        // Sized so the same 16 GB embedding space used on the DDR4
+        // system also fits the pseudo-channel address map.
+        g.rowsPerBank = 1ull << 16;
+        return g;
+    }
+
+    /**
+     * A geometry with @p total_ranks ranks that keeps two ranks per DIMM
+     * and at most four channels — the shape used by the rank-scaling sweep
+     * in Figure 12.
+     */
+    static Geometry
+    withTotalRanks(unsigned total_ranks)
+    {
+        FAFNIR_ASSERT(isPowerOf2(total_ranks) && total_ranks >= 1,
+                      "rank count must be a power of two");
+        Geometry g;
+        if (total_ranks == 1) {
+            g.channels = 1;
+            g.dimmsPerChannel = 1;
+            g.ranksPerDimm = 1;
+            return g;
+        }
+        g.ranksPerDimm = 2;
+        const unsigned dimms = total_ranks / 2;
+        g.channels = dimms >= 4 ? 4 : dimms;
+        g.dimmsPerChannel = dimms / g.channels;
+        if (g.dimmsPerChannel == 0)
+            g.dimmsPerChannel = 1;
+        FAFNIR_ASSERT(g.totalRanks() == total_ranks,
+                      "cannot realize rank count ", total_ranks);
+        return g;
+    }
+};
+
+} // namespace fafnir::dram
+
+#endif // FAFNIR_DRAM_CONFIG_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Implementation of the queued memory controller.
+ */
+
+#include "controller.hh"
+
+#include <algorithm>
+
+#include "common/debug.hh"
+
+namespace fafnir::dram
+{
+
+Controller::Controller(MemorySystem &memory, SchedulingPolicy policy,
+                       Tick age_cap_ticks)
+    : memory_(memory), policy_(policy), ageCap_(age_cap_ticks)
+{
+    queues_.resize(memory_.geometry().totalRanks());
+}
+
+void
+Controller::enqueue(Addr addr, unsigned bytes, Tick when,
+                    Destination dest, Callback on_complete)
+{
+    const Coordinates coords = memory_.mapper().decode(addr);
+    const unsigned rank = coords.globalRank(memory_.geometry());
+    RankQueue &queue = queues_[rank];
+
+    queue.requests.push_back({addr, bytes, dest, when, sequence_++,
+                              std::move(on_complete)});
+    ++pending_;
+
+    if (!queue.draining) {
+        queue.draining = true;
+        EventQueue &eq = memory_.eventq();
+        eq.scheduleFn(std::max(when, eq.now()),
+                      [this, rank] { drain(rank); });
+    }
+}
+
+std::size_t
+Controller::pickNext(const RankQueue &queue, unsigned rank,
+                     Tick now) const
+{
+    // Consider only requests that have arrived.
+    std::size_t oldest = queue.requests.size();
+    for (std::size_t i = 0; i < queue.requests.size(); ++i) {
+        const Request &r = queue.requests[i];
+        if (r.arrival > now)
+            continue;
+        if (oldest == queue.requests.size() ||
+            r.sequence < queue.requests[oldest].sequence) {
+            oldest = i;
+        }
+    }
+    if (oldest == queue.requests.size())
+        return oldest; // nothing arrived yet
+
+    if (policy_ == SchedulingPolicy::Fcfs)
+        return oldest;
+
+    // FR-FCFS with an age cap: the oldest request wins outright once it
+    // has waited too long.
+    if (ageCap_ > 0 &&
+        now - queue.requests[oldest].arrival > ageCap_) {
+        return oldest;
+    }
+
+    std::size_t best_hit = queue.requests.size();
+    for (std::size_t i = 0; i < queue.requests.size(); ++i) {
+        const Request &r = queue.requests[i];
+        if (r.arrival > now)
+            continue;
+        const Coordinates c = memory_.mapper().decode(r.addr);
+        if (memory_.openRow(rank, c.bank) !=
+            static_cast<std::int64_t>(c.row)) {
+            continue;
+        }
+        if (best_hit == queue.requests.size() ||
+            r.sequence < queue.requests[best_hit].sequence) {
+            best_hit = i;
+        }
+    }
+    return best_hit != queue.requests.size() ? best_hit : oldest;
+}
+
+void
+Controller::drain(unsigned rank)
+{
+    RankQueue &queue = queues_[rank];
+    EventQueue &eq = memory_.eventq();
+    const Tick now = eq.now();
+
+    if (queue.requests.empty()) {
+        queue.draining = false;
+        return;
+    }
+
+    const std::size_t pick = pickNext(queue, rank, now);
+    if (pick == queue.requests.size()) {
+        // Nothing has arrived yet; wake at the earliest arrival.
+        Tick earliest = MaxTick;
+        for (const Request &r : queue.requests)
+            earliest = std::min(earliest, r.arrival);
+        eq.scheduleFn(earliest, [this, rank] { drain(rank); });
+        return;
+    }
+
+    // Out-of-order issue if any arrived request is older than the pick.
+    const Request picked = std::move(queue.requests[pick]);
+    for (const Request &r : queue.requests) {
+        if (r.arrival <= now && r.sequence < picked.sequence) {
+            ++reordered_;
+            break;
+        }
+    }
+    queue.requests.erase(queue.requests.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+
+    const Tick issue_at = std::max(now, queue.nextIssue);
+    const AccessResult result =
+        memory_.read(picked.addr, picked.bytes, issue_at, picked.dest);
+    FAFNIR_DPRINTF(Controller, "rank ", rank, " issued 0x", std::hex,
+                   picked.addr, std::dec, " at ", issue_at,
+                   " complete ", result.complete, " (",
+                   result.rowHits ? "hit" : "miss", ")");
+    // The next command can go out once this one's data window starts.
+    queue.nextIssue = result.firstData;
+    ++issued_;
+    --pending_;
+
+    if (picked.onComplete) {
+        eq.scheduleFn(result.complete,
+                      [cb = std::move(picked.onComplete), result] {
+                          cb(result.complete, result);
+                      },
+                      Event::DramPriority);
+    }
+
+    if (queue.requests.empty()) {
+        queue.draining = false;
+    } else {
+        eq.scheduleFn(std::max(now, queue.nextIssue),
+                      [this, rank] { drain(rank); });
+    }
+}
+
+void
+Controller::registerStats(StatGroup &group) const
+{
+    group.addCounter("issued", issued_, "requests issued to DRAM");
+    group.addCounter("reordered", reordered_,
+                     "issues that bypassed an older request");
+}
+
+} // namespace fafnir::dram

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * DDR4 timing parameters.
+ *
+ * All values are stored in ticks (picoseconds). The presets follow JEDEC
+ * DDR4 speed grades; DDR4-2400 (CL17) is the default used throughout the
+ * evaluation, matching the DDR4 system the paper targets.
+ */
+
+#ifndef FAFNIR_DRAM_TIMING_HH
+#define FAFNIR_DRAM_TIMING_HH
+
+#include "common/types.hh"
+
+namespace fafnir::dram
+{
+
+/** JEDEC-style timing set for one speed grade. */
+struct Timing
+{
+    /** Command/address clock period. */
+    Tick tCK;
+    /** ACT to internal read/write (RAS-to-CAS delay). */
+    Tick tRCD;
+    /** Read CAS latency. */
+    Tick tCL;
+    /** Precharge period. */
+    Tick tRP;
+    /** ACT to PRE minimum. */
+    Tick tRAS;
+    /** Data-bus occupancy of one BL8 burst (4 clocks, DDR). */
+    Tick tBurst;
+    /** Column-to-column delay, same bank group (tCCD_L). */
+    Tick tCCD;
+    /** Column-to-column delay, different bank groups (tCCD_S). */
+    Tick tCCDS;
+    /** ACT-to-ACT delay, same rank. */
+    Tick tRRD;
+    /** Four-activate window, same rank. */
+    Tick tFAW;
+    /** Read-to-precharge. */
+    Tick tRTP;
+    /** Rank-to-rank data-bus turnaround. */
+    Tick tRTR;
+    /** Average refresh interval (0 disables refresh). */
+    Tick tREFI = 0;
+    /** Refresh cycle time (rank blocked). */
+    Tick tRFC = 0;
+
+    /** ACT-to-ACT to the same bank (row cycle). */
+    Tick tRC() const { return tRAS + tRP; }
+
+    /** DDR4-2400 CL17 (1.2 GHz command clock, 2400 MT/s). */
+    static Timing
+    ddr4_2400()
+    {
+        Timing t{};
+        t.tCK = 833;                 // 0.833 ns
+        t.tRCD = 17 * t.tCK;         // 14.16 ns
+        t.tCL = 17 * t.tCK;
+        t.tRP = 17 * t.tCK;
+        t.tRAS = 39 * t.tCK;         // 32 ns
+        t.tBurst = 4 * t.tCK;        // BL8, double data rate
+        t.tCCD = 6 * t.tCK;          // tCCD_L
+        t.tCCDS = 4 * t.tCK;         // tCCD_S
+        t.tRRD = 6 * t.tCK;          // tRRD_L
+        t.tFAW = 26 * t.tCK;         // ~21 ns
+        t.tRTP = 9 * t.tCK;
+        t.tRTR = 2 * t.tCK;
+        t.tREFI = 7800 * kTicksPerNs; // 7.8 us
+        t.tRFC = 350 * kTicksPerNs;   // 8 Gb device class
+        return t;
+    }
+
+    /** DDR4-3200 CL22. */
+    static Timing
+    ddr4_3200()
+    {
+        Timing t{};
+        t.tCK = 625;
+        t.tRCD = 22 * t.tCK;
+        t.tCL = 22 * t.tCK;
+        t.tRP = 22 * t.tCK;
+        t.tRAS = 52 * t.tCK;
+        t.tBurst = 4 * t.tCK;
+        t.tCCD = 8 * t.tCK;
+        t.tCCDS = 4 * t.tCK;
+        t.tRRD = 8 * t.tCK;
+        t.tFAW = 34 * t.tCK;
+        t.tRTP = 12 * t.tCK;
+        t.tRTR = 2 * t.tCK;
+        t.tREFI = 7800 * kTicksPerNs;
+        t.tRFC = 350 * kTicksPerNs;
+        return t;
+    }
+
+    /**
+     * HBM2 pseudo-channel timing (2 Gb/s pins, 64-bit pseudo-channel,
+     * BL4 -> 32 B bursts). Used for the paper's Section VIII future-work
+     * integration: leaf PEs attached to 32 pseudo channels.
+     */
+    static Timing
+    hbm2()
+    {
+        Timing t{};
+        t.tCK = 1000;                // 1 ns
+        t.tRCD = 14 * t.tCK;
+        t.tCL = 14 * t.tCK;
+        t.tRP = 14 * t.tCK;
+        t.tRAS = 33 * t.tCK;
+        t.tBurst = 2 * t.tCK;        // BL4, double data rate
+        t.tCCD = 2 * t.tCK;
+        t.tCCDS = 2 * t.tCK;
+        t.tRRD = 4 * t.tCK;
+        t.tFAW = 16 * t.tCK;
+        t.tRTP = 6 * t.tCK;
+        t.tRTR = 1 * t.tCK;
+        t.tREFI = 3900 * kTicksPerNs; // per-pseudo-channel refresh
+        t.tRFC = 260 * kTicksPerNs;
+        return t;
+    }
+
+    /** Idealized zero-latency memory for functional tests. */
+    static Timing
+    ideal()
+    {
+        Timing t{};
+        t.tCK = 1;
+        t.tBurst = 1;
+        t.tRTR = 0;
+        t.tRCD = t.tCL = t.tRP = t.tRAS = 0;
+        t.tCCD = t.tCCDS = t.tRRD = t.tFAW = t.tRTP = 0;
+        return t;
+    }
+};
+
+} // namespace fafnir::dram
+
+#endif // FAFNIR_DRAM_TIMING_HH

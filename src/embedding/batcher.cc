@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Implementation of the batch composer.
+ */
+
+#include "batcher.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace fafnir::embedding
+{
+
+double
+ComposedBatches::meanUniqueFraction() const
+{
+    if (batches.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (const auto &batch : batches)
+        sum += batch.uniqueFraction();
+    return sum / static_cast<double>(batches.size());
+}
+
+namespace
+{
+
+/** Pack picked queries into a dense-id batch. */
+void
+emit(ComposedBatches &out, const std::vector<Query> &queries,
+     std::vector<std::size_t> picked)
+{
+    Batch batch;
+    std::vector<std::size_t> origin;
+    batch.queries.reserve(picked.size());
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+        Query q = queries[picked[i]];
+        q.id = static_cast<QueryId>(i);
+        batch.queries.push_back(std::move(q));
+        origin.push_back(picked[i]);
+    }
+    batch.check();
+    out.batches.push_back(std::move(batch));
+    out.originalIndex.push_back(std::move(origin));
+}
+
+} // namespace
+
+ComposedBatches
+composeBatches(const std::vector<Query> &queries,
+               const BatcherConfig &config)
+{
+    FAFNIR_ASSERT(config.batchSize > 0, "batch size must be positive");
+    ComposedBatches out;
+    if (queries.empty())
+        return out;
+
+    if (config.policy == BatchPolicy::Fifo) {
+        for (std::size_t first = 0; first < queries.size();
+             first += config.batchSize) {
+            const std::size_t last = std::min(
+                queries.size(), first + config.batchSize);
+            std::vector<std::size_t> picked;
+            for (std::size_t i = first; i < last; ++i)
+                picked.push_back(i);
+            emit(out, queries, std::move(picked));
+        }
+        return out;
+    }
+
+    // Similarity: within a sliding window, seed each batch with the
+    // oldest pending query (bounding its delay), then greedily add the
+    // window query with the largest index overlap against the batch's
+    // accumulated index set.
+    std::vector<bool> used(queries.size(), false);
+    std::size_t oldest = 0;
+    std::size_t remaining = queries.size();
+    while (remaining > 0) {
+        while (oldest < queries.size() && used[oldest])
+            ++oldest;
+        const std::size_t window_end =
+            std::min(queries.size(), oldest + config.windowSize);
+
+        std::vector<std::size_t> picked{oldest};
+        used[oldest] = true;
+        --remaining;
+
+        std::unordered_set<IndexId> batch_set(
+            queries[oldest].indices.begin(),
+            queries[oldest].indices.end());
+
+        while (picked.size() < config.batchSize && remaining > 0) {
+            std::size_t best = queries.size();
+            std::size_t best_overlap = 0;
+            for (std::size_t i = oldest + 1; i < window_end; ++i) {
+                if (used[i])
+                    continue;
+                std::size_t score = 0;
+                for (IndexId index : queries[i].indices)
+                    score += batch_set.count(index);
+                if (best == queries.size() || score > best_overlap) {
+                    best = i;
+                    best_overlap = score;
+                }
+            }
+            if (best == queries.size())
+                break; // window exhausted
+            used[best] = true;
+            --remaining;
+            picked.push_back(best);
+            batch_set.insert(queries[best].indices.begin(),
+                             queries[best].indices.end());
+        }
+        emit(out, queries, std::move(picked));
+    }
+    return out;
+}
+
+} // namespace fafnir::embedding

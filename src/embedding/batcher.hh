@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Host-side batch composition.
+ *
+ * Fafnir reads each unique index of a batch once, so WHICH queries share
+ * a batch determines how many reads a batch costs: grouping queries with
+ * overlapping indices raises sharing, grouping strangers wastes it. The
+ * SimilarityBatcher composes batches from a window of pending queries by
+ * greedy index-overlap affinity — a purely host-software optimization
+ * the unique-index mechanism (Section IV-C) makes profitable, compared
+ * against plain FIFO batching in `ablation_batching`.
+ */
+
+#ifndef FAFNIR_EMBEDDING_BATCHER_HH
+#define FAFNIR_EMBEDDING_BATCHER_HH
+
+#include <vector>
+
+#include "embedding/query.hh"
+
+namespace fafnir::embedding
+{
+
+/** Batch-composition policy. */
+enum class BatchPolicy
+{
+    /** Arrival order, chunks of batchSize. */
+    Fifo,
+    /** Greedy index-overlap grouping within a bounded window. */
+    Similarity,
+};
+
+/** Composer configuration. */
+struct BatcherConfig
+{
+    unsigned batchSize = 32;
+    /**
+     * Queries considered at once under Similarity. Larger windows find
+     * more sharing but delay early arrivals (head-of-line cost).
+     */
+    unsigned windowSize = 256;
+    BatchPolicy policy = BatchPolicy::Similarity;
+};
+
+/**
+ * Compose @p queries (arrival order) into batches under @p config.
+ * Query ids are renumbered densely within each output batch; the
+ * returned order vector maps (batch, position) back to the input
+ * position for callers that must restore request identity.
+ */
+struct ComposedBatches
+{
+    std::vector<Batch> batches;
+    /** originalIndex[b][i] = input position of batch b's query i. */
+    std::vector<std::vector<std::size_t>> originalIndex;
+
+    /** Mean unique-index fraction over the composed batches. */
+    double meanUniqueFraction() const;
+};
+
+ComposedBatches composeBatches(const std::vector<Query> &queries,
+                               const BatcherConfig &config);
+
+} // namespace fafnir::embedding
+
+#endif // FAFNIR_EMBEDDING_BATCHER_HH

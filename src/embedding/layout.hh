@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Placement of embedding vectors in physical memory.
+ *
+ * VectorLayout is the Figure 4b mapping: whole vectors at consecutive
+ * block-aligned addresses, which the BlockRank interleave spreads
+ * round-robin over all ranks (rank = bits [9:13] of the address for 512 B
+ * vectors and 32 ranks). Fafnir, RecNMP, and the CPU baseline share this
+ * layout. TensorDIMM's column-major striping is computed by its engine
+ * from sliceBytes(); see baselines/tensordimm.hh.
+ */
+
+#ifndef FAFNIR_EMBEDDING_LAYOUT_HH
+#define FAFNIR_EMBEDDING_LAYOUT_HH
+
+#include "common/types.hh"
+#include "dram/address.hh"
+#include "embedding/table.hh"
+
+namespace fafnir::embedding
+{
+
+/** Whole-vector row-major placement. */
+class VectorLayout
+{
+  public:
+    VectorLayout(const TableConfig &tables, const dram::AddressMapper &mapper)
+        : tables_(tables), mapper_(mapper)
+    {
+        FAFNIR_ASSERT(mapper.blockBytes() == tables.vectorBytes,
+                      "interleave block must equal the vector size (",
+                      tables.vectorBytes, " B), got ", mapper.blockBytes());
+    }
+
+    /**
+     * Physical address of the first byte of vector @p index. Tables are
+     * staggered by one vector slot each so that equally-ranked rows of
+     * different tables (the hot heads of Zipfian tables) do not all land
+     * on the same rank — table sizes are multiples of the rank count, so
+     * an unstaggered layout would alias them.
+     */
+    Addr
+    addressOf(IndexId index) const
+    {
+        const Addr slot = static_cast<Addr>(index) +
+                          tables_.tableOf(index);
+        return slot * tables_.vectorBytes;
+    }
+
+    /** Global rank holding vector @p index. */
+    unsigned
+    rankOf(IndexId index) const
+    {
+        const auto coords = mapper_.decode(addressOf(index));
+        return coords.globalRank(mapper_.geometry());
+    }
+
+    /** Global DIMM holding vector @p index. */
+    unsigned
+    dimmOf(IndexId index) const
+    {
+        const auto coords = mapper_.decode(addressOf(index));
+        return coords.globalDimm(mapper_.geometry());
+    }
+
+    /** Channel holding vector @p index. */
+    unsigned
+    channelOf(IndexId index) const
+    {
+        return mapper_.decode(addressOf(index)).channel;
+    }
+
+    const TableConfig &tables() const { return tables_; }
+    const dram::AddressMapper &mapper() const { return mapper_; }
+
+  private:
+    TableConfig tables_;
+    const dram::AddressMapper &mapper_;
+};
+
+} // namespace fafnir::embedding
+
+#endif // FAFNIR_EMBEDDING_LAYOUT_HH

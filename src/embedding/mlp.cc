@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Implementation of the dense network.
+ */
+
+#include "mlp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fafnir::embedding
+{
+
+namespace
+{
+
+/** Cheap deterministic hash to a float in [-bound, bound]. */
+float
+hashToFloat(std::uint64_t x, float bound)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    const auto unit =
+        static_cast<float>(x % 20001) / 10000.0f - 1.0f; // [-1, 1]
+    return unit * bound;
+}
+
+} // namespace
+
+DenseLayer::DenseLayer(unsigned in, unsigned out, bool relu,
+                       std::uint64_t seed)
+    : in_(in), out_(out), relu_(relu), seed_(seed)
+{
+    FAFNIR_ASSERT(in_ > 0 && out_ > 0, "empty layer");
+}
+
+float
+DenseLayer::weight(unsigned row, unsigned col) const
+{
+    FAFNIR_ASSERT(row < out_ && col < in_, "weight index out of range");
+    // Xavier-ish scale keeps activations bounded across layers.
+    const float bound = 1.0f / static_cast<float>(in_);
+    return hashToFloat(seed_ * 0x9e3779b97f4a7c15ULL +
+                           (std::uint64_t(row) << 24) + col,
+                       bound);
+}
+
+float
+DenseLayer::bias(unsigned row) const
+{
+    FAFNIR_ASSERT(row < out_, "bias index out of range");
+    return hashToFloat(seed_ * 0xc2b2ae3d27d4eb4fULL + row, 0.05f);
+}
+
+Vector
+DenseLayer::forward(const Vector &input) const
+{
+    FAFNIR_ASSERT(input.size() == in_, "input dim ", input.size(),
+                  " != ", in_);
+    Vector output(out_);
+    for (unsigned r = 0; r < out_; ++r) {
+        float acc = bias(r);
+        for (unsigned c = 0; c < in_; ++c)
+            acc += weight(r, c) * input[c];
+        output[r] = relu_ ? std::max(0.0f, acc) : acc;
+    }
+    return output;
+}
+
+Mlp::Mlp(const std::vector<unsigned> &widths, std::uint64_t seed)
+{
+    FAFNIR_ASSERT(widths.size() >= 2, "an MLP needs at least two widths");
+    for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+        const bool relu = i + 2 < widths.size(); // linear final layer
+        layers_.emplace_back(widths[i], widths[i + 1], relu,
+                             seed + i * 1315423911ull);
+    }
+}
+
+Vector
+Mlp::forward(const Vector &input) const
+{
+    Vector activation = input;
+    for (const auto &layer : layers_)
+        activation = layer.forward(activation);
+    return activation;
+}
+
+std::uint64_t
+Mlp::flops() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer.flops();
+    return total;
+}
+
+} // namespace fafnir::embedding

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A small dense feed-forward network.
+ *
+ * Recommendation inference is embedding lookup FOLLOWED by neural-network
+ * layers (fully-connected / ReLU, Section II). Fafnir accelerates the
+ * lookup; this MLP supplies the rest of the pipeline so the serving
+ * example computes real scores end to end, with a host-side latency
+ * model (the paper treats FC time as a fixed host cost — here it is
+ * derived from the layer FLOPs and an effective host throughput).
+ *
+ * Weights are synthesized deterministically from the layer seed, like
+ * EmbeddingStore's vectors: reproducible everywhere with no files.
+ */
+
+#ifndef FAFNIR_EMBEDDING_MLP_HH
+#define FAFNIR_EMBEDDING_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "embedding/table.hh"
+
+namespace fafnir::embedding
+{
+
+/** One dense layer with optional ReLU. */
+class DenseLayer
+{
+  public:
+    DenseLayer(unsigned in, unsigned out, bool relu, std::uint64_t seed);
+
+    Vector forward(const Vector &input) const;
+
+    unsigned inputDim() const { return in_; }
+    unsigned outputDim() const { return out_; }
+
+    /** Multiply-accumulates of one forward pass. */
+    std::uint64_t
+    flops() const
+    {
+        return 2ull * in_ * out_;
+    }
+
+    /** Deterministic weight (row-major) and bias synthesis. */
+    float weight(unsigned row, unsigned col) const;
+    float bias(unsigned row) const;
+
+  private:
+    unsigned in_;
+    unsigned out_;
+    bool relu_;
+    std::uint64_t seed_;
+};
+
+/** A stack of dense layers (ReLU between, linear output). */
+class Mlp
+{
+  public:
+    /** @param widths layer widths including input and output dims. */
+    Mlp(const std::vector<unsigned> &widths, std::uint64_t seed);
+
+    Vector forward(const Vector &input) const;
+
+    unsigned inputDim() const { return layers_.front().inputDim(); }
+    unsigned outputDim() const { return layers_.back().outputDim(); }
+
+    std::uint64_t flops() const;
+
+    /**
+     * Host execution latency at an effective @p gflops throughput
+     * (GEMV-bound small-batch inference sits well under peak).
+     */
+    Tick
+    latencyTicks(double gflops) const
+    {
+        return static_cast<Tick>(static_cast<double>(flops()) / gflops *
+                                 1e3); // flops/1e9 * 1e12 ps
+    }
+
+    const std::vector<DenseLayer> &layers() const { return layers_; }
+
+  private:
+    std::vector<DenseLayer> layers_;
+};
+
+} // namespace fafnir::embedding
+
+#endif // FAFNIR_EMBEDDING_MLP_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Batch helpers.
+ */
+
+#include "query.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fafnir::embedding
+{
+
+std::size_t
+Batch::uniqueIndices() const
+{
+    std::unordered_set<IndexId> seen;
+    for (const auto &q : queries)
+        seen.insert(q.indices.begin(), q.indices.end());
+    return seen.size();
+}
+
+void
+Batch::check() const
+{
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const Query &q = queries[i];
+        FAFNIR_ASSERT(q.id == i, "query ids must be dense, got ", q.id,
+                      " at position ", i);
+        FAFNIR_ASSERT(!q.indices.empty(), "empty query ", q.id);
+        FAFNIR_ASSERT(std::is_sorted(q.indices.begin(), q.indices.end()),
+                      "query ", q.id, " indices not sorted");
+        FAFNIR_ASSERT(std::adjacent_find(q.indices.begin(),
+                                         q.indices.end()) ==
+                          q.indices.end(),
+                      "query ", q.id, " has duplicate indices");
+    }
+}
+
+} // namespace fafnir::embedding

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Queries and batches — the unit of work of sparse gathering.
+ *
+ * A query is a set of embedding-vector indices to be gathered and reduced
+ * into one vector (Figure 1 of the paper). A batch is the set of queries
+ * the host submits to the NDP system at once; batch size B is the paper's
+ * central scalability knob (Figures 3, 13, 15).
+ */
+
+#ifndef FAFNIR_EMBEDDING_QUERY_HH
+#define FAFNIR_EMBEDDING_QUERY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace fafnir::embedding
+{
+
+/** One embedding lookup: gather these indices, reduce to one vector. */
+struct Query
+{
+    QueryId id = 0;
+    /** Unique, sorted flat indices into the embedding space. */
+    std::vector<IndexId> indices;
+
+    std::size_t size() const { return indices.size(); }
+
+    bool
+    contains(IndexId index) const
+    {
+        for (IndexId i : indices)
+            if (i == index)
+                return true;
+        return false;
+    }
+};
+
+/** A batch of queries processed concurrently. */
+struct Batch
+{
+    std::vector<Query> queries;
+
+    std::size_t size() const { return queries.size(); }
+
+    /** Total index references (with repetitions across queries). */
+    std::size_t
+    totalIndices() const
+    {
+        std::size_t total = 0;
+        for (const auto &q : queries)
+            total += q.indices.size();
+        return total;
+    }
+
+    /** Number of distinct indices referenced by the batch. */
+    std::size_t uniqueIndices() const;
+
+    /** Fraction of unique indices among all references (Figure 3). */
+    double
+    uniqueFraction() const
+    {
+        const std::size_t total = totalIndices();
+        return total == 0
+            ? 1.0
+            : static_cast<double>(uniqueIndices()) /
+                  static_cast<double>(total);
+    }
+
+    /** Validate: per-query indices sorted and unique; ids consecutive. */
+    void check() const;
+};
+
+} // namespace fafnir::embedding
+
+#endif // FAFNIR_EMBEDDING_QUERY_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Element-wise reduction operators.
+ *
+ * The paper's Section II: "a simple reduction operation (e.g.,
+ * element-wise summation, minimum, average) is applied on the gathered
+ * embedding vectors". Sum, Min, and Max are associative and commutative
+ * and run unchanged through the tree; Mean is a Sum whose result the
+ * root scales by 1/q (the tree cannot average incrementally, the
+ * hardware applies the scale at the output stage).
+ */
+
+#ifndef FAFNIR_EMBEDDING_REDUCE_OP_HH
+#define FAFNIR_EMBEDDING_REDUCE_OP_HH
+
+#include <algorithm>
+#include <cstddef>
+
+namespace fafnir::embedding
+{
+
+/** The reduction applied across a query's vectors. */
+enum class ReduceOp
+{
+    Sum,
+    Min,
+    Max,
+    /** Sum in the tree, scaled by 1/q at the root output stage. */
+    Mean,
+};
+
+/** Combine two elements under @p op (Mean combines like Sum). */
+inline float
+combine(ReduceOp op, float a, float b)
+{
+    switch (op) {
+      case ReduceOp::Sum:
+      case ReduceOp::Mean:
+        return a + b;
+      case ReduceOp::Min:
+        return std::min(a, b);
+      case ReduceOp::Max:
+        return std::max(a, b);
+    }
+    return a + b;
+}
+
+/** Root-stage finalization: scale Mean by the gathered count. */
+inline float
+finalize(ReduceOp op, float acc, std::size_t count)
+{
+    if (op == ReduceOp::Mean && count > 0)
+        return acc / static_cast<float>(count);
+    return acc;
+}
+
+inline const char *
+toString(ReduceOp op)
+{
+    switch (op) {
+      case ReduceOp::Sum:
+        return "sum";
+      case ReduceOp::Min:
+        return "min";
+      case ReduceOp::Max:
+        return "max";
+      case ReduceOp::Mean:
+        return "mean";
+    }
+    return "?";
+}
+
+} // namespace fafnir::embedding
+
+#endif // FAFNIR_EMBEDDING_REDUCE_OP_HH

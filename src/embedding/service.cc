@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Implementation of the open-loop serving model.
+ */
+
+#include "service.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fafnir::embedding
+{
+
+Tick
+ServiceReport::percentileTotal(double p) const
+{
+    FAFNIR_ASSERT(!requests.empty(), "empty report");
+    FAFNIR_ASSERT(p >= 0.0 && p <= 1.0, "percentile out of range");
+    std::vector<Tick> totals;
+    totals.reserve(requests.size());
+    for (const auto &r : requests)
+        totals.push_back(r.totalTime());
+    std::sort(totals.begin(), totals.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(totals.size() - 1));
+    return totals[idx];
+}
+
+double
+ServiceReport::meanQueueTicks() const
+{
+    if (requests.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : requests)
+        sum += static_cast<double>(r.queueTime());
+    return sum / static_cast<double>(requests.size());
+}
+
+ServiceReport
+serveOpenLoop(const std::vector<Batch> &batches, Tick inter_arrival,
+              const std::function<Tick(const Batch &, Tick)> &serve)
+{
+    FAFNIR_ASSERT(inter_arrival > 0, "zero inter-arrival time");
+
+    ServiceReport report;
+    report.requests.reserve(batches.size());
+    Tick engine_free = 0;
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        ServedRequest request;
+        request.arrival = static_cast<Tick>(i) * inter_arrival;
+        request.started = std::max(request.arrival, engine_free);
+        request.completed = serve(batches[i], request.started);
+        FAFNIR_ASSERT(request.completed >= request.started,
+                      "service went backwards");
+        engine_free = request.completed;
+        report.requests.push_back(request);
+    }
+
+    // Saturated when the queue delay keeps growing through the run:
+    // compare mean queueing of the last quarter against the first.
+    const std::size_t n = report.requests.size();
+    if (n >= 8) {
+        auto mean_queue = [&](std::size_t lo, std::size_t hi) {
+            double sum = 0.0;
+            for (std::size_t i = lo; i < hi; ++i)
+                sum += static_cast<double>(
+                    report.requests[i].queueTime());
+            return sum / static_cast<double>(hi - lo);
+        };
+        const double head = mean_queue(0, n / 4);
+        const double tail = mean_queue(n - n / 4, n);
+        report.saturated = tail > 2.0 * head + 1000.0;
+    }
+    return report;
+}
+
+} // namespace fafnir::embedding

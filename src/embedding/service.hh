@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Open-loop serving model.
+ *
+ * Production recommenders care about tail latency under a given request
+ * rate, not only isolated batch latency. ServiceModel feeds a batch
+ * stream at fixed inter-arrival times into any lookup engine (via an
+ * adapter callback) and reports queueing + service latency percentiles
+ * and the saturation point. Requests are admitted in arrival order; the
+ * engine serializes service (one batch in flight), which models the
+ * paper's single accelerator front-end.
+ */
+
+#ifndef FAFNIR_EMBEDDING_SERVICE_HH
+#define FAFNIR_EMBEDDING_SERVICE_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "embedding/query.hh"
+
+namespace fafnir::embedding
+{
+
+/** Latency record of one served request. */
+struct ServedRequest
+{
+    Tick arrival = 0;
+    Tick started = 0;
+    Tick completed = 0;
+
+    Tick queueTime() const { return started - arrival; }
+    Tick serviceTime() const { return completed - started; }
+    Tick totalTime() const { return completed - arrival; }
+};
+
+/** Aggregate service statistics. */
+struct ServiceReport
+{
+    std::vector<ServedRequest> requests;
+    /** True when the backlog grew monotonically (offered load beyond
+     *  capacity). */
+    bool saturated = false;
+
+    Tick percentileTotal(double p) const;
+    double meanQueueTicks() const;
+};
+
+/**
+ * Serve @p batches with arrivals every @p inter_arrival ticks.
+ * @param serve runs one batch starting no earlier than the given tick
+ *        and returns its completion tick; invoked in arrival order.
+ */
+ServiceReport
+serveOpenLoop(const std::vector<Batch> &batches, Tick inter_arrival,
+              const std::function<Tick(const Batch &, Tick)> &serve);
+
+} // namespace fafnir::embedding
+
+#endif // FAFNIR_EMBEDDING_SERVICE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reference gather-reduce implementation.
+ */
+
+#include "table.hh"
+
+#include <cmath>
+
+namespace fafnir::embedding
+{
+
+Vector
+EmbeddingStore::vector(IndexId index) const
+{
+    Vector v(config_.dim());
+    for (unsigned e = 0; e < config_.dim(); ++e)
+        v[e] = element(index, e);
+    return v;
+}
+
+Vector
+EmbeddingStore::reduce(const std::vector<IndexId> &indices,
+                       ReduceOp op) const
+{
+    FAFNIR_ASSERT(!indices.empty(), "reducing an empty query");
+    Vector acc = vector(indices.front());
+    for (std::size_t i = 1; i < indices.size(); ++i)
+        for (unsigned e = 0; e < config_.dim(); ++e)
+            acc[e] = combine(op, acc[e], element(indices[i], e));
+    for (float &v : acc)
+        v = finalize(op, v, indices.size());
+    return acc;
+}
+
+std::vector<Vector>
+EmbeddingStore::reduceBatch(const Batch &batch, ReduceOp op) const
+{
+    std::vector<Vector> results;
+    results.reserve(batch.size());
+    for (const auto &q : batch.queries)
+        results.push_back(reduce(q.indices, op));
+    return results;
+}
+
+bool
+vectorsEqual(const Vector &a, const Vector &b, float tolerance)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::fabs(a[i] - b[i]) > tolerance)
+            return false;
+    return true;
+}
+
+} // namespace fafnir::embedding

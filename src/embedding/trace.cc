@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Implementation of trace serialization.
+ */
+
+#include "trace.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fafnir::embedding
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "fafnir-trace v1";
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const std::vector<Batch> &batches)
+{
+    os << kMagic << '\n';
+    for (const auto &batch : batches) {
+        os << "batch\n";
+        for (const auto &query : batch.queries) {
+            os << 'q';
+            for (IndexId index : query.indices)
+                os << ' ' << index;
+            os << '\n';
+        }
+    }
+}
+
+std::vector<Batch>
+readTrace(std::istream &is)
+{
+    std::string line;
+    FAFNIR_ASSERT(std::getline(is, line) && line == kMagic,
+                  "not a fafnir trace (bad magic: '", line, "')");
+
+    std::vector<Batch> batches;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line == "batch") {
+            batches.emplace_back();
+            continue;
+        }
+        FAFNIR_ASSERT(line[0] == 'q', "malformed trace line: '", line,
+                      "'");
+        FAFNIR_ASSERT(!batches.empty(), "query before first batch");
+
+        std::istringstream fields(line.substr(1));
+        Query query;
+        query.id = static_cast<QueryId>(batches.back().queries.size());
+        IndexId index;
+        while (fields >> index)
+            query.indices.push_back(index);
+        FAFNIR_ASSERT(!query.indices.empty(), "empty query in trace");
+        std::sort(query.indices.begin(), query.indices.end());
+        query.indices.erase(
+            std::unique(query.indices.begin(), query.indices.end()),
+            query.indices.end());
+        batches.back().queries.push_back(std::move(query));
+    }
+    for (const auto &batch : batches)
+        batch.check();
+    return batches;
+}
+
+void
+saveTrace(const std::string &path, const std::vector<Batch> &batches)
+{
+    std::ofstream os(path);
+    FAFNIR_ASSERT(os.good(), "cannot open '", path, "' for writing");
+    writeTrace(os, batches);
+}
+
+std::vector<Batch>
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    FAFNIR_ASSERT(is.good(), "cannot open '", path, "'");
+    return readTrace(is);
+}
+
+} // namespace fafnir::embedding

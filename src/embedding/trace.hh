@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Query-trace serialization.
+ *
+ * Production embedding traces are proprietary; this plain-text format is
+ * the seam where a user with access to real traces plugs them in. The
+ * bench harnesses use synthetic generators by default, but every engine
+ * consumes plain Batch objects, so a loaded trace drops in unchanged.
+ *
+ * Format:
+ *   fafnir-trace v1
+ *   batch
+ *   q <index> <index> ...
+ *   q <index> ...
+ *   batch
+ *   ...
+ *
+ * Query ids are positional (dense from 0 within each batch).
+ */
+
+#ifndef FAFNIR_EMBEDDING_TRACE_HH
+#define FAFNIR_EMBEDDING_TRACE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "embedding/query.hh"
+
+namespace fafnir::embedding
+{
+
+/** Serialize @p batches to @p os. */
+void writeTrace(std::ostream &os, const std::vector<Batch> &batches);
+
+/** Parse a trace; faults on malformed input. */
+std::vector<Batch> readTrace(std::istream &is);
+
+/** File convenience wrappers. */
+void saveTrace(const std::string &path,
+               const std::vector<Batch> &batches);
+std::vector<Batch> loadTrace(const std::string &path);
+
+} // namespace fafnir::embedding
+
+#endif // FAFNIR_EMBEDDING_TRACE_HH

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Implementation of the event-driven Fafnir engine.
+ */
+
+#include "event_engine.hh"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+#include <functional>
+
+#include "common/logging.hh"
+
+namespace fafnir::core
+{
+
+namespace
+{
+
+/** Live pipeline state of one PE during a run. */
+struct PeRun
+{
+    /** Arrival tick per input entry, per side; MaxTick = not arrived. */
+    std::array<std::vector<Tick>, 2> arrival;
+    std::array<std::size_t, 2> arrived{0, 0};
+    std::array<std::size_t, 2> expected{0, 0};
+    /** Outputs remaining to consume each input (FIFO occupancy). */
+    std::array<std::vector<unsigned>, 2> remainingUses;
+    std::array<std::size_t, 2> occupancy{0, 0};
+    /** Per-output emitted flag. */
+    std::vector<bool> emitted;
+    std::vector<bool> countedForwardWait;
+    std::size_t emittedCount = 0;
+    /** Output-port availability (one emission per issue interval). */
+    Tick pipeFree = 0;
+};
+
+} // namespace
+
+EventDrivenEngine::EventDrivenEngine(dram::MemorySystem &memory,
+                                     const embedding::VectorLayout &layout,
+                                     const EventEngineConfig &config)
+    : memory_(memory), layout_(layout), config_(config),
+      topology_(memory.geometry().totalRanks(),
+                config.base.ranksPerLeafPe),
+      host_(layout), tree_(topology_),
+      pePeriod_(periodFromMhz(config.base.peClockMhz))
+{
+    if (config_.base.interactive)
+        config_.base.latency.compare = 0;
+}
+
+std::vector<EventLookupTiming>
+EventDrivenEngine::lookupMany(const std::vector<embedding::Batch> &batches,
+                              Tick start)
+{
+    std::vector<EventLookupTiming> timings;
+    timings.reserve(batches.size());
+    Tick t = start;
+    for (const auto &batch : batches) {
+        timings.push_back(lookup(batch, t));
+        t = timings.back().memLast;
+    }
+    return timings;
+}
+
+EventLookupTiming
+EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
+{
+    const unsigned vector_bytes = layout_.tables().vectorBytes;
+    const unsigned num_pes = topology_.numPes();
+    EventQueue &eq = memory_.eventq();
+    // The event clock only moves forward; an earlier logical start would
+    // schedule completions in the past.
+    start = std::max(start, eq.now());
+
+    PreparedBatch prepared = host_.prepare(batch, config_.base.dedup);
+    scheduleReads(prepared, config_.base.readOrder, memory_.mapper());
+    const TreeRun run = tree_.run(prepared, /*values=*/false,
+                                  /*keep_trace=*/true);
+
+    EventLookupTiming timing;
+    timing.issued = start;
+    timing.memAccesses = prepared.accessCount;
+    timing.uniqueCount = prepared.uniqueCount;
+    timing.totalReferences = prepared.totalReferences;
+    timing.activity = run.total;
+    timing.rootCombines = run.rootCombines;
+    timing.maxPeOutputs = run.maxPeOutputs;
+    if (run.maxPeOutputs > config_.base.hwBatch)
+        ++timing.bufferOverflows;
+
+    // --- Set up per-PE pipeline state from the functional trace. --------
+    std::vector<PeRun> pes(num_pes + 1);
+    for (unsigned pe = 1; pe <= num_pes; ++pe) {
+        PeRun &state = pes[pe];
+        const PeTrace &trace = run.trace[pe];
+        state.expected = {trace.inputsA.size(), trace.inputsB.size()};
+        for (int side = 0; side < 2; ++side) {
+            state.arrival[side].assign(state.expected[side], MaxTick);
+            state.remainingUses[side].assign(state.expected[side], 0);
+        }
+        for (const auto &out : trace.outputs)
+            for (const Provenance &src : out.sources)
+                ++state.remainingUses[src.side][src.index];
+        state.emitted.assign(trace.outputs.size(), false);
+        state.countedForwardWait.assign(trace.outputs.size(), false);
+        state.pipeFree = start;
+    }
+
+    std::vector<Tick> root_times(run.rootOutputs.size(), MaxTick);
+
+    // --- Pipeline dynamics. ---------------------------------------------
+    auto align = [this](Tick t) {
+        const Tick rem = t % pePeriod_;
+        return rem == 0 ? t : t + (pePeriod_ - rem);
+    };
+
+    // Inter-chip link hop for outputs leaving a DIMM/rank node.
+    auto link_cycles = [&](unsigned pe) -> Cycles {
+        if (topology_.numLevels() > config_.base.channelNodeLevels &&
+            topology_.heightOf(pe) ==
+                topology_.numLevels() - 1 -
+                    config_.base.channelNodeLevels) {
+            return config_.base.interNodeLinkCycles;
+        }
+        return 0;
+    };
+
+    // Forward-declared so emissions can deliver upward recursively.
+    std::function<void(unsigned, unsigned, std::size_t, Tick)> deliver;
+
+    auto try_emit = [&](unsigned pe) {
+        PeRun &state = pes[pe];
+        const PeTrace &trace = run.trace[pe];
+        bool progressed = true;
+        while (progressed && state.emittedCount < trace.outputs.size()) {
+            progressed = false;
+            for (std::size_t k = 0; k < trace.outputs.size(); ++k) {
+                if (state.emitted[k])
+                    continue;
+                const PeOutput &out = trace.outputs[k];
+
+                // All provenance must have arrived.
+                Tick ready = start;
+                bool arrived = true;
+                for (const Provenance &src : out.sources) {
+                    const Tick t = state.arrival[src.side][src.index];
+                    if (t == MaxTick) {
+                        arrived = false;
+                        break;
+                    }
+                    ready = std::max(ready, t);
+                }
+                if (!arrived)
+                    continue;
+
+                // A forward additionally needs the opposite side
+                // complete — only then is "no match" certain.
+                if (out.action == PeAction::Forward) {
+                    bool blocked = false;
+                    for (const Provenance &src : out.sources) {
+                        const unsigned other = 1 - src.side;
+                        if (state.arrived[other] <
+                            state.expected[other]) {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                    if (blocked) {
+                        if (!state.countedForwardWait[k]) {
+                            state.countedForwardWait[k] = true;
+                            ++timing.forwardWaits;
+                        }
+                        continue;
+                    }
+                }
+
+                const Cycles path =
+                    (out.action == PeAction::Reduce
+                         ? config_.base.latency.reducePath()
+                         : config_.base.latency.forwardPath()) +
+                    config_.base.latency.merge + link_cycles(pe);
+                Tick emit = align(ready) + path * pePeriod_;
+                emit = std::max(emit, state.pipeFree);
+                // The emit decision is made now (e.g., a forward that was
+                // waiting for the opposite side to complete).
+                emit = std::max(emit, eq.now());
+                state.pipeFree =
+                    emit + config_.base.latency.issue * pePeriod_;
+
+                // Consume inputs; free FIFO slots at last use.
+                for (const Provenance &src : out.sources) {
+                    unsigned &uses =
+                        state.remainingUses[src.side][src.index];
+                    FAFNIR_ASSERT(uses > 0, "provenance double-free");
+                    if (--uses == 0)
+                        --state.occupancy[src.side];
+                }
+
+                state.emitted[k] = true;
+                ++state.emittedCount;
+                progressed = true;
+                if (config_.recordTimeline)
+                    timing.timeline.push_back({emit, pe, "emit", k});
+
+                if (pe == TreeTopology::rootPe()) {
+                    root_times[k] = emit;
+                } else {
+                    const unsigned parent = topology_.parent(pe);
+                    const unsigned side = pe % 2 == 0 ? 0 : 1;
+                    // Position within the parent's input list: children
+                    // outputs land in trace order.
+                    eq.scheduleFn(emit, [&deliver, parent, side, k] {
+                        deliver(parent, side, k, 0);
+                    });
+                }
+            }
+        }
+    };
+
+    deliver = [&](unsigned pe, unsigned side, std::size_t index,
+                  Tick /*unused*/) {
+        PeRun &state = pes[pe];
+        FAFNIR_ASSERT(index < state.expected[side],
+                      "delivery beyond expected inputs");
+        Tick at = eq.now();
+        ++state.occupancy[side];
+        if (state.occupancy[side] > config_.base.hwBatch) {
+            ++timing.fifoOverflows;
+            at += config_.overflowPenalty * pePeriod_;
+        }
+        FAFNIR_ASSERT(state.arrival[side][index] == MaxTick,
+                      "duplicate delivery");
+        state.arrival[side][index] = at;
+        ++state.arrived[side];
+        if (config_.recordTimeline) {
+            timing.timeline.push_back(
+                {at, pe, "deliver",
+                 side * state.expected[0] + index});
+        }
+        try_emit(pe);
+        // An arrival here may unblock forwards waiting in the parent
+        // chain only via future emissions, which schedule events.
+    };
+
+    // --- Issue the DRAM reads; completions drive the pipeline. ----------
+    timing.memFirst = MaxTick;
+    timing.memLast = start;
+    for (unsigned rank = 0; rank < topology_.numRanks(); ++rank) {
+        const unsigned pe = topology_.leafPeOf(rank);
+        const unsigned side = topology_.sideOf(rank);
+        // Position of this rank's reads within the leaf input side: ranks
+        // earlier in the same side contribute first (matches the
+        // functional assembly order).
+        std::size_t base = 0;
+        for (unsigned r = 0; r < rank; ++r) {
+            if (topology_.leafPeOf(r) == pe &&
+                topology_.sideOf(r) == side) {
+                base += prepared.rankReads[r].size();
+            }
+        }
+        for (std::size_t i = 0; i < prepared.rankReads[rank].size();
+             ++i) {
+            const auto &read = prepared.rankReads[rank][i];
+            const auto result = memory_.readAsync(
+                read.address, vector_bytes, start,
+                dram::Destination::Ndp,
+                [&deliver, pe, side, pos = base + i](
+                    Tick, const dram::AccessResult &) {
+                    deliver(pe, side, pos, 0);
+                });
+            timing.memFirst = std::min(timing.memFirst, result.firstData);
+            timing.memLast = std::max(timing.memLast, result.complete);
+        }
+    }
+    if (timing.memFirst == MaxTick)
+        timing.memFirst = start;
+
+    eq.run();
+
+    for (unsigned pe = 1; pe <= num_pes; ++pe) {
+        FAFNIR_ASSERT(pes[pe].emittedCount ==
+                          run.trace[pe].outputs.size(),
+                      "PE ", pe, " stalled: ", pes[pe].emittedCount, "/",
+                      run.trace[pe].outputs.size(), " outputs emitted");
+    }
+
+    // --- Per-query completion and root-link serialization. --------------
+    const std::size_t num_queries = prepared.querySets.size();
+    std::vector<std::pair<Tick, QueryId>> finish_order;
+    finish_order.reserve(num_queries);
+    for (QueryId q = 0; q < num_queries; ++q) {
+        Tick tq = start;
+        for (std::size_t k = 0; k < run.rootOutputs.size(); ++k) {
+            if (run.rootOutputs[k].item.findQuery(q)) {
+                FAFNIR_ASSERT(root_times[k] != MaxTick,
+                              "root output never emitted");
+                tq = std::max(tq, root_times[k]);
+            }
+        }
+        tq += (run.rootItemsPerQuery[q] - 1) *
+              config_.base.latency.reduceValue * pePeriod_;
+        finish_order.emplace_back(tq, q);
+    }
+    std::sort(finish_order.begin(), finish_order.end());
+
+    const auto transfer_ticks = static_cast<Tick>(
+        static_cast<double>(vector_bytes) / config_.base.rootLinkGBs *
+        1000.0);
+    Tick link_free = 0;
+    timing.queryComplete.assign(num_queries, 0);
+    for (const auto &[ready, q] : finish_order) {
+        const Tick done = std::max(ready, link_free) + transfer_ticks;
+        timing.queryComplete[q] =
+            done + config_.base.hostReceiveOverhead;
+        link_free = done;
+    }
+    timing.complete = link_free + config_.base.hostReceiveOverhead;
+
+    if (config_.recordTimeline) {
+        std::sort(timing.timeline.begin(), timing.timeline.end(),
+                  [](const TimelineEvent &a, const TimelineEvent &b) {
+                      return a.tick < b.tick;
+                  });
+    }
+    return timing;
+}
+
+void
+writeTimeline(std::ostream &os,
+              const std::vector<TimelineEvent> &timeline)
+{
+    os << "tick\tpe\tkind\tindex\n";
+    for (const auto &event : timeline) {
+        os << event.tick << '\t' << event.pe << '\t' << event.kind
+           << '\t' << event.index << '\n';
+    }
+}
+
+} // namespace fafnir::core

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of host-side batch compilation.
+ */
+
+#include "host.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/debug.hh"
+#include "common/logging.hh"
+
+namespace fafnir::core
+{
+
+std::size_t
+PreparedBatch::maxReadsPerRank() const
+{
+    std::size_t max_reads = 0;
+    for (const auto &reads : rankReads)
+        max_reads = std::max(max_reads, reads.size());
+    return max_reads;
+}
+
+double
+PreparedBatch::loadImbalance() const
+{
+    if (rankReads.empty() || accessCount == 0)
+        return 1.0;
+    const double mean = static_cast<double>(accessCount) /
+                        static_cast<double>(rankReads.size());
+    return static_cast<double>(maxReadsPerRank()) / mean;
+}
+
+PreparedBatch
+Host::prepare(const embedding::Batch &batch, bool dedup) const
+{
+    batch.check();
+
+    PreparedBatch prepared;
+    prepared.rankReads.resize(layout_.mapper().geometry().totalRanks());
+    prepared.totalReferences = batch.totalIndices();
+    prepared.querySets.reserve(batch.size());
+    for (const auto &q : batch.queries)
+        prepared.querySets.emplace_back(q.indices);
+
+    auto make_read = [&](IndexId index, std::vector<QueryResidual> queries) {
+        RankRead read;
+        read.index = index;
+        read.address = layout_.addressOf(index);
+        read.item.indices = IndexSet::single(index);
+        read.item.queries = std::move(queries);
+        if (store_)
+            read.item.value = store_->vector(index);
+        const unsigned rank = layout_.rankOf(index);
+        prepared.rankReads[rank].push_back(std::move(read));
+        ++prepared.accessCount;
+    };
+
+    // Distinct indices, and which queries reference each (ordered map for
+    // deterministic read issue order).
+    std::map<IndexId, std::vector<QueryId>> users;
+    for (const auto &q : batch.queries)
+        for (IndexId index : q.indices)
+            users[index].push_back(q.id);
+    prepared.uniqueCount = users.size();
+
+    if (dedup) {
+        for (const auto &[index, queries] : users) {
+            std::vector<QueryResidual> residuals;
+            residuals.reserve(queries.size());
+            const IndexSet self = IndexSet::single(index);
+            for (QueryId q : queries)
+                residuals.push_back({q, prepared.querySets[q].minus(self)});
+            make_read(index, std::move(residuals));
+        }
+    } else {
+        for (const auto &q : batch.queries) {
+            for (IndexId index : q.indices) {
+                const IndexSet self = IndexSet::single(index);
+                make_read(index,
+                          {{q.id, prepared.querySets[q.id].minus(self)}});
+            }
+        }
+    }
+
+    FAFNIR_DPRINTF(Host, "compiled batch of ", batch.size(),
+                   " queries: ", prepared.accessCount, " reads for ",
+                   prepared.totalReferences, " references (dedup=",
+                   dedup, ", imbalance=", prepared.loadImbalance(), ")");
+    return prepared;
+}
+
+} // namespace fafnir::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Host-side batch preprocessing.
+ *
+ * Fafnir's software support (Section IV-B/IV-C): the host rearranges a
+ * batch of queries into per-rank lists of memory reads and their flit
+ * headers. In dedup mode (the paper's key mechanism) each *unique* index
+ * of the batch is read exactly once; its header's `queries` field lists,
+ * for every query containing it, the other indices of that query. In
+ * no-dedup mode (the Figure 13 ablation) every (query, index) reference
+ * issues its own read.
+ */
+
+#ifndef FAFNIR_FAFNIR_HOST_HH
+#define FAFNIR_FAFNIR_HOST_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "embedding/layout.hh"
+#include "embedding/query.hh"
+#include "embedding/table.hh"
+#include "fafnir/item.hh"
+
+namespace fafnir::core
+{
+
+/** One scheduled memory access feeding a leaf. */
+struct RankRead
+{
+    IndexId index = 0;
+    Addr address = 0;
+    /** The flit injected into the tree when the data returns. */
+    Item item;
+};
+
+/** A batch compiled into per-rank access lists. */
+struct PreparedBatch
+{
+    /** Indexed by physical global rank. */
+    std::vector<std::vector<RankRead>> rankReads;
+    /** Distinct indices referenced by the batch. */
+    std::size_t uniqueCount = 0;
+    /** Total index references (with repetition). */
+    std::size_t totalReferences = 0;
+    /** Reads actually issued (== uniqueCount in dedup mode). */
+    std::size_t accessCount = 0;
+    /** Full index set per query, for the root combiner. */
+    std::vector<IndexSet> querySets;
+
+    /** Accesses saved relative to the reference stream (Figure 15). */
+    double
+    accessSavings() const
+    {
+        return totalReferences == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(accessCount) /
+                  static_cast<double>(totalReferences);
+    }
+
+    /** Largest per-rank access list (Figure 15's per-leaf-input metric). */
+    std::size_t maxReadsPerRank() const;
+
+    /**
+     * Rank-load imbalance: max per-rank reads over the mean (1.0 =
+     * perfectly balanced). Hot Zipfian batches without dedup hammer the
+     * hot vectors' ranks; dedup flattens the load.
+     */
+    double loadImbalance() const;
+};
+
+/** Compiles batches for the tree. */
+class Host
+{
+  public:
+    /**
+     * @param layout vector placement (defines the rank of each index).
+     * @param store when non-null, read items carry real vector values so
+     *        the functional tree can validate end-to-end arithmetic.
+     */
+    Host(const embedding::VectorLayout &layout,
+         const embedding::EmbeddingStore *store = nullptr)
+        : layout_(layout), store_(store)
+    {}
+
+    /**
+     * Compile @p batch.
+     * @param dedup read each unique index once (Section IV-C) or issue
+     *        one read per reference (the Figure 13 ablation).
+     */
+    PreparedBatch prepare(const embedding::Batch &batch, bool dedup) const;
+
+  private:
+    const embedding::VectorLayout &layout_;
+    const embedding::EmbeddingStore *store_;
+};
+
+} // namespace fafnir::core
+
+#endif // FAFNIR_FAFNIR_HOST_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Flits flowing through the reduction tree.
+ *
+ * An Item is one entry of a PE input/output buffer: a value (the partial
+ * reduction) plus its header. The header's `indices` field records which
+ * embedding vectors the value already sums; the `queries` field lists, for
+ * every query that still wants this value, the indices of that query that
+ * have NOT been folded in yet (the paper's example header
+ * [indices:50,11 | queries:94,26]). We keep the owning query id explicit
+ * per residual — the hardware encodes it positionally, the semantics are
+ * identical — so the root can route finished vectors to their queries.
+ *
+ * Invariant (checked in debug paths): for every residual r of an item,
+ * r.remaining is disjoint from header.indices, and
+ * header.indices ∪ r.remaining equals the full index set of query r.query.
+ */
+
+#ifndef FAFNIR_FAFNIR_ITEM_HH
+#define FAFNIR_FAFNIR_ITEM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "embedding/table.hh"
+#include "fafnir/indexset.hh"
+
+namespace fafnir::core
+{
+
+/** One query's view of an item: what it still needs. */
+struct QueryResidual
+{
+    QueryId query = 0;
+    /** Indices of the query not yet included in the item's value. */
+    IndexSet remaining;
+
+    bool operator==(const QueryResidual &other) const = default;
+};
+
+/** One buffer entry: value + header. */
+struct Item
+{
+    /** Vectors already reduced into `value` (the header's indices field). */
+    IndexSet indices;
+    /** Queries that still want this value (the header's queries field). */
+    std::vector<QueryResidual> queries;
+    /**
+     * The partial reduction. Empty in timing-only runs; the functional
+     * model always populates it.
+     */
+    embedding::Vector value;
+
+    /** Residual for @p query, or nullptr. */
+    const QueryResidual *
+    findQuery(QueryId query) const
+    {
+        for (const auto &r : queries)
+            if (r.query == query)
+                return &r;
+        return nullptr;
+    }
+
+    /** True once some query is fully reduced in this item. */
+    bool
+    completesAnyQuery() const
+    {
+        for (const auto &r : queries)
+            if (r.remaining.empty())
+                return true;
+        return false;
+    }
+
+    /** Header bytes on the wire: 5-bit ids, ceil(bits/8) per field set. */
+    std::size_t
+    headerBits(unsigned bits_per_index) const
+    {
+        std::size_t total = indices.size() * bits_per_index;
+        for (const auto &r : queries)
+            total += r.remaining.size() * bits_per_index;
+        return total;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace fafnir::core
+
+#endif // FAFNIR_FAFNIR_ITEM_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Functional PE implementation: compare, reduce/forward, merge.
+ */
+
+#include "pe.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace fafnir::core
+{
+
+namespace
+{
+
+/** Element-wise combine used by the reduce path. */
+embedding::Vector
+addValues(const embedding::Vector &a, const embedding::Vector &b,
+          embedding::ReduceOp op)
+{
+    FAFNIR_ASSERT(a.size() == b.size(), "value dimension mismatch");
+    embedding::Vector out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = embedding::combine(op, a[i], b[i]);
+    return out;
+}
+
+/** A forward of @p source carrying only the residual of @p query. */
+PeOutput
+makeForward(const Item &source, const QueryResidual &residual,
+            std::uint8_t side, std::uint16_t index)
+{
+    Item item;
+    item.indices = source.indices;
+    item.queries = {residual};
+    item.value = source.value;
+    return {std::move(item), PeAction::Forward, {{side, index}}};
+}
+
+} // namespace
+
+std::vector<PeOutput>
+ProcessingElement::process(const std::vector<Item> &a,
+                           const std::vector<Item> &b, PeActivity &activity,
+                           bool values, embedding::ReduceOp op)
+{
+    // The compute-unit fabric compares every entry of one buffer with every
+    // entry of the other (Section IV-B).
+    activity.compares += static_cast<std::uint64_t>(a.size()) * b.size();
+
+    // Gather, per query, the buffer positions that carry its residuals, in
+    // buffer order. std::map keeps query iteration deterministic.
+    std::map<QueryId, std::pair<std::vector<std::size_t>,
+                                std::vector<std::size_t>>>
+        by_query;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (const auto &r : a[i].queries)
+            by_query[r.query].first.push_back(i);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        for (const auto &r : b[i].queries)
+            by_query[r.query].second.push_back(i);
+
+    std::vector<PeOutput> raw;
+    for (const auto &[query, sides] : by_query) {
+        const auto &[in_a, in_b] = sides;
+        const std::size_t paired = std::min(in_a.size(), in_b.size());
+
+        for (std::size_t i = 0; i < paired; ++i) {
+            const Item &left = a[in_a[i]];
+            const Item &right = b[in_b[i]];
+            const QueryResidual *ra = left.findQuery(query);
+            const QueryResidual *rb = right.findQuery(query);
+            FAFNIR_ASSERT(ra && rb, "residual lookup failed");
+            FAFNIR_ASSERT(ra->remaining.containsAll(right.indices),
+                          "query ", query, ": right operand ",
+                          right.indices.toString(),
+                          " not wanted by residual ",
+                          ra->remaining.toString());
+            FAFNIR_ASSERT(rb->remaining.containsAll(left.indices),
+                          "query ", query, ": left operand not wanted");
+
+            Item item;
+            item.indices = left.indices.disjointUnion(right.indices);
+            item.queries = {{query, ra->remaining.minus(right.indices)}};
+            if (values && !left.value.empty())
+                item.value = addValues(left.value, right.value, op);
+            raw.push_back(
+                {std::move(item),
+                 PeAction::Reduce,
+                 {{0, static_cast<std::uint16_t>(in_a[i])},
+                  {1, static_cast<std::uint16_t>(in_b[i])}}});
+            ++activity.reduces;
+        }
+        for (std::size_t i = paired; i < in_a.size(); ++i) {
+            raw.push_back(
+                makeForward(a[in_a[i]], *a[in_a[i]].findQuery(query), 0,
+                            static_cast<std::uint16_t>(in_a[i])));
+            ++activity.forwards;
+        }
+        for (std::size_t i = paired; i < in_b.size(); ++i) {
+            raw.push_back(
+                makeForward(b[in_b[i]], *b[in_b[i]].findQuery(query), 1,
+                            static_cast<std::uint16_t>(in_b[i])));
+            ++activity.forwards;
+        }
+    }
+
+    // Merge unit: group by indices set. Equal indices imply the same value
+    // (a value is a pure function of the vectors it sums), so duplicates
+    // are dropped and distinct residual lists are concatenated.
+    std::map<IndexSet, PeOutput> merged;
+    for (auto &out : raw) {
+        auto [it, inserted] = merged.try_emplace(out.item.indices,
+                                                 std::move(out));
+        if (inserted)
+            continue;
+        PeOutput &existing = it->second;
+        for (auto &residual : out.item.queries) {
+            bool duplicate = false;
+            for (const auto &have : existing.item.queries) {
+                if (have == residual) {
+                    duplicate = true;
+                    break;
+                }
+            }
+            if (duplicate) {
+                ++activity.duplicatesDropped;
+            } else {
+                existing.item.queries.push_back(std::move(residual));
+                ++activity.headersMerged;
+            }
+        }
+        for (const Provenance &src : out.sources) {
+            bool known = false;
+            for (const Provenance &have : existing.sources)
+                known |= have == src;
+            if (!known)
+                existing.sources.push_back(src);
+        }
+        if (out.action == PeAction::Reduce)
+            existing.action = PeAction::Reduce;
+    }
+
+    std::vector<PeOutput> outputs;
+    outputs.reserve(merged.size());
+    for (auto &[key, out] : merged)
+        outputs.push_back(std::move(out));
+    return outputs;
+}
+
+} // namespace fafnir::core

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Processing element: the node of the Fafnir reduction tree.
+ *
+ * A PE (Figure 5) has two input FIFO buffers, A and B, a bank of compute
+ * units, and a merge unit. For each buffered item it decides, per query in
+ * the item's header, whether to REDUCE it with a matching item of the
+ * opposite input (concatenating `indices` fields and shrinking the
+ * `queries` field) or to FORWARD it unchanged. The merge unit then (a)
+ * eliminates redundant identical outputs and (b) merges outputs that carry
+ * the same value — equal `indices` sets — by concatenating their `queries`
+ * fields, which is what bounds the output count by the batch size.
+ *
+ * Pairing policy. The paper compares every element of one input against
+ * all elements of the other. When a query has several candidate partners
+ * (two of its vectors arrived on the same side), an all-pairs reduce would
+ * double-count values, so the compute units pair the i-th matching entry
+ * of A with the i-th matching entry of B per query; unpaired entries are
+ * forwarded. This keeps every query's in-flight items disjoint partial
+ * sums — the invariant the root combiner relies on.
+ */
+
+#ifndef FAFNIR_FAFNIR_PE_HH
+#define FAFNIR_FAFNIR_PE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "fafnir/item.hh"
+
+namespace fafnir::core
+{
+
+/**
+ * Latencies of the compute-unit components in PE cycles (the paper's
+ * Table IV, 200 MHz FPGA implementation). Reduce and forward are parallel
+ * paths; the per-item critical path is compare + the action.
+ */
+struct PeLatency
+{
+    Cycles compare = 1;
+    Cycles reduceValue = 2;
+    Cycles reduceHeader = 1;
+    Cycles forward = 1;
+    /** Merge-unit pass over the raw outputs. */
+    Cycles merge = 1;
+    /** Output initiation interval (pipelined, one item per cycle). */
+    Cycles issue = 1;
+
+    Cycles
+    reducePath() const
+    {
+        return compare + std::max(reduceValue, reduceHeader);
+    }
+
+    Cycles forwardPath() const { return compare + forward; }
+};
+
+/** What happened to produce one output item (drives timing and stats). */
+enum class PeAction : std::uint8_t
+{
+    Reduce,
+    Forward,
+};
+
+/** Per-PE activity counters for one batch. */
+struct PeActivity
+{
+    std::uint64_t compares = 0;
+    std::uint64_t reduces = 0;
+    std::uint64_t forwards = 0;
+    /** Outputs dropped as exact duplicates by the merge unit. */
+    std::uint64_t duplicatesDropped = 0;
+    /** Header concatenations performed by the merge unit. */
+    std::uint64_t headersMerged = 0;
+
+    PeActivity &
+    operator+=(const PeActivity &other)
+    {
+        compares += other.compares;
+        reduces += other.reduces;
+        forwards += other.forwards;
+        duplicatesDropped += other.duplicatesDropped;
+        headersMerged += other.headersMerged;
+        return *this;
+    }
+};
+
+/** Which input buffer entry contributed to an output. */
+struct Provenance
+{
+    /** 0 = input A, 1 = input B. */
+    std::uint8_t side = 0;
+    /** Position within that input list. */
+    std::uint16_t index = 0;
+
+    bool operator==(const Provenance &other) const = default;
+};
+
+/** An output item tagged with the action that produced it. */
+struct PeOutput
+{
+    Item item;
+    PeAction action = PeAction::Forward;
+    /** Input entries this output depends on (post-merge union). */
+    std::vector<Provenance> sources;
+};
+
+/**
+ * Functional model of one PE processing the complete input sets of one
+ * batch. Stateless; the tree evaluators own buffering and timing.
+ */
+class ProcessingElement
+{
+  public:
+    /**
+     * Process inputs A and B.
+     * @param values when false, item values are not combined (timing-only
+     *        runs on large batches skip the arithmetic).
+     * @param op element-wise operator of the reduce path.
+     */
+    static std::vector<PeOutput>
+    process(const std::vector<Item> &a, const std::vector<Item> &b,
+            PeActivity &activity, bool values = true,
+            embedding::ReduceOp op = embedding::ReduceOp::Sum);
+
+    /**
+     * Upper bound on outputs: min(nm + n + m, batch) — Section IV-B.
+     */
+    static std::size_t
+    outputBound(std::size_t n, std::size_t m, std::size_t batch)
+    {
+        return std::min(n * m + n + m, batch);
+    }
+};
+
+} // namespace fafnir::core
+
+#endif // FAFNIR_FAFNIR_PE_HH

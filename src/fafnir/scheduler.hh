@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Root-side read scheduling.
+ *
+ * Section IV-B: the host compiles a batch into memory-access requests to
+ * the ROOT of the tree, which decodes and forwards them to the ranks.
+ * That decoder is free to order each rank's reads; ordering by (bank,
+ * row) turns unique indices that share a DRAM row (sixteen 512 B vectors
+ * per 8 KB row) into row-buffer hits. The scheduler reorders only within
+ * a rank — tree correctness is order-independent because flits carry
+ * their own headers.
+ */
+
+#ifndef FAFNIR_FAFNIR_SCHEDULER_HH
+#define FAFNIR_FAFNIR_SCHEDULER_HH
+
+#include <algorithm>
+
+#include "dram/address.hh"
+#include "fafnir/host.hh"
+
+namespace fafnir::core
+{
+
+/** Ordering policy of each rank's read list. */
+enum class ReadOrder
+{
+    /** Issue in host-compilation order (ascending index). */
+    InOrder,
+    /** Group reads of the same bank and row together (open-page wins). */
+    RowHitFirst,
+};
+
+/**
+ * Reorder the per-rank read lists of @p prepared under @p policy.
+ * InOrder is the identity.
+ */
+inline void
+scheduleReads(PreparedBatch &prepared, ReadOrder policy,
+              const dram::AddressMapper &mapper)
+{
+    if (policy == ReadOrder::InOrder)
+        return;
+    for (auto &reads : prepared.rankReads) {
+        std::stable_sort(
+            reads.begin(), reads.end(),
+            [&mapper](const RankRead &a, const RankRead &b) {
+                const auto ca = mapper.decode(a.address);
+                const auto cb = mapper.decode(b.address);
+                if (ca.bank != cb.bank)
+                    return ca.bank < cb.bank;
+                if (ca.row != cb.row)
+                    return ca.row < cb.row;
+                return ca.column < cb.column;
+            });
+    }
+}
+
+} // namespace fafnir::core
+
+#endif // FAFNIR_FAFNIR_SCHEDULER_HH

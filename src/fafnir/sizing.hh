@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Buffer sizing model (the paper's Table I).
+ *
+ * Each PE buffer entry holds a 512 B value and a header. The header's
+ * indices field stores up to q = 16 vector ids of 5 bits each (10 B, the
+ * "16 x 5/8" of Section IV-B) and its queries field holds up to seven
+ * full query residuals (7 x 16 x 5 bits = 70 B), for 592 B per entry.
+ * With n = m = B entries per PE this reproduces the paper's 4.6 / 9.3 /
+ * 18.5 KB PE buffers and the 7-PE DIMM/rank node totals of 32.4 / 64.8 /
+ * 129.5 KB for batch sizes 8 / 16 / 32.
+ */
+
+#ifndef FAFNIR_FAFNIR_SIZING_HH
+#define FAFNIR_FAFNIR_SIZING_HH
+
+namespace fafnir::core
+{
+
+/** Analytical buffer sizing of PEs and nodes. */
+struct BufferSizing
+{
+    /** Maximum indices per query. */
+    unsigned qMax = 16;
+    /** Bits per vector id (32 embedding tables -> 5 bits). */
+    unsigned indexBits = 5;
+    /** Value payload per entry. */
+    unsigned valueBytes = 512;
+    /** Queries-field capacity in whole query residuals. */
+    unsigned residualSlots = 7;
+
+    /** Header bytes: indices field + queries field. */
+    double
+    headerBytes() const
+    {
+        const unsigned slots = qMax + residualSlots * qMax;
+        return static_cast<double>(slots) * indexBits / 8.0;
+    }
+
+    double entryBytes() const { return valueBytes + headerBytes(); }
+
+    /** One PE's buffer for hardware batch size @p batch (n = m = B). */
+    double
+    peBufferKiB(unsigned batch) const
+    {
+        return static_cast<double>(batch) * entryBytes() / 1024.0;
+    }
+
+    /** A DIMM/rank node holds @p pes PEs (7 in the paper's Figure 4a). */
+    double
+    dimmRankNodeKiB(unsigned batch, unsigned pes = 7) const
+    {
+        return peBufferKiB(batch) * pes;
+    }
+
+    /** The channel node holds @p pes PEs (3 in Figure 4a). */
+    double
+    channelNodeKiB(unsigned batch, unsigned pes = 3) const
+    {
+        return peBufferKiB(batch) * pes;
+    }
+};
+
+} // namespace fafnir::core
+
+#endif // FAFNIR_FAFNIR_SIZING_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Implementation of the ASIC cost model.
+ */
+
+#include "asic.hh"
+
+namespace fafnir::hwmodel
+{
+
+double
+AsicModel::peAreaMm2() const
+{
+    return params_.peWidthUm * params_.peHeightUm * 1e-6;
+}
+
+double
+AsicModel::dimmRankNodeAreaMm2() const
+{
+    return params_.dimmNodeWidthUm * params_.dimmNodeHeightUm * 1e-6;
+}
+
+double
+AsicModel::channelNodeAreaMm2() const
+{
+    // Three PEs plus the same per-node packing overhead ratio the
+    // DIMM/rank node exhibits over its seven PEs.
+    const double packing = dimmRankNodeAreaMm2() / (7.0 * peAreaMm2());
+    return 3.0 * peAreaMm2() * packing;
+}
+
+double
+AsicModel::pePowerMw() const
+{
+    return params_.dimmNodePowerMw / 7.0;
+}
+
+double
+AsicModel::systemAreaMm2(unsigned channels) const
+{
+    return channels * dimmRankNodeAreaMm2() + channelNodeAreaMm2();
+}
+
+double
+AsicModel::systemPowerMw(unsigned channels) const
+{
+    return channels * params_.dimmNodePowerMw +
+           params_.channelNodePowerMw;
+}
+
+double
+AsicModel::powerOverheadFraction(unsigned dimms) const
+{
+    const double dram_mw = params_.dimmPowerW * 1000.0 * dimms;
+    return systemPowerMw(dimms / 4) / dram_mw;
+}
+
+std::vector<BlockCost>
+AsicModel::tableVi(unsigned channels) const
+{
+    return {
+        {"PE", peAreaMm2(), pePowerMw()},
+        {"Leaf PE (with SpMV multipliers)",
+         peAreaMm2() + params_.leafMultiplierAreaMm2, pePowerMw() * 1.15},
+        {"DIMM/rank node (7 PEs)", dimmRankNodeAreaMm2(),
+         params_.dimmNodePowerMw},
+        {"Channel node (3 PEs)", channelNodeAreaMm2(),
+         params_.channelNodePowerMw},
+        {"System (" + std::to_string(channels) + " channels)",
+         systemAreaMm2(channels), systemPowerMw(channels)},
+    };
+}
+
+std::vector<BlockCost>
+AsicModel::peBreakdown(const PeBreakdown &fractions) const
+{
+    const double area = peAreaMm2();
+    const double power = pePowerMw();
+    return {
+        {"input FIFOs", area * fractions.inputFifos,
+         power * fractions.inputFifos},
+        {"compute units", area * fractions.computeUnits,
+         power * fractions.computeUnits},
+        {"merge unit", area * fractions.mergeUnit,
+         power * fractions.mergeUnit},
+        {"control", area * fractions.control, power * fractions.control},
+    };
+}
+
+} // namespace fafnir::hwmodel

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * 7 nm ASIC area/power model (the paper's Table VI and Figure 16b).
+ *
+ * The model is compositional: per-PE area/power constants (taken from the
+ * paper's ASAP7 implementation results) scale into DIMM/rank nodes (7
+ * PEs), the channel node (3 PEs), and whole systems. The paper's headline
+ * numbers — a 0.077 mm^2 PE (274 um x 282 um), a 0.283 mm^2 DIMM/rank
+ * node (492 um x 575 um), the 0.121 mm^2 channel-node chip, ~1.25 mm^2
+ * and 111.64 mW for the full 32-rank system, 23.82 mW per four DIMMs —
+ * all derive from these constants.
+ */
+
+#ifndef FAFNIR_HWMODEL_ASIC_HH
+#define FAFNIR_HWMODEL_ASIC_HH
+
+#include <string>
+#include <vector>
+
+namespace fafnir::hwmodel
+{
+
+/** Area/power of one block. */
+struct BlockCost
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+/** Per-PE component breakdown (Figure 16b's uniform distribution). */
+struct PeBreakdown
+{
+    /** Fractions of PE area/power by component; sums to 1. */
+    double inputFifos = 0.28;
+    double computeUnits = 0.34;
+    double mergeUnit = 0.22;
+    double control = 0.16;
+};
+
+/** The 7 nm ASIC model. */
+class AsicModel
+{
+  public:
+    /** Paper constants (ASAP7, 7 nm). */
+    struct Params
+    {
+        /** One PE: 274 um x 282 um. */
+        double peWidthUm = 274.0;
+        double peHeightUm = 282.0;
+        /** DIMM/rank node chip: 492 um x 575 um (7 PEs). */
+        double dimmNodeWidthUm = 492.0;
+        double dimmNodeHeightUm = 575.0;
+        /** Power of one DIMM/rank node (7 PEs + glue). */
+        double dimmNodePowerMw = 23.82;
+        /** Power of the channel node (3 PEs + glue). */
+        double channelNodePowerMw = 16.36;
+        /** Extra leaf-PE area to support SpMV multipliers. */
+        double leafMultiplierAreaMm2 = 0.013;
+        /** DDR4 DIMM power for scale (Micron power calculator). */
+        double dimmPowerW = 13.0;
+    };
+
+    AsicModel() : params_(Params{}) {}
+    explicit AsicModel(const Params &params) : params_(params) {}
+
+    double peAreaMm2() const;
+    double dimmRankNodeAreaMm2() const;
+    double channelNodeAreaMm2() const;
+    double pePowerMw() const;
+
+    /** Full system: @p channels DIMM/rank nodes + one channel node. */
+    double systemAreaMm2(unsigned channels = 4) const;
+    double systemPowerMw(unsigned channels = 4) const;
+
+    /** Overhead relative to the DRAM the chips serve. */
+    double powerOverheadFraction(unsigned dimms = 16) const;
+
+    /** Per-block rows of Table VI. */
+    std::vector<BlockCost> tableVi(unsigned channels = 4) const;
+
+    /** Figure 16b: per-component power of one PE. */
+    std::vector<BlockCost>
+    peBreakdown(const PeBreakdown &fractions = {}) const;
+
+    const Params &params() const { return params_; }
+
+  private:
+    Params params_;
+};
+
+/**
+ * Comparison point from prior work: a RecNMP processing unit is estimated
+ * at 0.54 mm^2 and 184.2 mW per DIMM at 40 nm / 250 MHz.
+ */
+struct RecNmpCost
+{
+    double areaPerDimmMm2 = 0.54;
+    double powerPerDimmMw = 184.2;
+
+    double
+    systemAreaMm2(unsigned dimms = 16) const
+    {
+        return areaPerDimmMm2 * dimms;
+    }
+
+    double
+    systemPowerMw(unsigned dimms = 16) const
+    {
+        return powerPerDimmMw * dimms;
+    }
+};
+
+} // namespace fafnir::hwmodel
+
+#endif // FAFNIR_HWMODEL_ASIC_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DRAM energy model.
+ *
+ * The paper's memory-energy-saving argument (Section VI) is linear in the
+ * number of eliminated accesses: "the energy consumption of DRAM
+ * dominates that of computation". This model maps access counts from the
+ * DDR4 simulator onto per-operation energies in the range of Micron DDR4
+ * power-calculator outputs, so benches can report both access counts and
+ * the implied energy.
+ */
+
+#ifndef FAFNIR_HWMODEL_ENERGY_HH
+#define FAFNIR_HWMODEL_ENERGY_HH
+
+#include <cstdint>
+
+namespace fafnir::hwmodel
+{
+
+/** Per-operation energies (nJ). */
+struct DramEnergyParams
+{
+    /** One ACT+PRE pair. */
+    double activationNj = 2.5;
+    /** One 64 B read burst, array + internal data movement. */
+    double readBurstNj = 3.1;
+    /** Driving one 64 B burst across the channel to the host. */
+    double channelIoNj = 5.4;
+};
+
+/** Energy accumulator fed from MemorySystem counters. */
+class DramEnergyModel
+{
+  public:
+    explicit DramEnergyModel(const DramEnergyParams &params = {})
+        : params_(params)
+    {}
+
+    /** Total nJ for the given activity counts. */
+    double
+    energyNj(std::uint64_t activations, std::uint64_t bursts,
+             std::uint64_t bytes_to_host, unsigned burst_bytes = 64) const
+    {
+        const double io_bursts =
+            static_cast<double>(bytes_to_host) / burst_bytes;
+        return static_cast<double>(activations) * params_.activationNj +
+               static_cast<double>(bursts) * params_.readBurstNj +
+               io_bursts * params_.channelIoNj;
+    }
+
+    const DramEnergyParams &params() const { return params_; }
+
+  private:
+    DramEnergyParams params_;
+};
+
+} // namespace fafnir::hwmodel
+
+#endif // FAFNIR_HWMODEL_ENERGY_HH

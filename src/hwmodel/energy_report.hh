@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End-to-end energy accounting for a lookup run.
+ *
+ * Section VI argues Fafnir's energy story in two parts: DRAM dominates
+ * (so eliminated accesses are eliminated energy), and the tree itself
+ * adds only milliwatts. This report composes the DRAM energy model with
+ * the ASIC power model: DRAM energy from the memory system's activity
+ * counters, NDP energy as (node power) x (busy time), and host energy
+ * for the channel transfers it must absorb.
+ */
+
+#ifndef FAFNIR_HWMODEL_ENERGY_REPORT_HH
+#define FAFNIR_HWMODEL_ENERGY_REPORT_HH
+
+#include "common/types.hh"
+#include "dram/memsystem.hh"
+#include "hwmodel/asic.hh"
+#include "hwmodel/energy.hh"
+
+namespace fafnir::hwmodel
+{
+
+/** Energy of one experiment, in microjoules. */
+struct EnergyBreakdown
+{
+    double dramUj = 0.0;
+    double ndpUj = 0.0;
+    double hostIoUj = 0.0;
+
+    double total() const { return dramUj + ndpUj + hostIoUj; }
+};
+
+/** Composes the energy models over a finished run. */
+class EnergyReport
+{
+  public:
+    EnergyReport(const DramEnergyParams &dram_params = {},
+                 const AsicModel &asic = AsicModel{})
+        : dram_(dram_params), asic_(asic)
+    {}
+
+    /**
+     * Account a run.
+     * @param memory the memory system after the run (activity counters).
+     * @param busy simulated wall-clock the NDP chips were powered.
+     * @param channels DIMM/rank nodes in the system.
+     * @param host_io_nj_per_byte host-side energy per byte received.
+     */
+    EnergyBreakdown
+    account(const dram::MemorySystem &memory, Tick busy,
+            unsigned channels = 4,
+            double host_io_nj_per_byte = 0.05) const
+    {
+        EnergyBreakdown out;
+        out.dramUj = dram_.energyNj(memory.activationCount(),
+                                    memory.burstCount(),
+                                    memory.bytesToHost(),
+                                    memory.geometry().burstBytes) /
+                     1000.0;
+        // mW x seconds = mJ; busy is in picoseconds. channels == 0 means
+        // no NDP silicon is installed at all (the no-NDP baseline).
+        const double busy_s = static_cast<double>(busy) / 1e12;
+        out.ndpUj = channels == 0
+            ? 0.0
+            : asic_.systemPowerMw(channels) * busy_s * 1000.0;
+        out.hostIoUj = static_cast<double>(memory.bytesToHost()) *
+                       host_io_nj_per_byte / 1000.0;
+        return out;
+    }
+
+  private:
+    DramEnergyModel dram_;
+    AsicModel asic_;
+};
+
+} // namespace fafnir::hwmodel
+
+#endif // FAFNIR_HWMODEL_ENERGY_REPORT_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Implementation of the FPGA model.
+ */
+
+#include "fpga.hh"
+
+#include "common/intmath.hh"
+
+namespace fafnir::hwmodel
+{
+
+FpgaUsage &
+FpgaUsage::operator+=(const FpgaUsage &other)
+{
+    luts += other.luts;
+    lutram += other.lutram;
+    flipflops += other.flipflops;
+    bram36 += other.bram36;
+    dsp += other.dsp;
+    return *this;
+}
+
+FpgaUsage
+FpgaUsage::scaled(unsigned factor, std::string new_name) const
+{
+    FpgaUsage out = *this;
+    out.name = std::move(new_name);
+    out.luts *= factor;
+    out.lutram *= factor;
+    out.flipflops *= factor;
+    out.bram36 *= factor;
+    out.dsp *= factor;
+    return out;
+}
+
+FpgaUsage
+FpgaModel::peUsage(unsigned hw_batch) const
+{
+    // Logic scales with the compute-unit count (= B); buffers scale with
+    // the entry count. Constants back out of the paper's system-level
+    // utilization (31 PEs <= 5% LUT / 0.15% LUTRAM / 1% FF / 13% BRAM).
+    FpgaUsage pe;
+    pe.name = "PE(B=" + std::to_string(hw_batch) + ")";
+    pe.luts = 60 * hw_batch; // compare/reduce/forward lanes
+    pe.lutram = 28;          // small control FIFOs
+    pe.flipflops = 24 * hw_batch;
+    // Two input buffers of B entries x 592 B each in BRAM36 (4.5 KiB).
+    pe.bram36 = static_cast<unsigned long>(
+        divCeil(2ull * hw_batch * 592, 36 * 1024 / 8));
+    pe.dsp = 16; // fp32 adders of the reduce path
+    return pe;
+}
+
+FpgaUsage
+FpgaModel::dimmRankNodeUsage(unsigned hw_batch) const
+{
+    FpgaUsage node = peUsage(hw_batch).scaled(7, "DIMM/rank node");
+    node.luts += 600; // DDR PHY-side glue and arbitration
+    node.flipflops += 400;
+    return node;
+}
+
+FpgaUsage
+FpgaModel::channelNodeUsage(unsigned hw_batch) const
+{
+    FpgaUsage node = peUsage(hw_batch).scaled(3, "channel node");
+    node.luts += 800; // host-link interface
+    node.flipflops += 600;
+    return node;
+}
+
+FpgaUsage
+FpgaModel::systemUsage(unsigned channels, unsigned hw_batch) const
+{
+    FpgaUsage system;
+    system.name = "system";
+    for (unsigned c = 0; c < channels; ++c)
+        system += dimmRankNodeUsage(hw_batch);
+    system += channelNodeUsage(hw_batch);
+    return system;
+}
+
+std::vector<std::pair<std::string, double>>
+FpgaModel::utilization(const FpgaUsage &usage) const
+{
+    auto pct = [](unsigned long used, unsigned long avail) {
+        return 100.0 * static_cast<double>(used) /
+               static_cast<double>(avail);
+    };
+    return {
+        {"LUT", pct(usage.luts, device_.luts)},
+        {"LUTRAM", pct(usage.lutram, device_.lutram)},
+        {"FF", pct(usage.flipflops, device_.flipflops)},
+        {"BRAM", pct(usage.bram36, device_.bram36)},
+        {"DSP", pct(usage.dsp, device_.dsp)},
+    };
+}
+
+std::vector<PowerSlice>
+FpgaModel::dimmRankNodePower() const
+{
+    // Figure 16a: 0.23 W total at 200 MHz.
+    return {
+        {"clocks", 0.035},
+        {"signals", 0.055},
+        {"logic", 0.060},
+        {"BRAM", 0.058},
+        {"I/O", 0.022},
+    };
+}
+
+std::vector<PowerSlice>
+FpgaModel::channelNodePower() const
+{
+    // Figure 16a: 0.18 W total at 200 MHz.
+    return {
+        {"clocks", 0.028},
+        {"signals", 0.042},
+        {"logic", 0.045},
+        {"BRAM", 0.040},
+        {"I/O", 0.025},
+    };
+}
+
+} // namespace fafnir::hwmodel

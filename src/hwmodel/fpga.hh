@@ -1,0 +1,85 @@
+/**
+ * @file
+ * XCVU9P FPGA resource and power model (Table V and Figure 16a).
+ *
+ * Per-PE resource costs are derived from the paper's system-level
+ * utilization (a 4-DIMM/rank-node + 1-channel-node system uses up to 5 %
+ * of LUTs, 0.15 % of LUTRAMs, 1 % of FFs, and 13 % of BRAM on an
+ * XCVU9P); the model composes nodes and systems from them and reports
+ * utilization and dynamic power.
+ */
+
+#ifndef FAFNIR_HWMODEL_FPGA_HH
+#define FAFNIR_HWMODEL_FPGA_HH
+
+#include <string>
+#include <vector>
+
+namespace fafnir::hwmodel
+{
+
+/** Device capacity of the Xilinx XCVU9P. */
+struct FpgaDevice
+{
+    std::string name = "XCVU9P";
+    unsigned long luts = 1182240;
+    unsigned long lutram = 591840;
+    unsigned long flipflops = 2364480;
+    unsigned long bram36 = 2160;
+    unsigned long dsp = 6840;
+};
+
+/** Resource usage of a block. */
+struct FpgaUsage
+{
+    std::string name;
+    unsigned long luts = 0;
+    unsigned long lutram = 0;
+    unsigned long flipflops = 0;
+    unsigned long bram36 = 0;
+    unsigned long dsp = 0;
+
+    FpgaUsage &operator+=(const FpgaUsage &other);
+    FpgaUsage scaled(unsigned factor, std::string new_name) const;
+};
+
+/** One category of the Figure 16a dynamic-power breakdown. */
+struct PowerSlice
+{
+    std::string category;
+    double watts = 0.0;
+};
+
+/** The FPGA implementation model. */
+class FpgaModel
+{
+  public:
+    explicit FpgaModel(const FpgaDevice &device = {}) : device_(device) {}
+
+    /** One PE at batch size @p hw_batch (buffers scale with B). */
+    FpgaUsage peUsage(unsigned hw_batch = 32) const;
+    /** A DIMM/rank node: 7 PEs + node glue. */
+    FpgaUsage dimmRankNodeUsage(unsigned hw_batch = 32) const;
+    /** The channel node: 3 PEs + glue. */
+    FpgaUsage channelNodeUsage(unsigned hw_batch = 32) const;
+    /** Full system: 4 DIMM/rank nodes + 1 channel node. */
+    FpgaUsage systemUsage(unsigned channels = 4,
+                          unsigned hw_batch = 32) const;
+
+    /** Utilization percentage of @p usage against the device. */
+    std::vector<std::pair<std::string, double>>
+    utilization(const FpgaUsage &usage) const;
+
+    /** Figure 16a: dynamic power at 200 MHz per node type. */
+    std::vector<PowerSlice> dimmRankNodePower() const;
+    std::vector<PowerSlice> channelNodePower() const;
+
+    const FpgaDevice &device() const { return device_; }
+
+  private:
+    FpgaDevice device_;
+};
+
+} // namespace fafnir::hwmodel
+
+#endif // FAFNIR_HWMODEL_FPGA_HH

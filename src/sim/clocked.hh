@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Clock domains and clocked components.
+ *
+ * A ClockDomain converts between ticks (picoseconds) and cycles of a fixed
+ * frequency; Clocked is the base for components that think in their own
+ * cycles (PEs at 200 MHz, DDR4 channels at 1200 MHz command clock, a host
+ * CPU at a few GHz).
+ */
+
+#ifndef FAFNIR_SIM_CLOCKED_HH
+#define FAFNIR_SIM_CLOCKED_HH
+
+#include <string>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "sim/eventq.hh"
+
+namespace fafnir
+{
+
+/** A fixed-frequency clock. */
+class ClockDomain
+{
+  public:
+    /** @param period_ticks clock period in ticks (picoseconds). */
+    explicit ClockDomain(Tick period_ticks) : period_(period_ticks)
+    {
+        FAFNIR_ASSERT(period_ > 0, "clock period must be positive");
+    }
+
+    static ClockDomain fromMhz(double mhz)
+    {
+        return ClockDomain(periodFromMhz(mhz));
+    }
+
+    Tick period() const { return period_; }
+    double frequencyMhz() const { return 1e6 / static_cast<double>(period_); }
+
+    /** Ticks spanned by @p cycles. */
+    Tick cyclesToTicks(Cycles cycles) const { return cycles * period_; }
+
+    /** Whole cycles elapsed at @p tick (floor). */
+    Cycles ticksToCycles(Tick tick) const { return tick / period_; }
+
+    /** The first clock edge at or after @p tick. */
+    Tick
+    nextEdge(Tick tick) const
+    {
+        const Tick remainder = tick % period_;
+        return remainder == 0 ? tick : tick + (period_ - remainder);
+    }
+
+  private:
+    Tick period_;
+};
+
+/**
+ * Base class for named components bound to an event queue and a clock.
+ */
+class Clocked
+{
+  public:
+    Clocked(std::string name, EventQueue &eq, ClockDomain clock)
+        : name_(std::move(name)), eventq_(eq), clock_(clock)
+    {}
+
+    virtual ~Clocked() = default;
+
+    const std::string &name() const { return name_; }
+    EventQueue &eventq() { return eventq_; }
+    const ClockDomain &clock() const { return clock_; }
+
+    /** Current time in this component's cycles. */
+    Cycles curCycle() const { return clock_.ticksToCycles(eventq_.now()); }
+
+    /** Absolute tick of the clock edge @p delta cycles from now. */
+    Tick
+    clockEdge(Cycles delta = 0) const
+    {
+        return clock_.nextEdge(eventq_.now()) + clock_.cyclesToTicks(delta);
+    }
+
+    /** Schedule @p event @p delta cycles ahead, aligned to a clock edge. */
+    void
+    scheduleCycles(Event &event, Cycles delta)
+    {
+        eventq_.schedule(event, clockEdge(delta));
+    }
+
+  private:
+    std::string name_;
+    EventQueue &eventq_;
+    ClockDomain clock_;
+};
+
+} // namespace fafnir
+
+#endif // FAFNIR_SIM_CLOCKED_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of the event queue.
+ */
+
+#include "eventq.hh"
+
+#include "common/logging.hh"
+
+namespace fafnir
+{
+
+void
+EventQueue::schedule(Event &event, Tick when)
+{
+    FAFNIR_ASSERT(when >= now_, "scheduling event '", event.name(),
+                  "' in the past: ", when, " < ", now_);
+    if (event.scheduled_)
+        --pendingCount_; // the stale queue entry becomes a no-op
+    ++event.generation_;
+    event.scheduled_ = true;
+    event.when_ = when;
+    queue_.push({when, event.priority_, sequence_++, &event,
+                 event.generation_, nullptr});
+    ++pendingCount_;
+}
+
+void
+EventQueue::scheduleFn(Tick when, std::function<void()> fn, int priority)
+{
+    FAFNIR_ASSERT(when >= now_, "scheduling callback in the past: ", when,
+                  " < ", now_);
+    queue_.push({when, priority, sequence_++, nullptr, 0,
+                 std::make_shared<std::function<void()>>(std::move(fn))});
+    ++pendingCount_;
+}
+
+void
+EventQueue::deschedule(Event &event)
+{
+    if (!event.scheduled_)
+        return;
+    ++event.generation_; // invalidates the queue entry lazily
+    event.scheduled_ = false;
+    --pendingCount_;
+}
+
+bool
+EventQueue::step()
+{
+    while (!queue_.empty()) {
+        QueuedEvent top = queue_.top();
+        queue_.pop();
+        if (top.event == nullptr) {
+            FAFNIR_ASSERT(top.when >= now_,
+                          "event queue time went backwards");
+            now_ = top.when;
+            --pendingCount_;
+            ++executed_;
+            // The shared_ptr in `top` keeps the callable alive even if the
+            // callback schedules more work or the queue reallocates.
+            (*top.inlineFn)();
+            return true;
+        }
+        if (top.generation != top.event->generation_)
+            continue; // cancelled or rescheduled
+        FAFNIR_ASSERT(top.when >= now_, "event queue time went backwards");
+        now_ = top.when;
+        top.event->scheduled_ = false;
+        --pendingCount_;
+        ++executed_;
+        top.event->callback_();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!queue_.empty()) {
+        const QueuedEvent &top = queue_.top();
+        if (top.event != nullptr &&
+            top.generation != top.event->generation_) {
+            queue_.pop();
+            continue;
+        }
+        if (top.when > limit)
+            break;
+        step();
+    }
+    return now_;
+}
+
+} // namespace fafnir

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal gem5-style event queue: events are callbacks scheduled at
+ * absolute ticks (picoseconds); the queue pops them in (tick, priority,
+ * insertion-order) order. All timing models in the repository — DRAM
+ * banks, Fafnir PEs, channel buses, baseline NDP units — are driven from
+ * one EventQueue per simulated system.
+ */
+
+#ifndef FAFNIR_SIM_EVENTQ_HH
+#define FAFNIR_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fafnir
+{
+
+/**
+ * An event: a named callback with a scheduling priority. Events are owned
+ * by their creating component and may be (re)scheduled on one queue at a
+ * time; descheduling is handled by generation counting, so cancel() is O(1).
+ */
+class Event
+{
+  public:
+    /** Lower value runs earlier among events at the same tick. */
+    enum Priority : int
+    {
+        DramPriority = 10,
+        DefaultPriority = 50,
+        StatsPriority = 90,
+    };
+
+    explicit Event(std::string name, std::function<void()> callback,
+                   int priority = DefaultPriority)
+        : name_(std::move(name)), callback_(std::move(callback)),
+          priority_(priority)
+    {}
+
+    const std::string &name() const { return name_; }
+    int priority() const { return priority_; }
+    bool scheduled() const { return scheduled_; }
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    std::function<void()> callback_;
+    int priority_;
+    bool scheduled_ = false;
+    Tick when_ = 0;
+    std::uint64_t generation_ = 0;
+};
+
+/**
+ * The simulation clock and pending-event set.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p event at absolute tick @p when (>= now). An already-
+     * scheduled event is moved to the new time.
+     */
+    void schedule(Event &event, Tick when);
+
+    /** Remove @p event from the queue if pending. */
+    void deschedule(Event &event);
+
+    /**
+     * Schedule a one-shot callback at @p when. The queue owns the callback;
+     * there is no handle and no way to cancel — use an Event for that.
+     */
+    void scheduleFn(Tick when, std::function<void()> fn,
+                    int priority = Event::DefaultPriority);
+
+    /** True if no events are pending. */
+    bool empty() const { return pendingCount_ == 0; }
+
+    std::size_t pendingCount() const { return pendingCount_; }
+
+    /**
+     * Run until the queue drains or @p limit is reached.
+     * @return the tick of the last executed event (now()).
+     */
+    Tick run(Tick limit = MaxTick);
+
+    /** Execute exactly one event if any is pending. @return false if idle. */
+    bool step();
+
+    /** Total events executed since construction. */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct QueuedEvent
+    {
+        Tick when;
+        int priority;
+        std::uint64_t sequence;
+        /** Registered event, or nullptr for a one-shot callback. */
+        Event *event;
+        std::uint64_t generation;
+        /** Owned callback when event == nullptr. */
+        std::shared_ptr<std::function<void()>> inlineFn;
+
+        bool
+        operator>(const QueuedEvent &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return sequence > other.sequence;
+        }
+    };
+
+    std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
+                        std::greater<>>
+        queue_;
+    Tick now_ = 0;
+    std::uint64_t sequence_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t pendingCount_ = 0;
+};
+
+} // namespace fafnir
+
+#endif // FAFNIR_SIM_EVENTQ_HH

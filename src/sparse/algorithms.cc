@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Implementation of the iterative sparse kernels.
+ */
+
+#include "algorithms.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fafnir::sparse
+{
+
+CsrMatrix
+columnNormalize(const CsrMatrix &matrix)
+{
+    std::vector<float> column_sum(matrix.cols(), 0.0f);
+    for (std::size_t k = 0; k < matrix.nnz(); ++k)
+        column_sum[matrix.colIdx()[k]] += matrix.values()[k];
+
+    std::vector<Triplet> triplets;
+    triplets.reserve(matrix.nnz());
+    for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+        for (std::uint32_t k = matrix.rowPtr()[r];
+             k < matrix.rowPtr()[r + 1]; ++k) {
+            const std::uint32_t c = matrix.colIdx()[k];
+            FAFNIR_ASSERT(column_sum[c] != 0.0f, "empty column ", c);
+            triplets.push_back(
+                {r, c, matrix.values()[k] / column_sum[c]});
+        }
+    }
+    return CsrMatrix::fromTriplets(matrix.rows(), matrix.cols(),
+                                   std::move(triplets));
+}
+
+IterativeResult
+pageRank(FafnirSpmv &engine, const LilMatrix &adjacency, double damping,
+         const IterativeConfig &config)
+{
+    FAFNIR_ASSERT(adjacency.rows() == adjacency.cols(),
+                  "PageRank needs a square adjacency");
+    const std::uint32_t n = adjacency.rows();
+    const auto base =
+        static_cast<float>((1.0 - damping) / static_cast<double>(n));
+
+    IterativeResult result;
+    result.solution.assign(n, 1.0f / static_cast<float>(n));
+    Tick now = 0;
+    for (unsigned iter = 0; iter < config.maxIterations; ++iter) {
+        SpmvTiming timing;
+        const DenseVector contrib =
+            engine.multiply(adjacency, result.solution, now, timing);
+        now = timing.complete;
+        result.multiplies += timing.multiplies;
+
+        double delta = 0.0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const float updated =
+                base + static_cast<float>(damping) * contrib[i];
+            delta += std::fabs(updated - result.solution[i]);
+            result.solution[i] = updated;
+        }
+        result.iterations = iter + 1;
+        result.residual = delta;
+        if (delta < config.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.simulatedTicks = now;
+    return result;
+}
+
+IterativeResult
+jacobiSolve(FafnirSpmv &engine, const CsrMatrix &a, const DenseVector &b,
+            const IterativeConfig &config)
+{
+    FAFNIR_ASSERT(a.rows() == a.cols(), "Jacobi needs a square system");
+    FAFNIR_ASSERT(b.size() == a.rows(), "rhs size mismatch");
+    const std::uint32_t n = a.rows();
+
+    // Split A = D + R.
+    std::vector<float> diag(n, 0.0f);
+    std::vector<Triplet> off;
+    off.reserve(a.nnz());
+    for (std::uint32_t r = 0; r < n; ++r) {
+        for (std::uint32_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1];
+             ++k) {
+            if (a.colIdx()[k] == r)
+                diag[r] += a.values()[k];
+            else
+                off.push_back({r, a.colIdx()[k], a.values()[k]});
+        }
+    }
+    for (std::uint32_t r = 0; r < n; ++r)
+        FAFNIR_ASSERT(diag[r] != 0.0f, "zero diagonal at row ", r);
+    const LilMatrix r_lil =
+        LilMatrix::fromCsr(CsrMatrix::fromTriplets(n, n, std::move(off)));
+
+    IterativeResult result;
+    result.solution.assign(n, 0.0f);
+    Tick now = 0;
+    for (unsigned iter = 0; iter < config.maxIterations; ++iter) {
+        SpmvTiming timing;
+        const DenseVector rx =
+            engine.multiply(r_lil, result.solution, now, timing);
+        now = timing.complete;
+        result.multiplies += timing.multiplies;
+
+        double delta = 0.0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const float updated = (b[i] - rx[i]) / diag[i];
+            delta += std::fabs(updated - result.solution[i]);
+            result.solution[i] = updated;
+        }
+        result.iterations = iter + 1;
+        result.residual = delta / n;
+        if (result.residual < config.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.simulatedTicks = now;
+    return result;
+}
+
+IterativeResult
+powerIteration(FafnirSpmv &engine, const LilMatrix &a,
+               const IterativeConfig &config)
+{
+    FAFNIR_ASSERT(a.rows() == a.cols(), "power iteration needs square A");
+    const std::uint32_t n = a.rows();
+
+    IterativeResult result;
+    result.solution.assign(n, 1.0f);
+    Tick now = 0;
+    for (unsigned iter = 0; iter < config.maxIterations; ++iter) {
+        SpmvTiming timing;
+        DenseVector next = engine.multiply(a, result.solution, now,
+                                           timing);
+        now = timing.complete;
+        result.multiplies += timing.multiplies;
+
+        float norm = 0.0f;
+        for (float v : next)
+            norm = std::max(norm, std::fabs(v));
+        FAFNIR_ASSERT(norm > 0.0f, "iterate collapsed to zero");
+        double delta = 0.0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            next[i] /= norm;
+            delta += std::fabs(next[i] - result.solution[i]);
+        }
+        result.solution = std::move(next);
+        result.iterations = iter + 1;
+        result.residual = delta / n;
+        if (result.residual < config.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.simulatedTicks = now;
+    return result;
+}
+
+} // namespace fafnir::sparse

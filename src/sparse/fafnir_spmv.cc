@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Implementation of SpMV on the Fafnir tree.
+ */
+
+#include "fafnir_spmv.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fafnir::sparse
+{
+
+namespace
+{
+
+/** A row-sorted partial-result stream: (row, partial value) pairs. */
+using Stream = std::vector<std::pair<std::uint32_t, float>>;
+
+/** Sum-merge up to `ways` row-sorted streams into one. */
+Stream
+mergeStreams(const std::vector<Stream> &streams, std::size_t first,
+             std::size_t last, std::uint64_t &reduces)
+{
+    Stream out;
+    std::vector<std::size_t> cursor(last - first, 0);
+    while (true) {
+        std::uint32_t best_row = ~0u;
+        for (std::size_t s = first; s < last; ++s) {
+            const auto &st = streams[s];
+            const std::size_t c = cursor[s - first];
+            if (c < st.size())
+                best_row = std::min(best_row, st[c].first);
+        }
+        if (best_row == ~0u)
+            break;
+        float acc = 0.0f;
+        unsigned contributors = 0;
+        for (std::size_t s = first; s < last; ++s) {
+            auto &c = cursor[s - first];
+            if (c < streams[s].size() && streams[s][c].first == best_row) {
+                acc += streams[s][c].second;
+                ++c;
+                ++contributors;
+            }
+        }
+        reduces += contributors - 1;
+        out.emplace_back(best_row, acc);
+    }
+    return out;
+}
+
+} // namespace
+
+DenseVector
+FafnirSpmv::multiply(const LilMatrix &matrix, const DenseVector &x,
+                     Tick start, SpmvTiming &timing)
+{
+    FAFNIR_ASSERT(x.size() == matrix.cols(), "operand size mismatch");
+    const unsigned num_ranks = memory_.geometry().totalRanks();
+    const unsigned entry_bytes = config_.valueBytes + config_.indexBytes;
+    const Cycles tree_fill = 8; // pipeline fill of the reduction levels
+
+    timing = SpmvTiming{};
+    timing.issued = start;
+    timing.plan = planSpmv(matrix.cols(), config_.vectorSize);
+    const bool will_merge = timing.plan.mergeIterations() > 0;
+
+    // Bin the non-zeros by multiply round in one row-major pass, so each
+    // round streams its chunk without rescanning the matrix.
+    const std::uint64_t rounds0 = timing.plan.roundsPerIteration[0];
+    struct BinEntry
+    {
+        std::uint32_t row;
+        std::uint32_t col;
+        float value;
+    };
+    std::vector<std::vector<BinEntry>> bins(rounds0);
+    for (std::uint32_t r = 0; r < matrix.rows(); ++r)
+        for (const auto &[col, value] : matrix.rowList(r))
+            bins[col / config_.vectorSize].push_back({r, col, value});
+
+    // --- Iteration 0: multiply, one column chunk per round. -------------
+    std::vector<Stream> streams;
+    streams.reserve(rounds0);
+    Tick t = start;
+    for (std::uint64_t round = 0; round < rounds0; ++round) {
+        Stream stream;
+        std::vector<std::uint64_t> rank_nnz(num_ranks, 0);
+        const std::size_t chunk_nnz = bins[round].size();
+        for (const BinEntry &e : bins[round]) {
+            ++rank_nnz[e.row % num_ranks];
+            ++timing.multiplies;
+            const float product = e.value * x[e.col];
+            if (!stream.empty() && stream.back().first == e.row) {
+                stream.back().second += product;
+                ++timing.reduces;
+            } else {
+                stream.emplace_back(e.row, product);
+            }
+        }
+        bins[round].clear();
+        bins[round].shrink_to_fit();
+        if (chunk_nnz == 0)
+            continue;
+
+        // Ranks stream their rows of the chunk in parallel (values and
+        // indices both travel: "stream data and indices").
+        Tick stream_done = t;
+        for (unsigned rank = 0; rank < num_ranks; ++rank) {
+            if (rank_nnz[rank] == 0)
+                continue;
+            const std::uint64_t bytes = rank_nnz[rank] * entry_bytes;
+            timing.streamedBytes += bytes;
+            stream_done = std::max(
+                stream_done, memory_.streamFromRank(rank, bytes, t,
+                                                    dram::Destination::Ndp));
+        }
+        // The tree consumes at reducesPerCycle non-zeros per cycle,
+        // overlapped with the stream.
+        const Tick compute_done =
+            t + (divCeil(chunk_nnz, config_.reducesPerCycle) + tree_fill) *
+                    pePeriod_;
+        Tick round_done = std::max(stream_done, compute_done);
+
+        // Spill the partial stream when merge iterations follow.
+        if (will_merge) {
+            const std::uint64_t out_bytes = stream.size() * entry_bytes;
+            timing.intermediateEntries += stream.size();
+            Tick write_done = round_done;
+            for (unsigned rank = 0; rank < num_ranks; ++rank) {
+                write_done = std::max(
+                    write_done,
+                    memory_.streamToRank(rank, out_bytes / num_ranks + 1,
+                                         round_done));
+            }
+            round_done = write_done;
+        }
+        t = round_done;
+        streams.push_back(std::move(stream));
+    }
+    timing.iterationComplete.push_back(t);
+
+    // --- Merge iterations: fold streams, vectorSize-way per round. ------
+    for (unsigned iter = 1; iter < timing.plan.iterations(); ++iter) {
+        std::vector<Stream> next;
+        const std::size_t ways = config_.vectorSize;
+        for (std::size_t first = 0; first < streams.size(); first += ways) {
+            const std::size_t last =
+                std::min(streams.size(), first + ways);
+
+            std::uint64_t in_entries = 0;
+            for (std::size_t s = first; s < last; ++s)
+                in_entries += streams[s].size();
+
+            Stream merged =
+                mergeStreams(streams, first, last, timing.reduces);
+
+            // Read the group's intermediate data back through the tree;
+            // the merge path sustains only a fraction of the stream rate.
+            const auto in_bytes = static_cast<std::uint64_t>(
+                static_cast<double>(in_entries * entry_bytes) /
+                config_.mergeStreamRate);
+            Tick read_done = t;
+            for (unsigned rank = 0; rank < num_ranks; ++rank) {
+                read_done = std::max(
+                    read_done,
+                    memory_.streamFromRank(rank,
+                                           in_bytes / num_ranks + 1, t,
+                                           dram::Destination::Ndp));
+            }
+            timing.streamedBytes += in_entries * entry_bytes;
+            const Tick compute_done =
+                t + (divCeil(in_entries, config_.reducesPerCycle) +
+                     tree_fill) *
+                        pePeriod_;
+            Tick round_done = std::max(read_done, compute_done);
+
+            const bool more = iter + 1 < timing.plan.iterations();
+            if (more) {
+                const std::uint64_t out_bytes =
+                    merged.size() * entry_bytes;
+                timing.intermediateEntries += merged.size();
+                Tick write_done = round_done;
+                for (unsigned rank = 0; rank < num_ranks; ++rank) {
+                    write_done = std::max(
+                        write_done,
+                        memory_.streamToRank(rank,
+                                             out_bytes / num_ranks + 1,
+                                             round_done));
+                }
+                round_done = write_done;
+            }
+            t = round_done;
+            next.push_back(std::move(merged));
+        }
+        streams = std::move(next);
+        timing.iterationComplete.push_back(t);
+    }
+
+    timing.complete = t;
+
+    // Materialize the dense result.
+    DenseVector y(matrix.rows(), 0.0f);
+    FAFNIR_ASSERT(streams.size() <= 1, "merge plan did not converge");
+    if (!streams.empty())
+        for (const auto &[row, value] : streams.front())
+            y[row] = value;
+    return y;
+}
+
+} // namespace fafnir::sparse

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SpMV on the Fafnir hardware (Section IV-D).
+ *
+ * The matrix is stored row-distributed over the memory ranks in LIL form;
+ * both values and column indices stream through the tree ("for SpMV, we
+ * stream both data and indices"). Leaf PEs multiply each non-zero by the
+ * buffered operand element (iteration 0 only) and the tree accumulates
+ * per-row partial sums; each multiply round emits one row-sorted partial
+ * stream. Merge iterations re-stream those intermediate streams through
+ * the same tree with multiplication skipped.
+ *
+ * The engine is functional AND timed: it computes the exact result vector
+ * (validated against CSR SpMV) while charging every streamed byte to the
+ * DRAM model and every reduce to the tree's throughput.
+ */
+
+#ifndef FAFNIR_SPARSE_FAFNIR_SPMV_HH
+#define FAFNIR_SPARSE_FAFNIR_SPMV_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/memsystem.hh"
+#include "fafnir/pe.hh"
+#include "sparse/matrix.hh"
+#include "sparse/planner.hh"
+
+namespace fafnir::sparse
+{
+
+/** Parameters of the Fafnir SpMV engine. */
+struct FafnirSpmvConfig
+{
+    /** Columns that fit through the tree per round (paper: 2048). */
+    unsigned vectorSize = 2048;
+    /** PE clock. */
+    double peClockMhz = 200.0;
+    /**
+     * Non-zeros the tree folds per PE cycle. The Figure 7c vectorization
+     * is what makes this large: each of the 16 leaf PEs processes a
+     * vector of independent elements per cycle (16 lanes), so the tree
+     * keeps up with the aggregate stream rate of the ranks.
+     */
+    unsigned reducesPerCycle = 256;
+    unsigned valueBytes = 4;
+    unsigned indexBytes = 4;
+    /**
+     * Effective fraction of the stream rate sustained during merge
+     * iterations. Merging re-streams unsorted intermediate runs through
+     * the general-purpose tree (header comparisons, no multiply-side
+     * pipelining), which the paper concedes is where the specialized
+     * Two-Step merge core wins.
+     */
+    double mergeStreamRate = 0.5;
+};
+
+/** Timing and work counters of one SpMV run. */
+struct SpmvTiming
+{
+    Tick issued = 0;
+    Tick complete = 0;
+    /** Per-iteration completion ticks. */
+    std::vector<Tick> iterationComplete;
+    std::uint64_t multiplies = 0;
+    std::uint64_t reduces = 0;
+    std::uint64_t streamedBytes = 0;
+    std::uint64_t intermediateEntries = 0;
+    SpmvPlan plan;
+
+    Tick totalTime() const { return complete - issued; }
+};
+
+/** Fafnir SpMV engine. */
+class FafnirSpmv
+{
+  public:
+    FafnirSpmv(dram::MemorySystem &memory,
+               const FafnirSpmvConfig &config = {})
+        : memory_(memory), config_(config),
+          pePeriod_(periodFromMhz(config.peClockMhz))
+    {}
+
+    /**
+     * Compute y = A * x, charging time to the DRAM model starting at
+     * @p start.
+     */
+    DenseVector multiply(const LilMatrix &matrix, const DenseVector &x,
+                         Tick start, SpmvTiming &timing);
+
+    const FafnirSpmvConfig &config() const { return config_; }
+
+  private:
+    dram::MemorySystem &memory_;
+    FafnirSpmvConfig config_;
+    Tick pePeriod_;
+};
+
+} // namespace fafnir::sparse
+
+#endif // FAFNIR_SPARSE_FAFNIR_SPMV_HH

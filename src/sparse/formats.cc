@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Implementation of the COO and CSC formats.
+ */
+
+#include "formats.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace fafnir::sparse
+{
+
+CooMatrix
+CooMatrix::fromCsr(const CsrMatrix &csr)
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(csr.nnz());
+    for (std::uint32_t r = 0; r < csr.rows(); ++r)
+        for (std::uint32_t k = csr.rowPtr()[r]; k < csr.rowPtr()[r + 1];
+             ++k)
+            triplets.push_back({r, csr.colIdx()[k], csr.values()[k]});
+    return CooMatrix(csr.rows(), csr.cols(), std::move(triplets));
+}
+
+CsrMatrix
+CooMatrix::toCsr() const
+{
+    return CsrMatrix::fromTriplets(rows_, cols_, triplets_);
+}
+
+DenseVector
+CooMatrix::multiply(const DenseVector &x) const
+{
+    FAFNIR_ASSERT(x.size() == cols_, "operand size mismatch");
+    DenseVector y(rows_, 0.0f);
+    for (const Triplet &t : triplets_)
+        y[t.row] += t.value * x[t.col];
+    return y;
+}
+
+CooMatrix
+CooMatrix::parse(std::istream &is)
+{
+    std::string line;
+    // Skip comments.
+    while (std::getline(is, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream header(line);
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::size_t nnz = 0;
+    FAFNIR_ASSERT(static_cast<bool>(header >> rows >> cols >> nnz),
+                  "malformed coordinate header: '", line, "'");
+
+    std::vector<Triplet> triplets;
+    triplets.reserve(nnz);
+    for (std::size_t i = 0; i < nnz; ++i) {
+        std::uint32_t r = 0;
+        std::uint32_t c = 0;
+        float v = 0.0f;
+        FAFNIR_ASSERT(static_cast<bool>(is >> r >> c >> v),
+                      "truncated coordinate stream at entry ", i);
+        FAFNIR_ASSERT(r >= 1 && c >= 1, "indices are 1-based");
+        triplets.push_back({r - 1, c - 1, v});
+    }
+    return CooMatrix(rows, cols, std::move(triplets));
+}
+
+void
+CooMatrix::write(std::ostream &os) const
+{
+    os << "%% fafnir coordinate matrix\n"
+       << rows_ << ' ' << cols_ << ' ' << triplets_.size() << '\n';
+    for (const Triplet &t : triplets_)
+        os << t.row + 1 << ' ' << t.col + 1 << ' ' << t.value << '\n';
+}
+
+CscMatrix::CscMatrix(std::uint32_t rows, std::uint32_t cols,
+                     std::vector<std::uint32_t> col_ptr,
+                     std::vector<std::uint32_t> row_idx,
+                     std::vector<float> values)
+    : rows_(rows), cols_(cols), colPtr_(std::move(col_ptr)),
+      rowIdx_(std::move(row_idx)), values_(std::move(values))
+{
+    FAFNIR_ASSERT(colPtr_.size() == cols_ + 1, "colPtr size mismatch");
+    FAFNIR_ASSERT(rowIdx_.size() == values_.size(),
+                  "index/value mismatch");
+    FAFNIR_ASSERT(colPtr_.back() == values_.size(),
+                  "colPtr tail mismatch");
+}
+
+CscMatrix
+CscMatrix::fromCsr(const CsrMatrix &csr)
+{
+    std::vector<std::uint32_t> col_ptr(csr.cols() + 1, 0);
+    for (std::size_t k = 0; k < csr.nnz(); ++k)
+        ++col_ptr[csr.colIdx()[k] + 1];
+    for (std::uint32_t c = 0; c < csr.cols(); ++c)
+        col_ptr[c + 1] += col_ptr[c];
+
+    std::vector<std::uint32_t> row_idx(csr.nnz());
+    std::vector<float> values(csr.nnz());
+    std::vector<std::uint32_t> cursor(col_ptr.begin(),
+                                      col_ptr.end() - 1);
+    for (std::uint32_t r = 0; r < csr.rows(); ++r) {
+        for (std::uint32_t k = csr.rowPtr()[r]; k < csr.rowPtr()[r + 1];
+             ++k) {
+            const std::uint32_t c = csr.colIdx()[k];
+            row_idx[cursor[c]] = r;
+            values[cursor[c]] = csr.values()[k];
+            ++cursor[c];
+        }
+    }
+    return CscMatrix(csr.rows(), csr.cols(), std::move(col_ptr),
+                     std::move(row_idx), std::move(values));
+}
+
+CsrMatrix
+CscMatrix::toCsr() const
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(nnz());
+    for (std::uint32_t c = 0; c < cols_; ++c)
+        for (std::uint32_t k = colPtr_[c]; k < colPtr_[c + 1]; ++k)
+            triplets.push_back({rowIdx_[k], c, values_[k]});
+    return CsrMatrix::fromTriplets(rows_, cols_, std::move(triplets));
+}
+
+DenseVector
+CscMatrix::multiply(const DenseVector &x) const
+{
+    FAFNIR_ASSERT(x.size() == cols_, "operand size mismatch");
+    DenseVector y(rows_, 0.0f);
+    for (std::uint32_t c = 0; c < cols_; ++c) {
+        const float xc = x[c];
+        if (xc == 0.0f)
+            continue;
+        for (std::uint32_t k = colPtr_[c]; k < colPtr_[c + 1]; ++k)
+            y[rowIdx_[k]] += values_[k] * xc;
+    }
+    return y;
+}
+
+} // namespace fafnir::sparse

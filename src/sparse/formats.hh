@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Additional sparse formats: COO and CSC.
+ *
+ * LIL is what streams through the tree (Section IV-D) and CSR is the
+ * reference; COO is the interchange format matrices usually arrive in
+ * (SuiteSparse .mtx is a triplet list) and CSC gives column-major access
+ * — which is also the natural way to build one multiply-round's working
+ * set. Conversions round-trip losslessly and every format multiplies
+ * identically.
+ */
+
+#ifndef FAFNIR_SPARSE_FORMATS_HH
+#define FAFNIR_SPARSE_FORMATS_HH
+
+#include <iosfwd>
+
+#include "sparse/matrix.hh"
+
+namespace fafnir::sparse
+{
+
+/** Coordinate (triplet) format. */
+class CooMatrix
+{
+  public:
+    CooMatrix(std::uint32_t rows, std::uint32_t cols,
+              std::vector<Triplet> triplets)
+        : rows_(rows), cols_(cols), triplets_(std::move(triplets))
+    {}
+
+    static CooMatrix fromCsr(const CsrMatrix &csr);
+    CsrMatrix toCsr() const;
+
+    std::uint32_t rows() const { return rows_; }
+    std::uint32_t cols() const { return cols_; }
+    std::size_t nnz() const { return triplets_.size(); }
+    const std::vector<Triplet> &triplets() const { return triplets_; }
+
+    /** Reference y = A * x without conversion. */
+    DenseVector multiply(const DenseVector &x) const;
+
+    /**
+     * Parse a MatrixMarket-style coordinate stream:
+     *   rows cols nnz
+     *   row col value      (1-based indices)
+     * Lines beginning with '%' are comments.
+     */
+    static CooMatrix parse(std::istream &is);
+    void write(std::ostream &os) const;
+
+  private:
+    std::uint32_t rows_;
+    std::uint32_t cols_;
+    std::vector<Triplet> triplets_;
+};
+
+/** Compressed sparse column matrix. */
+class CscMatrix
+{
+  public:
+    CscMatrix(std::uint32_t rows, std::uint32_t cols,
+              std::vector<std::uint32_t> col_ptr,
+              std::vector<std::uint32_t> row_idx,
+              std::vector<float> values);
+
+    static CscMatrix fromCsr(const CsrMatrix &csr);
+    CsrMatrix toCsr() const;
+
+    std::uint32_t rows() const { return rows_; }
+    std::uint32_t cols() const { return cols_; }
+    std::size_t nnz() const { return values_.size(); }
+
+    const std::vector<std::uint32_t> &colPtr() const { return colPtr_; }
+    const std::vector<std::uint32_t> &rowIdx() const { return rowIdx_; }
+    const std::vector<float> &values() const { return values_; }
+
+    /** Reference y = A * x (scatter form). */
+    DenseVector multiply(const DenseVector &x) const;
+
+  private:
+    std::uint32_t rows_;
+    std::uint32_t cols_;
+    std::vector<std::uint32_t> colPtr_;
+    std::vector<std::uint32_t> rowIdx_;
+    std::vector<float> values_;
+};
+
+} // namespace fafnir::sparse
+
+#endif // FAFNIR_SPARSE_FORMATS_HH

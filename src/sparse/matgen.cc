@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Implementation of the synthetic matrix generators.
+ */
+
+#include "matgen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace fafnir::sparse
+{
+
+namespace
+{
+
+float
+randomValue(Rng &rng)
+{
+    // Values in [0.5, 1.5) avoid cancellation masking summation bugs.
+    return 0.5f + static_cast<float>(rng.nextDouble());
+}
+
+} // namespace
+
+CsrMatrix
+makeUniformRandom(std::uint32_t rows, std::uint32_t cols,
+                  double nnz_per_row, Rng &rng)
+{
+    FAFNIR_ASSERT(nnz_per_row <= cols, "nnz_per_row exceeds columns");
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(rows * nnz_per_row));
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        const auto degree = static_cast<std::uint32_t>(
+            nnz_per_row + (rng.nextDouble() < (nnz_per_row -
+                                               std::floor(nnz_per_row))
+                               ? 1
+                               : 0));
+        std::unordered_set<std::uint32_t> seen;
+        for (std::uint32_t k = 0; k < degree; ++k) {
+            const auto c =
+                static_cast<std::uint32_t>(rng.nextBelow(cols));
+            if (seen.insert(c).second)
+                triplets.push_back({r, c, randomValue(rng)});
+        }
+    }
+    return CsrMatrix::fromTriplets(rows, cols, std::move(triplets));
+}
+
+CsrMatrix
+makePowerLawGraph(std::uint32_t nodes, double avg_degree, double skew,
+                  Rng &rng)
+{
+    // Out-degrees Zipfian around the average; targets Zipfian over a
+    // shuffle-free popularity ranking (node 0 hottest).
+    ZipfianGenerator targets(nodes, skew);
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(nodes * avg_degree));
+    ZipfianGenerator degrees(
+        std::max<std::uint64_t>(1,
+                                static_cast<std::uint64_t>(avg_degree * 8)),
+        1.0);
+    for (std::uint32_t u = 0; u < nodes; ++u) {
+        auto degree = static_cast<std::uint32_t>(degrees.sample(rng) + 1);
+        degree = std::min(degree, nodes - 1);
+        std::unordered_set<std::uint32_t> seen;
+        for (std::uint32_t k = 0; k < degree; ++k) {
+            const auto v =
+                static_cast<std::uint32_t>(targets.sample(rng));
+            if (v != u && seen.insert(v).second)
+                triplets.push_back({u, v, randomValue(rng)});
+        }
+    }
+    return CsrMatrix::fromTriplets(nodes, nodes, std::move(triplets));
+}
+
+CsrMatrix
+makeRoadNetwork(std::uint32_t nodes, Rng &rng)
+{
+    // Grid-like: each node links to 2-4 neighbors with nearby ids.
+    std::vector<Triplet> triplets;
+    triplets.reserve(nodes * 3);
+    const std::uint32_t stride =
+        std::max<std::uint32_t>(2, static_cast<std::uint32_t>(
+                                       std::sqrt(nodes)));
+    for (std::uint32_t u = 0; u < nodes; ++u) {
+        std::unordered_set<std::uint32_t> seen;
+        auto link = [&](std::uint64_t v) {
+            if (v < nodes && v != u &&
+                seen.insert(static_cast<std::uint32_t>(v)).second) {
+                triplets.push_back({u, static_cast<std::uint32_t>(v),
+                                    randomValue(rng)});
+            }
+        };
+        link(u + 1);
+        link(u + stride);
+        if (rng.nextBool(0.3))
+            link(u + 1 + rng.nextBelow(stride));
+        if (rng.nextBool(0.1))
+            link(rng.nextBelow(nodes)); // occasional long edge (bridges)
+    }
+    return CsrMatrix::fromTriplets(nodes, nodes, std::move(triplets));
+}
+
+CsrMatrix
+makeBanded(std::uint32_t n, std::uint32_t half_bandwidth, Rng &rng)
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<std::size_t>(n) * 5);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        triplets.push_back({r, r, randomValue(rng) + 4.0f}); // diagonal
+        for (int k = 0; k < 4; ++k) {
+            const std::uint64_t offset = 1 + rng.nextBelow(half_bandwidth);
+            if (rng.nextBool(0.5)) {
+                if (r + offset < n)
+                    triplets.push_back({r,
+                                        static_cast<std::uint32_t>(
+                                            r + offset),
+                                        randomValue(rng)});
+            } else if (r >= offset) {
+                triplets.push_back({r,
+                                    static_cast<std::uint32_t>(r - offset),
+                                    randomValue(rng)});
+            }
+        }
+    }
+    return CsrMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+std::vector<NamedWorkload>
+figure14Workloads(Rng &rng)
+{
+    std::vector<NamedWorkload> workloads;
+    // Scientific (matrix-inversion-style kernels), small to medium: zero
+    // or one Fafnir merge iteration.
+    workloads.push_back({"inv-small", "scientific",
+                         makeBanded(1u << 11, 24, rng)});
+    workloads.push_back({"inv-medium", "scientific",
+                         makeBanded(1u << 14, 48, rng)});
+    workloads.push_back({"pde-large", "scientific",
+                         makeBanded(1u << 17, 96, rng)});
+    // Graphs: a small social graph, a medium web graph, and a large
+    // road-network ("RO") instance — the extreme-sparsity case the paper
+    // singles out.
+    workloads.push_back({"social-small", "graph",
+                         makePowerLawGraph(1u << 12, 8.0, 0.8, rng)});
+    workloads.push_back({"web-medium", "graph",
+                         makePowerLawGraph(1u << 15, 12.0, 0.9, rng)});
+    workloads.push_back({"road-RO", "graph",
+                         makeRoadNetwork(1u << 18, rng)});
+    return workloads;
+}
+
+DenseVector
+makeOperand(std::uint32_t cols)
+{
+    DenseVector x(cols);
+    for (std::uint32_t i = 0; i < cols; ++i)
+        x[i] = 0.25f + static_cast<float>(i % 17) / 16.0f;
+    return x;
+}
+
+} // namespace fafnir::sparse

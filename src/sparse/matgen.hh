@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generators.
+ *
+ * The paper's Figure 14 evaluates SpMV workloads from two classes:
+ * scientific computation (matrix-inversion-style kernels — banded /
+ * near-diagonal structure) and graph analytics (road networks such as
+ * "RO", and power-law web/social graphs). SuiteSparse/SNAP inputs are not
+ * shipped with this repository, so the generators below produce matrices
+ * with the same structural signatures: size, non-zeros per row, and
+ * column-locality, which are what determine the Fafnir vs Two-Step
+ * crossover (merge iteration count and stream volume).
+ */
+
+#ifndef FAFNIR_SPARSE_MATGEN_HH
+#define FAFNIR_SPARSE_MATGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "sparse/matrix.hh"
+
+namespace fafnir::sparse
+{
+
+/** Uniform-random matrix with a fixed expected nnz per row. */
+CsrMatrix makeUniformRandom(std::uint32_t rows, std::uint32_t cols,
+                            double nnz_per_row, Rng &rng);
+
+/**
+ * Power-law (web/social) graph adjacency: out-degrees are Zipfian and
+ * targets are Zipfian-popular, giving the heavy-tail column reuse typical
+ * of web graphs.
+ */
+CsrMatrix makePowerLawGraph(std::uint32_t nodes, double avg_degree,
+                            double skew, Rng &rng);
+
+/**
+ * Road-network-style graph: near-regular low degree (2-4), strong
+ * locality (neighbors have nearby ids) — very sparse and very large, the
+ * "RO" class of Figure 14.
+ */
+CsrMatrix makeRoadNetwork(std::uint32_t nodes, Rng &rng);
+
+/** Banded scientific matrix (discretized PDE / inversion kernels). */
+CsrMatrix makeBanded(std::uint32_t n, std::uint32_t half_bandwidth,
+                     Rng &rng);
+
+/** A named Figure 14 workload. */
+struct NamedWorkload
+{
+    std::string name;
+    /** "scientific" or "graph". */
+    std::string domain;
+    CsrMatrix matrix;
+};
+
+/**
+ * The Figure 14 workload suite: small and large instances of each class,
+ * scaled so the Fafnir merge-iteration count spans 0 to 2.
+ */
+std::vector<NamedWorkload> figure14Workloads(Rng &rng);
+
+/** A deterministic dense operand vector for SpMV checks. */
+DenseVector makeOperand(std::uint32_t cols);
+
+} // namespace fafnir::sparse
+
+#endif // FAFNIR_SPARSE_MATGEN_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Implementation of the sparse-matrix formats.
+ */
+
+#include "matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fafnir::sparse
+{
+
+CsrMatrix::CsrMatrix(std::uint32_t rows, std::uint32_t cols,
+                     std::vector<std::uint32_t> row_ptr,
+                     std::vector<std::uint32_t> col_idx,
+                     std::vector<float> values)
+    : rows_(rows), cols_(cols), rowPtr_(std::move(row_ptr)),
+      colIdx_(std::move(col_idx)), values_(std::move(values))
+{
+    FAFNIR_ASSERT(rowPtr_.size() == rows_ + 1, "rowPtr size mismatch");
+    FAFNIR_ASSERT(colIdx_.size() == values_.size(), "index/value mismatch");
+    FAFNIR_ASSERT(rowPtr_.back() == values_.size(), "rowPtr tail mismatch");
+    for (std::uint32_t c : colIdx_)
+        FAFNIR_ASSERT(c < cols_, "column ", c, " out of range");
+}
+
+CsrMatrix
+CsrMatrix::fromTriplets(std::uint32_t rows, std::uint32_t cols,
+                        std::vector<Triplet> triplets)
+{
+    std::sort(triplets.begin(), triplets.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+
+    std::vector<std::uint32_t> row_ptr(rows + 1, 0);
+    std::vector<std::uint32_t> col_idx;
+    std::vector<float> values;
+    col_idx.reserve(triplets.size());
+    values.reserve(triplets.size());
+
+    for (std::size_t i = 0; i < triplets.size();) {
+        const Triplet &t = triplets[i];
+        FAFNIR_ASSERT(t.row < rows && t.col < cols,
+                      "triplet out of range (", t.row, ",", t.col, ")");
+        float sum = 0.0f;
+        std::size_t j = i;
+        while (j < triplets.size() && triplets[j].row == t.row &&
+               triplets[j].col == t.col) {
+            sum += triplets[j].value;
+            ++j;
+        }
+        col_idx.push_back(t.col);
+        values.push_back(sum);
+        ++row_ptr[t.row + 1];
+        i = j;
+    }
+    for (std::uint32_t r = 0; r < rows; ++r)
+        row_ptr[r + 1] += row_ptr[r];
+    return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+}
+
+DenseVector
+CsrMatrix::multiply(const DenseVector &x) const
+{
+    FAFNIR_ASSERT(x.size() == cols_, "operand size ", x.size(),
+                  " != cols ", cols_);
+    DenseVector y(rows_, 0.0f);
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        float acc = 0.0f;
+        for (std::uint32_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            acc += values_[k] * x[colIdx_[k]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+CsrMatrix
+CsrMatrix::transpose() const
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(nnz());
+    for (std::uint32_t r = 0; r < rows_; ++r)
+        for (std::uint32_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            triplets.push_back({colIdx_[k], r, values_[k]});
+    return fromTriplets(cols_, rows_, std::move(triplets));
+}
+
+LilMatrix
+LilMatrix::fromCsr(const CsrMatrix &csr)
+{
+    LilMatrix lil(csr.rows(), csr.cols());
+    for (std::uint32_t r = 0; r < csr.rows(); ++r)
+        for (std::uint32_t k = csr.rowPtr()[r]; k < csr.rowPtr()[r + 1];
+             ++k)
+            lil.push(r, csr.colIdx()[k], csr.values()[k]);
+    return lil;
+}
+
+CsrMatrix
+LilMatrix::toCsr() const
+{
+    std::vector<std::uint32_t> row_ptr(rows_ + 1, 0);
+    std::vector<std::uint32_t> col_idx;
+    std::vector<float> values;
+    col_idx.reserve(nnz());
+    values.reserve(nnz());
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+        row_ptr[r + 1] = row_ptr[r] +
+                         static_cast<std::uint32_t>(lists_[r].size());
+        for (const Entry &e : lists_[r]) {
+            col_idx.push_back(e.first);
+            values.push_back(e.second);
+        }
+    }
+    return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                     std::move(values));
+}
+
+std::size_t
+LilMatrix::nnz() const
+{
+    std::size_t total = 0;
+    for (const auto &list : lists_)
+        total += list.size();
+    return total;
+}
+
+void
+LilMatrix::push(std::uint32_t row, std::uint32_t col, float value)
+{
+    FAFNIR_ASSERT(row < rows_ && col < cols_, "entry out of range");
+    auto &list = lists_[row];
+    FAFNIR_ASSERT(list.empty() || list.back().first < col,
+                  "columns must be pushed in increasing order per row");
+    list.emplace_back(col, value);
+}
+
+bool
+denseEqual(const DenseVector &a, const DenseVector &b, float tolerance)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const float scale =
+            std::max(1.0f, std::max(std::fabs(a[i]), std::fabs(b[i])));
+        if (std::fabs(a[i] - b[i]) > tolerance * scale)
+            return false;
+    }
+    return true;
+}
+
+} // namespace fafnir::sparse

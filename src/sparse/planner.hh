@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Iteration/round planner for SpMV on Fafnir (Figures 8 and 9).
+ *
+ * Only `vectorSize` columns of the matrix fit through the tree at a time,
+ * so iteration 0 multiplies the matrix chunk by chunk in
+ * ceil(cols / vectorSize) rounds, each producing one row-sorted partial
+ * result stream. Every later iteration merges up to vectorSize streams
+ * per round until one stream remains. Figure 9 plots iterations, rounds
+ * per iteration, and total merges against the column count; the paper's
+ * configuration uses vectorSize = 2048 and notes that even 20M-column
+ * matrices need no more than two merge iterations.
+ */
+
+#ifndef FAFNIR_SPARSE_PLANNER_HH
+#define FAFNIR_SPARSE_PLANNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fafnir::sparse
+{
+
+/** The Figure 8 schedule for one matrix. */
+struct SpmvPlan
+{
+    std::uint64_t columns = 0;
+    unsigned vectorSize = 2048;
+    /** rounds[0] = multiply rounds; rounds[i>0] = merge rounds. */
+    std::vector<std::uint64_t> roundsPerIteration;
+
+    /** Total iterations including iteration 0. */
+    unsigned
+    iterations() const
+    {
+        return static_cast<unsigned>(roundsPerIteration.size());
+    }
+
+    /** Merge iterations (iterations beyond the multiply). */
+    unsigned mergeIterations() const { return iterations() - 1; }
+
+    /** Total merge rounds across all merge iterations. */
+    std::uint64_t
+    totalMerges() const
+    {
+        std::uint64_t total = 0;
+        for (std::size_t i = 1; i < roundsPerIteration.size(); ++i)
+            total += roundsPerIteration[i];
+        return total;
+    }
+};
+
+/** Compute the schedule for a matrix with @p columns columns. */
+inline SpmvPlan
+planSpmv(std::uint64_t columns, unsigned vector_size = 2048)
+{
+    FAFNIR_ASSERT(columns > 0, "empty matrix");
+    FAFNIR_ASSERT(vector_size > 1, "vector size must exceed 1");
+
+    SpmvPlan plan;
+    plan.columns = columns;
+    plan.vectorSize = vector_size;
+
+    std::uint64_t streams = divCeil(columns, vector_size);
+    plan.roundsPerIteration.push_back(streams);
+    while (streams > 1) {
+        streams = divCeil(streams, vector_size);
+        plan.roundsPerIteration.push_back(streams);
+    }
+    return plan;
+}
+
+} // namespace fafnir::sparse
+
+#endif // FAFNIR_SPARSE_PLANNER_HH

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Implementation of level-scheduled SpTRSV.
+ */
+
+#include "sptrsv.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fafnir::sparse
+{
+
+LevelSchedule
+levelSchedule(const CsrMatrix &l)
+{
+    FAFNIR_ASSERT(l.rows() == l.cols(), "SpTRSV needs a square matrix");
+    LevelSchedule schedule;
+    schedule.rowLevel.assign(l.rows(), 0);
+
+    std::uint32_t max_level = 0;
+    for (std::uint32_t r = 0; r < l.rows(); ++r) {
+        std::uint32_t level = 0;
+        for (std::uint32_t k = l.rowPtr()[r]; k < l.rowPtr()[r + 1];
+             ++k) {
+            const std::uint32_t c = l.colIdx()[k];
+            FAFNIR_ASSERT(c <= r, "matrix is not lower triangular (entry ",
+                          r, ",", c, ")");
+            if (c < r)
+                level = std::max(level, schedule.rowLevel[c] + 1);
+        }
+        schedule.rowLevel[r] = level;
+        max_level = std::max(max_level, level);
+    }
+
+    schedule.levels.resize(max_level + 1);
+    for (std::uint32_t r = 0; r < l.rows(); ++r)
+        schedule.levels[schedule.rowLevel[r]].push_back(r);
+    return schedule;
+}
+
+DenseVector
+forwardSubstitute(const CsrMatrix &l, const DenseVector &b)
+{
+    FAFNIR_ASSERT(b.size() == l.rows(), "rhs size mismatch");
+    DenseVector x(l.rows(), 0.0f);
+    for (std::uint32_t r = 0; r < l.rows(); ++r) {
+        float acc = b[r];
+        float diag = 0.0f;
+        for (std::uint32_t k = l.rowPtr()[r]; k < l.rowPtr()[r + 1];
+             ++k) {
+            const std::uint32_t c = l.colIdx()[k];
+            if (c == r)
+                diag = l.values()[k];
+            else
+                acc -= l.values()[k] * x[c];
+        }
+        FAFNIR_ASSERT(diag != 0.0f, "zero diagonal at row ", r);
+        x[r] = acc / diag;
+    }
+    return x;
+}
+
+DenseVector
+sptrsvSolve(dram::MemorySystem &memory, const CsrMatrix &l,
+            const DenseVector &b, Tick start, SptrsvTiming &timing,
+            const SptrsvConfig &config)
+{
+    const LevelSchedule schedule = levelSchedule(l);
+    const unsigned num_ranks = memory.geometry().totalRanks();
+    const unsigned entry_bytes = config.valueBytes + config.indexBytes;
+    const Tick pe_period = periodFromMhz(config.peClockMhz);
+
+    timing = SptrsvTiming{};
+    timing.issued = start;
+    timing.levels = schedule.depth();
+
+    DenseVector x(l.rows(), 0.0f);
+    Tick t = start;
+    for (const auto &rows : schedule.levels) {
+        // One gather-reduce round: each row of the level streams its
+        // off-diagonals (value + column index) from its home rank, the
+        // leaf multipliers form l[r][c] * x[c], and the tree reduces
+        // per row — independent rows, exactly the SpMV dataflow.
+        std::vector<std::uint64_t> rank_bytes(num_ranks, 0);
+        std::uint64_t level_nnz = 0;
+        for (std::uint32_t r : rows) {
+            float acc = b[r];
+            float diag = 0.0f;
+            for (std::uint32_t k = l.rowPtr()[r]; k < l.rowPtr()[r + 1];
+                 ++k) {
+                const std::uint32_t c = l.colIdx()[k];
+                if (c == r) {
+                    diag = l.values()[k];
+                } else {
+                    acc -= l.values()[k] * x[c];
+                    ++timing.multiplies;
+                    ++level_nnz;
+                    rank_bytes[r % num_ranks] += entry_bytes;
+                }
+            }
+            x[r] = acc / diag;
+        }
+
+        Tick stream_done = t;
+        for (unsigned rank = 0; rank < num_ranks; ++rank) {
+            if (rank_bytes[rank] == 0)
+                continue;
+            timing.streamedBytes += rank_bytes[rank];
+            stream_done = std::max(
+                stream_done,
+                memory.streamFromRank(rank, rank_bytes[rank], t,
+                                      dram::Destination::Ndp));
+        }
+        const Tick compute_done =
+            t + (divCeil(std::max<std::uint64_t>(level_nnz, 1),
+                         config.reducesPerCycle) +
+                 8) *
+                    pe_period;
+        // Results feed back as the next level's operand via the host.
+        t = std::max(stream_done, compute_done) + config.levelTurnaround;
+    }
+    timing.complete = t;
+    return x;
+}
+
+CsrMatrix
+makeLowerTriangular(std::uint32_t n, double off_diag_per_row,
+                    std::uint32_t max_reach, Rng &rng)
+{
+    std::vector<Triplet> triplets;
+    triplets.reserve(
+        static_cast<std::size_t>(n * (off_diag_per_row + 1)));
+    for (std::uint32_t r = 0; r < n; ++r) {
+        triplets.push_back(
+            {r, r, 2.0f + static_cast<float>(rng.nextDouble())});
+        if (r == 0)
+            continue;
+        const auto count = static_cast<unsigned>(
+            off_diag_per_row +
+            (rng.nextDouble() <
+                     off_diag_per_row - std::floor(off_diag_per_row)
+                 ? 1
+                 : 0));
+        for (unsigned k = 0; k < count; ++k) {
+            const std::uint32_t reach =
+                1 + static_cast<std::uint32_t>(
+                        rng.nextBelow(std::min(max_reach, r)));
+            triplets.push_back(
+                {r, r - reach,
+                 0.1f + 0.2f * static_cast<float>(rng.nextDouble())});
+        }
+    }
+    return CsrMatrix::fromTriplets(n, n, std::move(triplets));
+}
+
+} // namespace fafnir::sparse

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sparse triangular solve (SpTRSV) on the Fafnir tree.
+ *
+ * Section VIII names matrix inversion and differential-equation solvers
+ * as sparse-gathering applications whose "particular patterns of
+ * computation necessitate some additional connections in the structure
+ * of a tree", left as future work. SpTRSV is the canonical such pattern:
+ * solving L x = b (L lower triangular) has row-to-row dependencies, so
+ * it cannot stream as one SpMV. The standard NDP-friendly answer is
+ * level scheduling: rows are partitioned into dependency levels
+ * (row r's level = 1 + max level of the rows its off-diagonals
+ * reference); all rows of a level are independent and execute as one
+ * gather-reduce round through the unmodified tree, with the "additional
+ * connection" realized as the host feeding level k's results back as
+ * level k+1's operand — exactly the merge-iteration loopback Fafnir
+ * already has for SpMV.
+ */
+
+#ifndef FAFNIR_SPARSE_SPTRSV_HH
+#define FAFNIR_SPARSE_SPTRSV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "dram/memsystem.hh"
+#include "sparse/matrix.hh"
+
+namespace fafnir::sparse
+{
+
+/** Dependency levels of a lower-triangular matrix. */
+struct LevelSchedule
+{
+    /** level[r] = dependency depth of row r (0 = no dependencies). */
+    std::vector<std::uint32_t> rowLevel;
+    /** Rows grouped by level, ascending. */
+    std::vector<std::vector<std::uint32_t>> levels;
+
+    std::size_t depth() const { return levels.size(); }
+
+    /** Mean rows per level — the exploitable parallelism. */
+    double
+    parallelism() const
+    {
+        return levels.empty()
+            ? 0.0
+            : static_cast<double>(rowLevel.size()) /
+                  static_cast<double>(levels.size());
+    }
+};
+
+/** Compute the level schedule of lower-triangular @p l. */
+LevelSchedule levelSchedule(const CsrMatrix &l);
+
+/** Timing of one SpTRSV run. */
+struct SptrsvTiming
+{
+    Tick issued = 0;
+    Tick complete = 0;
+    std::size_t levels = 0;
+    std::uint64_t multiplies = 0;
+    std::uint64_t streamedBytes = 0;
+
+    Tick totalTime() const { return complete - issued; }
+};
+
+/** Configuration (shares the SpMV engine's throughput parameters). */
+struct SptrsvConfig
+{
+    double peClockMhz = 200.0;
+    unsigned reducesPerCycle = 256;
+    unsigned valueBytes = 4;
+    unsigned indexBytes = 4;
+    /** Host turnaround feeding a level's results back as operands. */
+    Tick levelTurnaround = 200 * kTicksPerNs;
+};
+
+/**
+ * Solve L x = b by level-scheduled gather-reduce rounds on the tree.
+ * L must be lower triangular with a non-zero diagonal. Functional and
+ * timed: the result is exact forward substitution; every level's
+ * off-diagonal gather is charged to the DRAM model.
+ */
+DenseVector sptrsvSolve(dram::MemorySystem &memory, const CsrMatrix &l,
+                        const DenseVector &b, Tick start,
+                        SptrsvTiming &timing,
+                        const SptrsvConfig &config = {});
+
+/** Reference forward substitution. */
+DenseVector forwardSubstitute(const CsrMatrix &l, const DenseVector &b);
+
+/** Lower-triangular generator with controllable dependency depth. */
+CsrMatrix makeLowerTriangular(std::uint32_t n, double off_diag_per_row,
+                              std::uint32_t max_reach, Rng &rng);
+
+} // namespace fafnir::sparse
+
+#endif // FAFNIR_SPARSE_SPTRSV_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Flag-parser tests: value forms, types, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/cli.hh"
+
+using namespace fafnir;
+
+namespace
+{
+
+/** Build a mutable argv from literals. */
+struct Args
+{
+    std::vector<std::string> storage;
+    std::vector<char *> argv;
+
+    explicit Args(std::initializer_list<const char *> args)
+    {
+        storage.emplace_back("prog");
+        for (const char *a : args)
+            storage.emplace_back(a);
+        for (auto &s : storage)
+            argv.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(argv.size()); }
+    char **data() { return argv.data(); }
+};
+
+} // namespace
+
+TEST(Cli, ParsesEqualsForm)
+{
+    unsigned ranks = 32;
+    double skew = 0.9;
+    bool verbose = false;
+    std::string name = "default";
+    FlagParser parser("test");
+    parser.addUnsigned("ranks", ranks, "ranks");
+    parser.addDouble("skew", skew, "skew");
+    parser.addBool("verbose", verbose, "verbosity");
+    parser.addString("name", name, "name");
+
+    Args args{"--ranks=8", "--skew=1.25", "--verbose=true",
+              "--name=hello"};
+    parser.parse(args.argc(), args.data());
+    EXPECT_EQ(ranks, 8u);
+    EXPECT_DOUBLE_EQ(skew, 1.25);
+    EXPECT_TRUE(verbose);
+    EXPECT_EQ(name, "hello");
+}
+
+TEST(Cli, ParsesSpaceForm)
+{
+    unsigned batch = 8;
+    FlagParser parser("test");
+    parser.addUnsigned("batch", batch, "batch");
+    Args args{"--batch", "16"};
+    parser.parse(args.argc(), args.data());
+    EXPECT_EQ(batch, 16u);
+}
+
+TEST(Cli, Uint64RoundTrip)
+{
+    std::uint64_t seed = 1;
+    FlagParser parser("test");
+    parser.addUint64("seed", seed, "seed");
+    Args args{"--seed=123456789012345"};
+    parser.parse(args.argc(), args.data());
+    EXPECT_EQ(seed, 123456789012345ull);
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset)
+{
+    unsigned a = 7;
+    double b = 2.5;
+    FlagParser parser("test");
+    parser.addUnsigned("a", a, "a");
+    parser.addDouble("b", b, "b");
+    Args args{};
+    parser.parse(args.argc(), args.data());
+    EXPECT_EQ(a, 7u);
+    EXPECT_DOUBLE_EQ(b, 2.5);
+}
+
+TEST(Cli, BoolAcceptsNumericForms)
+{
+    bool flag = true;
+    FlagParser parser("test");
+    parser.addBool("flag", flag, "flag");
+    Args args{"--flag=0"};
+    parser.parse(args.argc(), args.data());
+    EXPECT_FALSE(flag);
+}
+
+TEST(Cli, RejectsUnknownFlag)
+{
+    unsigned a = 0;
+    FlagParser parser("test");
+    parser.addUnsigned("a", a, "a");
+    Args args{"--typo=3"};
+    EXPECT_DEATH(parser.parse(args.argc(), args.data()), "unknown flag");
+}
+
+TEST(Cli, RejectsBadValue)
+{
+    unsigned a = 0;
+    FlagParser parser("test");
+    parser.addUnsigned("a", a, "a");
+    Args args{"--a=notanumber"};
+    EXPECT_DEATH(parser.parse(args.argc(), args.data()), "bad value");
+}
+
+TEST(Cli, RejectsMissingValue)
+{
+    unsigned a = 0;
+    FlagParser parser("test");
+    parser.addUnsigned("a", a, "a");
+    Args args{"--a"};
+    EXPECT_DEATH(parser.parse(args.argc(), args.data()), "needs a value");
+}
+
+TEST(Cli, RejectsBareWord)
+{
+    FlagParser parser("test");
+    Args args{"word"};
+    EXPECT_DEATH(parser.parse(args.argc(), args.data()),
+                 "expected --flag");
+}

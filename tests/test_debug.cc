@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Debug-flag registry tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/debug.hh"
+
+using namespace fafnir;
+
+namespace
+{
+
+/** Restore a clean mask around each test. */
+struct DebugGuard
+{
+    DebugGuard() { DebugFlags::instance().clear(); }
+    ~DebugGuard() { DebugFlags::instance().clear(); }
+};
+
+} // namespace
+
+TEST(DebugFlags, DisabledByDefault)
+{
+    DebugGuard guard;
+    EXPECT_FALSE(DebugFlags::instance().enabled(DebugFlag::Dram));
+    EXPECT_FALSE(DebugFlags::instance().enabled(DebugFlag::Tree));
+}
+
+TEST(DebugFlags, EnableDisable)
+{
+    DebugGuard guard;
+    auto &flags = DebugFlags::instance();
+    flags.enable(DebugFlag::Tree);
+    EXPECT_TRUE(flags.enabled(DebugFlag::Tree));
+    EXPECT_FALSE(flags.enabled(DebugFlag::Dram));
+    flags.disable(DebugFlag::Tree);
+    EXPECT_FALSE(flags.enabled(DebugFlag::Tree));
+}
+
+TEST(DebugFlags, ParseList)
+{
+    DebugGuard guard;
+    auto &flags = DebugFlags::instance();
+    flags.enableFromString("dram,controller");
+    EXPECT_TRUE(flags.enabled(DebugFlag::Dram));
+    EXPECT_TRUE(flags.enabled(DebugFlag::Controller));
+    EXPECT_FALSE(flags.enabled(DebugFlag::Spmv));
+}
+
+TEST(DebugFlags, ParseToleratesEmptySegments)
+{
+    DebugGuard guard;
+    auto &flags = DebugFlags::instance();
+    flags.enableFromString(",host,,");
+    EXPECT_TRUE(flags.enabled(DebugFlag::Host));
+}
+
+TEST(DebugFlags, UnknownNameIsFatal)
+{
+    DebugGuard guard;
+    EXPECT_DEATH(DebugFlags::instance().enableFromString("typo"),
+                 "unknown debug flag");
+}
+
+TEST(DebugFlags, DprintfEmitsOnlyWhenEnabled)
+{
+    DebugGuard guard;
+    // Redirect stderr via gtest's capture.
+    testing::internal::CaptureStderr();
+    FAFNIR_DPRINTF(Tree, "hidden ", 1);
+    DebugFlags::instance().enable(DebugFlag::Tree);
+    FAFNIR_DPRINTF(Tree, "visible ", 2);
+    const std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+    EXPECT_NE(out.find("Tree: visible 2"), std::string::npos);
+}

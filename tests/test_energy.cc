@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Energy-report tests: composition of the DRAM, NDP, and host-IO terms
+ * and the cross-engine ordering the Section VI argument rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu.hh"
+#include "embedding/generator.hh"
+#include "fafnir/engine.hh"
+#include "hwmodel/energy_report.hh"
+
+using namespace fafnir;
+using namespace fafnir::hwmodel;
+
+namespace
+{
+
+struct EnergyRig
+{
+    EventQueue eq;
+    embedding::TableConfig tables{32, 1u << 16, 512, 4};
+    dram::MemorySystem memory;
+    embedding::VectorLayout layout;
+
+    EnergyRig()
+        : memory(eq, dram::Geometry{}, dram::Timing::ddr4_2400(),
+                 dram::Interleave::BlockRank, 512),
+          layout(tables, memory.mapper())
+    {}
+
+    std::vector<embedding::Batch>
+    batches(unsigned count, std::uint64_t seed)
+    {
+        embedding::WorkloadConfig wc;
+        wc.tables = tables;
+        wc.batchSize = 16;
+        wc.querySize = 16;
+        wc.zipfSkew = 1.05;
+        wc.hotFraction = 0.0001;
+        embedding::BatchGenerator gen(wc, seed);
+        std::vector<embedding::Batch> out;
+        for (unsigned i = 0; i < count; ++i)
+            out.push_back(gen.next());
+        return out;
+    }
+};
+
+} // namespace
+
+TEST(EnergyReport, TotalsAreComponentSums)
+{
+    EnergyRig rig;
+    core::FafnirEngine engine(rig.memory, rig.layout,
+                              core::EngineConfig{});
+    const auto timings = engine.lookupMany(rig.batches(8, 1), 0);
+
+    const EnergyReport report;
+    const EnergyBreakdown e =
+        report.account(rig.memory, timings.back().complete);
+    EXPECT_GT(e.dramUj, 0.0);
+    EXPECT_GT(e.ndpUj, 0.0);
+    EXPECT_DOUBLE_EQ(e.hostIoUj, 0.0); // Fafnir ships only results
+    EXPECT_DOUBLE_EQ(e.total(), e.dramUj + e.ndpUj + e.hostIoUj);
+}
+
+TEST(EnergyReport, CpuPathPaysHostIo)
+{
+    EnergyRig rig;
+    baselines::CpuEngine engine(rig.memory, rig.layout);
+    const auto timings = engine.lookupMany(rig.batches(8, 2), 0);
+
+    const EnergyReport report;
+    const EnergyBreakdown e =
+        report.account(rig.memory, timings.back().complete, 0);
+    EXPECT_GT(e.hostIoUj, 0.0);
+    EXPECT_DOUBLE_EQ(e.ndpUj, 0.0); // no NDP chips powered
+}
+
+TEST(EnergyReport, DedupSavesEnergyProportionally)
+{
+    const EnergyReport report;
+
+    EnergyRig with;
+    core::EngineConfig dedup_cfg;
+    dedup_cfg.dedup = true;
+    core::FafnirEngine dedup_engine(with.memory, with.layout, dedup_cfg);
+    const auto t1 = dedup_engine.lookupMany(with.batches(16, 3), 0);
+    const auto e_dedup =
+        report.account(with.memory, t1.back().complete);
+
+    EnergyRig without;
+    core::EngineConfig raw_cfg;
+    raw_cfg.dedup = false;
+    core::FafnirEngine raw_engine(without.memory, without.layout,
+                                  raw_cfg);
+    const auto t2 = raw_engine.lookupMany(without.batches(16, 3), 0);
+    const auto e_raw =
+        report.account(without.memory, t2.back().complete);
+
+    EXPECT_LT(e_dedup.dramUj, e_raw.dramUj);
+    // DRAM energy tracks the read counts (linear model).
+    const double read_ratio =
+        static_cast<double>(with.memory.readCount()) /
+        static_cast<double>(without.memory.readCount());
+    EXPECT_NEAR(e_dedup.dramUj / e_raw.dramUj, read_ratio, 0.05);
+}
+
+TEST(EnergyReport, NdpTermScalesWithBusyTime)
+{
+    EnergyRig rig;
+    const EnergyReport report;
+    const auto a = report.account(rig.memory, 1 * kTicksPerMs);
+    const auto b = report.account(rig.memory, 2 * kTicksPerMs);
+    EXPECT_NEAR(b.ndpUj, 2.0 * a.ndpUj, 1e-9);
+}

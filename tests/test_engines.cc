@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Integration tests of the lookup timing engines: Fafnir vs the CPU,
+ * TensorDIMM, and RecNMP baselines on the same DRAM substrate. These
+ * check the *relationships* the paper's evaluation is built on, not
+ * absolute numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu.hh"
+#include "baselines/recnmp.hh"
+#include "baselines/tensordimm.hh"
+#include "embedding/generator.hh"
+#include "fafnir/engine.hh"
+
+using namespace fafnir;
+using namespace fafnir::core;
+using namespace fafnir::embedding;
+
+namespace
+{
+
+/** A full engine rig over one fresh memory system. */
+struct Rig
+{
+    EventQueue eq;
+    TableConfig tables;
+    dram::Geometry geometry;
+    dram::MemorySystem memory;
+    dram::AddressMapper mapper;
+    VectorLayout layout;
+
+    explicit Rig(unsigned ranks = 32)
+        : tables{32, 1u << 16, 512, 4},
+          geometry(dram::Geometry::withTotalRanks(ranks)),
+          memory(eq, geometry, dram::Timing::ddr4_2400(),
+                 dram::Interleave::BlockRank, tables.vectorBytes),
+          mapper(geometry, dram::Interleave::BlockRank, tables.vectorBytes),
+          layout(tables, mapper)
+    {}
+
+    Batch
+    makeBatch(unsigned batch_size, unsigned query_size, double skew,
+              std::uint64_t seed)
+    {
+        WorkloadConfig wc;
+        wc.tables = tables;
+        wc.batchSize = batch_size;
+        wc.querySize = query_size;
+        wc.popularity = skew > 0 ? Popularity::Zipfian
+                                 : Popularity::Uniform;
+        wc.zipfSkew = skew;
+        wc.hotFraction = 0.01;
+        return BatchGenerator(wc, seed).next();
+    }
+};
+
+} // namespace
+
+TEST(FafnirEngine, SingleQueryBasics)
+{
+    Rig rig;
+    FafnirEngine engine(rig.memory, rig.layout, EngineConfig{});
+    const Batch batch = rig.makeBatch(1, 16, 0.0, 11);
+    const LookupTiming t = engine.lookup(batch, 0);
+
+    EXPECT_GT(t.complete, 0u);
+    EXPECT_GE(t.complete, t.memLast);
+    EXPECT_EQ(t.memAccesses, 16u);
+    EXPECT_EQ(t.queryComplete.size(), 1u);
+    EXPECT_EQ(t.queryComplete[0], t.complete);
+    // A parallel 16-vector gather should finish in well under a
+    // microsecond on DDR4-2400.
+    EXPECT_LT(t.memoryTime(), 1000 * kTicksPerNs);
+    EXPECT_GT(t.memoryTime(), 20 * kTicksPerNs);
+}
+
+TEST(FafnirEngine, DedupReducesAccesses)
+{
+    Rig rig;
+    EngineConfig with;
+    with.dedup = true;
+    EngineConfig without;
+    without.dedup = false;
+
+    const Batch batch = rig.makeBatch(32, 16, 1.0, 21);
+    ASSERT_LT(batch.uniqueIndices(), batch.totalIndices());
+
+    FafnirEngine dedup_engine(rig.memory, rig.layout, with);
+    const LookupTiming a = dedup_engine.lookup(batch, 0);
+    EXPECT_EQ(a.memAccesses, batch.uniqueIndices());
+
+    Rig rig2;
+    FafnirEngine raw_engine(rig2.memory, rig2.layout, without);
+    const LookupTiming b = raw_engine.lookup(batch, 0);
+    EXPECT_EQ(b.memAccesses, batch.totalIndices());
+    EXPECT_LE(a.memAccesses, b.memAccesses);
+}
+
+TEST(FafnirEngine, BatchesPipelineMonotonically)
+{
+    Rig rig;
+    FafnirEngine engine(rig.memory, rig.layout, EngineConfig{});
+    std::vector<Batch> batches;
+    for (int i = 0; i < 4; ++i)
+        batches.push_back(rig.makeBatch(8, 16, 0.9, 100 + i));
+    const auto timings = engine.lookupMany(batches, 0);
+    ASSERT_EQ(timings.size(), 4u);
+    for (std::size_t i = 1; i < timings.size(); ++i)
+        EXPECT_GE(timings[i].complete, timings[i - 1].complete);
+}
+
+TEST(CpuBaseline, MovesAllBytesToHost)
+{
+    Rig rig;
+    baselines::CpuEngine cpu(rig.memory, rig.layout);
+    const Batch batch = rig.makeBatch(4, 16, 0.0, 31);
+    const auto t = cpu.lookup(batch, 0);
+    EXPECT_EQ(t.memAccesses, batch.totalIndices());
+    EXPECT_EQ(rig.memory.bytesToHost(),
+              batch.totalIndices() * rig.tables.vectorBytes);
+    EXPECT_EQ(t.hostReduces, batch.totalIndices() - batch.size());
+}
+
+TEST(TensorDimm, AllReductionAtNdpButSerialized)
+{
+    Rig rig;
+    baselines::TensorDimmEngine td(rig.memory, rig.tables);
+    const Batch batch = rig.makeBatch(2, 16, 0.0, 41);
+    const auto t = td.lookup(batch, 0);
+    EXPECT_EQ(t.hostReduces, 0u);
+    EXPECT_GT(t.ndpReduces, 0u);
+    // 32 ranks each read 16 slices per query.
+    EXPECT_EQ(t.memAccesses, 2u * 16 * 32);
+}
+
+TEST(RecNmp, ForwardsNonColocatedVectors)
+{
+    Rig rig;
+    baselines::RecNmpEngine rn(rig.memory, rig.layout);
+    const Batch batch = rig.makeBatch(4, 16, 0.0, 51);
+    const auto t = rn.lookup(batch, 0);
+    // With 16 DIMMs and q=16, most vectors are alone on their DIMM, so
+    // the host must finish a large share of the reduction.
+    EXPECT_GT(t.hostReduces, 0u);
+    EXPECT_EQ(t.memAccesses, batch.totalIndices());
+    EXPECT_GT(rig.memory.bytesToHost(), 0u);
+}
+
+TEST(RecNmp, CacheHitsOnHotBatches)
+{
+    Rig rig;
+    baselines::RecNmpConfig cfg;
+    cfg.cacheEnabled = true;
+    baselines::RecNmpEngine rn(rig.memory, rig.layout, cfg);
+    // Hot Zipfian batches: repeated vectors across consecutive batches.
+    std::uint64_t hits = 0;
+    std::uint64_t accesses = 0;
+    for (int i = 0; i < 8; ++i) {
+        const Batch batch = rig.makeBatch(16, 16, 1.1, 61); // same seed!
+        const auto t = rn.lookup(batch, 0);
+        hits += t.cacheHits;
+        accesses += t.cacheHits + t.cacheMisses;
+    }
+    EXPECT_GT(hits, 0u);
+    EXPECT_LT(hits, accesses);
+}
+
+TEST(Comparison, Figure11Relationships)
+{
+    // Single query, q = 16, 512 B vectors, 32 ranks — Figure 11's setup.
+    const Batch batch = Rig().makeBatch(1, 16, 0.0, 71);
+
+    Rig fafnir_rig;
+    FafnirEngine fafnir(fafnir_rig.memory, fafnir_rig.layout,
+                        EngineConfig{});
+    const auto ff = fafnir.lookup(batch, 0);
+
+    Rig td_rig;
+    baselines::TensorDimmEngine td(td_rig.memory, td_rig.tables);
+    const auto tt = td.lookup(batch, 0);
+
+    Rig rn_rig;
+    baselines::RecNmpEngine rn(rn_rig.memory, rn_rig.layout);
+    const auto rr = rn.lookup(batch, 0);
+
+    // TensorDIMM's serialized slice pipeline must have clearly worse
+    // memory latency than the parallel whole-vector gathers.
+    EXPECT_GT(tt.memoryTime(), 2 * ff.memoryTime());
+    // RecNMP reads the same layout the same way: similar memory latency.
+    EXPECT_LT(rr.memoryTime(), 2 * ff.memoryTime());
+    // Fafnir finishes the whole query fastest.
+    EXPECT_LT(ff.totalTime(), tt.totalTime());
+    EXPECT_LT(ff.totalTime(), rr.totalTime());
+}
+
+TEST(Comparison, FafnirScalesWithRanks)
+{
+    // Figure 12's mechanism: more ranks -> faster lookups for Fafnir.
+    std::vector<Tick> totals;
+    for (unsigned ranks : {4u, 16u, 32u}) {
+        Rig rig(ranks);
+        FafnirEngine engine(rig.memory, rig.layout, EngineConfig{});
+        std::vector<Batch> batches;
+        for (int i = 0; i < 4; ++i)
+            batches.push_back(rig.makeBatch(8, 16, 0.9, 200 + i));
+        const auto timings = engine.lookupMany(batches, 0);
+        totals.push_back(timings.back().complete);
+    }
+    EXPECT_LT(totals[1], totals[0]);
+    EXPECT_LT(totals[2], totals[1]);
+}

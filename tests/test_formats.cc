@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Sparse-format tests: COO/CSC round trips, cross-format multiply
+ * agreement, and coordinate-stream parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hh"
+#include "sparse/formats.hh"
+#include "sparse/matgen.hh"
+
+using namespace fafnir;
+using namespace fafnir::sparse;
+
+namespace
+{
+
+CsrMatrix
+sampleMatrix(std::uint64_t seed, std::uint32_t rows = 64,
+             std::uint32_t cols = 80)
+{
+    Rng rng(seed);
+    return makeUniformRandom(rows, cols, 5.0, rng);
+}
+
+} // namespace
+
+TEST(Formats, CooRoundTrip)
+{
+    const CsrMatrix csr = sampleMatrix(1);
+    const CooMatrix coo = CooMatrix::fromCsr(csr);
+    EXPECT_EQ(coo.nnz(), csr.nnz());
+    const CsrMatrix back = coo.toCsr();
+    const DenseVector x = makeOperand(80);
+    EXPECT_TRUE(denseEqual(back.multiply(x), csr.multiply(x)));
+}
+
+TEST(Formats, CscRoundTrip)
+{
+    const CsrMatrix csr = sampleMatrix(2);
+    const CscMatrix csc = CscMatrix::fromCsr(csr);
+    EXPECT_EQ(csc.nnz(), csr.nnz());
+    const CsrMatrix back = csc.toCsr();
+    const DenseVector x = makeOperand(80);
+    EXPECT_TRUE(denseEqual(back.multiply(x), csr.multiply(x)));
+}
+
+TEST(Formats, AllFormatsMultiplyIdentically)
+{
+    const CsrMatrix csr = sampleMatrix(3, 128, 96);
+    const CooMatrix coo = CooMatrix::fromCsr(csr);
+    const CscMatrix csc = CscMatrix::fromCsr(csr);
+    const LilMatrix lil = LilMatrix::fromCsr(csr);
+    const DenseVector x = makeOperand(96);
+
+    const DenseVector expect = csr.multiply(x);
+    EXPECT_TRUE(denseEqual(coo.multiply(x), expect));
+    EXPECT_TRUE(denseEqual(csc.multiply(x), expect));
+    EXPECT_TRUE(denseEqual(lil.toCsr().multiply(x), expect));
+}
+
+TEST(Formats, CscColumnsAreSortedByConstruction)
+{
+    const CscMatrix csc = CscMatrix::fromCsr(sampleMatrix(4));
+    for (std::uint32_t c = 0; c < csc.cols(); ++c) {
+        for (std::uint32_t k = csc.colPtr()[c] + 1;
+             k < csc.colPtr()[c + 1]; ++k) {
+            EXPECT_LT(csc.rowIdx()[k - 1], csc.rowIdx()[k]);
+        }
+    }
+}
+
+TEST(Formats, CoordinateStreamRoundTrip)
+{
+    const CooMatrix original = CooMatrix::fromCsr(sampleMatrix(5, 16, 20));
+    std::stringstream buffer;
+    original.write(buffer);
+    const CooMatrix parsed = CooMatrix::parse(buffer);
+    EXPECT_EQ(parsed.rows(), original.rows());
+    EXPECT_EQ(parsed.cols(), original.cols());
+    EXPECT_EQ(parsed.nnz(), original.nnz());
+    const DenseVector x = makeOperand(20);
+    EXPECT_TRUE(denseEqual(parsed.multiply(x), original.multiply(x)));
+}
+
+TEST(Formats, ParseSkipsComments)
+{
+    std::stringstream buffer;
+    buffer << "%% header comment\n% another\n2 2 2\n1 1 3.0\n2 2 4.0\n";
+    const CooMatrix m = CooMatrix::parse(buffer);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.nnz(), 2u);
+    const DenseVector y = m.multiply({1.0f, 1.0f});
+    EXPECT_FLOAT_EQ(y[0], 3.0f);
+    EXPECT_FLOAT_EQ(y[1], 4.0f);
+}
+
+TEST(Formats, ParseRejectsTruncation)
+{
+    std::stringstream buffer;
+    buffer << "2 2 3\n1 1 3.0\n";
+    EXPECT_DEATH(CooMatrix::parse(buffer), "truncated");
+}
+
+TEST(Formats, EmptyMatrix)
+{
+    const CooMatrix empty(4, 4, {});
+    EXPECT_EQ(empty.nnz(), 0u);
+    const DenseVector y = empty.multiply({1, 1, 1, 1});
+    for (float v : y)
+        EXPECT_FLOAT_EQ(v, 0.0f);
+    const CsrMatrix csr = empty.toCsr();
+    EXPECT_EQ(csr.nnz(), 0u);
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests of the hardware cost models against the paper's reported
+ * numbers: Table VI (ASIC), Table V (FPGA), Figure 16 (power), and the
+ * DRAM energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/asic.hh"
+#include "hwmodel/energy.hh"
+#include "hwmodel/fpga.hh"
+
+using namespace fafnir;
+using namespace fafnir::hwmodel;
+
+TEST(Asic, PeAreaMatchesPaper)
+{
+    const AsicModel model;
+    // 274 um x 282 um = 0.077 mm^2.
+    EXPECT_NEAR(model.peAreaMm2(), 0.077, 0.001);
+}
+
+TEST(Asic, DimmRankNodeMatchesPaper)
+{
+    const AsicModel model;
+    // 492 um x 575 um = 0.283 mm^2.
+    EXPECT_NEAR(model.dimmRankNodeAreaMm2(), 0.283, 0.001);
+}
+
+TEST(Asic, ChannelNodeIsTheTinyChip)
+{
+    const AsicModel model;
+    // "a tiny (i.e., 0.121 mm^2) chip between the channels and core".
+    EXPECT_NEAR(model.channelNodeAreaMm2(), 0.121, 0.003);
+}
+
+TEST(Asic, SystemTotalsMatchPaper)
+{
+    const AsicModel model;
+    // ~1.25 mm^2 and 111.64 mW for the 32-rank system.
+    EXPECT_NEAR(model.systemAreaMm2(4), 1.25, 0.02);
+    EXPECT_NEAR(model.systemPowerMw(4), 111.64, 0.01);
+}
+
+TEST(Asic, PerDimmPowerMatchesPaper)
+{
+    const AsicModel model;
+    // 23.82 mW per four DIMMs = 5.955 mW per DIMM.
+    EXPECT_NEAR(model.params().dimmNodePowerMw / 4.0, 5.9, 0.1);
+    // Negligible versus 13 W per DIMM.
+    EXPECT_LT(model.powerOverheadFraction(16), 0.001);
+}
+
+TEST(Asic, BreakdownSumsToPe)
+{
+    const AsicModel model;
+    double area = 0.0;
+    double power = 0.0;
+    for (const auto &b : model.peBreakdown()) {
+        area += b.areaMm2;
+        power += b.powerMw;
+    }
+    EXPECT_NEAR(area, model.peAreaMm2(), 1e-9);
+    EXPECT_NEAR(power, model.pePowerMw(), 1e-9);
+}
+
+TEST(Asic, RecNmpComparisonPoint)
+{
+    const RecNmpCost recnmp;
+    EXPECT_NEAR(recnmp.systemAreaMm2(16), 8.64, 0.01);
+    // Fafnir's system power is far below RecNMP's per-DIMM units.
+    const AsicModel model;
+    EXPECT_LT(model.systemPowerMw(4), recnmp.systemPowerMw(16) / 10.0);
+}
+
+TEST(Fpga, SystemUtilizationWithinPaperBounds)
+{
+    const FpgaModel model;
+    const auto util = model.utilization(model.systemUsage(4, 32));
+    // Paper: <= 5% LUT, 0.15% LUTRAM, 1% FF, 13% BRAM.
+    for (const auto &[name, pct] : util) {
+        if (name == "LUT") {
+            EXPECT_LE(pct, 5.5);
+        } else if (name == "LUTRAM") {
+            EXPECT_LE(pct, 0.2);
+        } else if (name == "FF") {
+            EXPECT_LE(pct, 1.2);
+        } else if (name == "BRAM") {
+            EXPECT_LE(pct, 14.0);
+        }
+    }
+}
+
+TEST(Fpga, BramDominatesUtilization)
+{
+    // The buffers are the big consumer, as in the paper (13% BRAM vs
+    // 5% LUT).
+    const FpgaModel model;
+    const auto util = model.utilization(model.systemUsage(4, 32));
+    double lut = 0.0;
+    double bram = 0.0;
+    for (const auto &[name, pct] : util) {
+        if (name == "LUT")
+            lut = pct;
+        if (name == "BRAM")
+            bram = pct;
+    }
+    EXPECT_GT(bram, lut);
+}
+
+TEST(Fpga, BuffersScaleWithBatch)
+{
+    const FpgaModel model;
+    EXPECT_LT(model.peUsage(8).bram36, model.peUsage(32).bram36);
+    EXPECT_LT(model.peUsage(8).luts, model.peUsage(32).luts);
+}
+
+TEST(Fpga, NodePowersMatchFigure16)
+{
+    const FpgaModel model;
+    double dimm_total = 0.0;
+    for (const auto &s : model.dimmRankNodePower())
+        dimm_total += s.watts;
+    EXPECT_NEAR(dimm_total, 0.23, 0.001);
+
+    double channel_total = 0.0;
+    for (const auto &s : model.channelNodePower())
+        channel_total += s.watts;
+    EXPECT_NEAR(channel_total, 0.18, 0.001);
+}
+
+TEST(Fpga, UsageComposition)
+{
+    const FpgaModel model;
+    FpgaUsage sum = model.peUsage(32).scaled(7, "7 PEs");
+    EXPECT_EQ(sum.bram36, model.peUsage(32).bram36 * 7);
+    const FpgaUsage node = model.dimmRankNodeUsage(32);
+    EXPECT_GE(node.luts, sum.luts); // node glue on top of the PEs
+}
+
+TEST(Energy, LinearInAccesses)
+{
+    const DramEnergyModel model;
+    const double one = model.energyNj(1, 8, 0);
+    const double ten = model.energyNj(10, 80, 0);
+    EXPECT_NEAR(ten, 10.0 * one, 1e-9);
+}
+
+TEST(Energy, HostTransfersCostMore)
+{
+    const DramEnergyModel model;
+    EXPECT_GT(model.energyNj(1, 8, 512), model.energyNj(1, 8, 0));
+}

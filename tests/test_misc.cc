@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Remaining-corner tests: controller statistics registration, buffer
+ * sizing of the channel node, table rendering without headers, HBM
+ * geometry invariants, and planner/table cross-checks that don't fit a
+ * single module file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+#include "dram/controller.hh"
+#include "fafnir/sizing.hh"
+#include "fafnir/tree.hh"
+#include "sparse/planner.hh"
+
+using namespace fafnir;
+
+TEST(Misc, ControllerStatsRegister)
+{
+    EventQueue eq;
+    dram::MemorySystem mem(eq, dram::Geometry{},
+                           dram::Timing::ddr4_2400(),
+                           dram::Interleave::BlockRank, 512);
+    dram::Controller controller(mem, dram::SchedulingPolicy::FrFcfs);
+    controller.enqueue(0, 512, 0, dram::Destination::Ndp, nullptr);
+    controller.enqueue(512, 512, 0, dram::Destination::Ndp, nullptr);
+    eq.run();
+
+    StatGroup group("ctrl");
+    controller.registerStats(group);
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("ctrl.issued 2"), std::string::npos);
+}
+
+TEST(Misc, ControllerNullCallbackIsFine)
+{
+    EventQueue eq;
+    dram::MemorySystem mem(eq, dram::Geometry{},
+                           dram::Timing::ddr4_2400(),
+                           dram::Interleave::BlockRank, 512);
+    dram::Controller controller(mem, dram::SchedulingPolicy::Fcfs);
+    controller.enqueue(0, 512, 0, dram::Destination::Ndp, nullptr);
+    eq.run();
+    EXPECT_EQ(controller.pending(), 0u);
+}
+
+TEST(Misc, ChannelNodeBufferScalesLikeThreePes)
+{
+    const core::BufferSizing sizing;
+    for (unsigned b : {8u, 16u, 32u}) {
+        EXPECT_NEAR(sizing.channelNodeKiB(b),
+                    3.0 * sizing.peBufferKiB(b), 1e-9);
+        EXPECT_NEAR(sizing.dimmRankNodeKiB(b),
+                    7.0 * sizing.peBufferKiB(b), 1e-9);
+    }
+}
+
+TEST(Misc, TableWithoutHeaderRenders)
+{
+    TextTable t;
+    t.row("a", 1);
+    t.row("bb", 22);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("bb"), std::string::npos);
+    EXPECT_EQ(os.str().find("=="), std::string::npos); // no title
+}
+
+TEST(Misc, HbmGeometryInvariants)
+{
+    const dram::Geometry hbm = dram::Geometry::hbm2();
+    hbm.check();
+    EXPECT_EQ(hbm.totalRanks(), 32u);
+    EXPECT_EQ(hbm.channels, 32u);
+    EXPECT_LT(hbm.burstBytes, dram::Geometry{}.burstBytes);
+    // The 16 GB embedding space must fit.
+    EXPECT_GE(hbm.capacityBytes(), 16ull << 30);
+}
+
+TEST(Misc, PlannerAndTopologyAgreeOnVectorSize)
+{
+    // The paper's SpMV vector size (2048 columns through the tree) is a
+    // software choice; the planner must accept any size >= 2 and the
+    // topology is independent of it.
+    const core::TreeTopology topo(32);
+    for (unsigned v : {2u, 256u, 1024u, 2048u, 4096u}) {
+        const sparse::SpmvPlan plan = sparse::planSpmv(1u << 20, v);
+        EXPECT_GE(plan.iterations(), 1u);
+        EXPECT_EQ(plan.vectorSize, v);
+    }
+    EXPECT_EQ(topo.numPes(), 31u);
+}
+
+TEST(Misc, ConnectionAdvantageGrowsWithDevices)
+{
+    // Section III-D: all-to-all c*m explodes; the tree is linear in m.
+    const unsigned cores = 4;
+    for (unsigned m : {16u, 32u, 64u, 128u}) {
+        const core::TreeTopology topo(m, 2);
+        EXPECT_LT(topo.connectionCount(cores),
+                  core::TreeTopology::allToAllConnections(cores, m) + m);
+    }
+    // At m = 128 the gap is decisive once the rank-attachment links
+    // (which every organization needs) are excluded: (2m-2)+c vs c*m.
+    const core::TreeTopology big(128, 2);
+    EXPECT_LT((big.connectionCount(cores) - 128) * 2,
+              core::TreeTopology::allToAllConnections(cores, 128));
+}

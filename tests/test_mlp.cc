@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Dense-network tests: shapes, determinism, ReLU placement, FLOP/latency
+ * accounting, and numerical sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embedding/mlp.hh"
+
+using namespace fafnir;
+using namespace fafnir::embedding;
+
+TEST(DenseLayer, ShapesAndFlops)
+{
+    const DenseLayer layer(8, 4, false, 1);
+    EXPECT_EQ(layer.inputDim(), 8u);
+    EXPECT_EQ(layer.outputDim(), 4u);
+    EXPECT_EQ(layer.flops(), 64u);
+    const Vector out = layer.forward(Vector(8, 1.0f));
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(DenseLayer, Deterministic)
+{
+    const DenseLayer a(16, 16, true, 7);
+    const DenseLayer b(16, 16, true, 7);
+    const Vector input(16, 0.5f);
+    EXPECT_EQ(a.forward(input), b.forward(input));
+    EXPECT_FLOAT_EQ(a.weight(3, 5), b.weight(3, 5));
+}
+
+TEST(DenseLayer, SeedsChangeWeights)
+{
+    const DenseLayer a(16, 16, true, 7);
+    const DenseLayer b(16, 16, true, 8);
+    int same = 0;
+    for (unsigned r = 0; r < 16; ++r)
+        for (unsigned c = 0; c < 16; ++c)
+            same += a.weight(r, c) == b.weight(r, c);
+    EXPECT_LT(same, 8);
+}
+
+TEST(DenseLayer, ReluClampsNegative)
+{
+    const DenseLayer relu(4, 64, true, 3);
+    const Vector out = relu.forward({-5.0f, -5.0f, -5.0f, -5.0f});
+    for (float v : out)
+        EXPECT_GE(v, 0.0f);
+}
+
+TEST(DenseLayer, LinearLayerCanGoNegative)
+{
+    const DenseLayer linear(4, 64, false, 3);
+    const Vector out = linear.forward({-5.0f, -5.0f, -5.0f, -5.0f});
+    bool any_negative = false;
+    for (float v : out)
+        any_negative |= v < 0.0f;
+    EXPECT_TRUE(any_negative);
+}
+
+TEST(Mlp, StackedForward)
+{
+    const Mlp mlp({128, 64, 32, 1}, 11);
+    EXPECT_EQ(mlp.inputDim(), 128u);
+    EXPECT_EQ(mlp.outputDim(), 1u);
+    EXPECT_EQ(mlp.layers().size(), 3u);
+    const Vector out = mlp.forward(Vector(128, 0.1f));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(std::isfinite(out[0]));
+}
+
+TEST(Mlp, FlopsSumLayers)
+{
+    const Mlp mlp({128, 64, 1}, 11);
+    EXPECT_EQ(mlp.flops(), 2u * (128 * 64 + 64 * 1));
+}
+
+TEST(Mlp, LatencyScalesInverselyWithThroughput)
+{
+    const Mlp mlp({512, 256, 64, 1}, 2);
+    const Tick slow = mlp.latencyTicks(10.0);
+    const Tick fast = mlp.latencyTicks(100.0);
+    EXPECT_NEAR(static_cast<double>(slow) / static_cast<double>(fast),
+                10.0, 0.01);
+    // 2*(512*256+256*64+64) flops at 100 GFLOP/s ~ 3 us.
+    EXPECT_NEAR(static_cast<double>(fast) / kTicksPerUs, 2.95, 0.2);
+}
+
+TEST(Mlp, ActivationsStayBounded)
+{
+    // Xavier-ish scaling: deep stacks must not blow up.
+    const Mlp mlp({128, 128, 128, 128, 128, 16}, 5);
+    const Vector out = mlp.forward(Vector(128, 1.0f));
+    for (float v : out) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_LT(std::fabs(v), 100.0f);
+    }
+}

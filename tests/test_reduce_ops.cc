@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reduction-operator tests: the tree must compute element-wise Sum, Min,
+ * Max, and Mean identically to the reference, including under dedup
+ * (shared values feeding several queries) and same-rank collisions
+ * (root-combine paths).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/memsystem.hh"
+#include "embedding/generator.hh"
+#include "embedding/layout.hh"
+#include "fafnir/functional.hh"
+
+using namespace fafnir;
+using namespace fafnir::core;
+using namespace fafnir::embedding;
+
+namespace
+{
+
+struct OpRig
+{
+    TableConfig tables{32, 4096, 512, 4};
+    EventQueue eq;
+    dram::MemorySystem memory;
+    EmbeddingStore store;
+    VectorLayout layout;
+    Host host;
+    TreeTopology topology{32};
+    FunctionalTree tree{topology};
+
+    OpRig()
+        : memory(eq, dram::Geometry{}, dram::Timing::ddr4_2400(),
+                 dram::Interleave::BlockRank, 512),
+          store(tables), layout(tables, memory.mapper()),
+          host(layout, &store)
+    {}
+
+    void
+    check(const Batch &batch, ReduceOp op, bool dedup)
+    {
+        const TreeRun run =
+            tree.run(host.prepare(batch, dedup), true, false, op);
+        const auto reference = store.reduceBatch(batch, op);
+        for (std::size_t q = 0; q < reference.size(); ++q) {
+            EXPECT_TRUE(vectorsEqual(run.results[q], reference[q]))
+                << toString(op) << " query " << q;
+        }
+    }
+};
+
+Batch
+batchOf(std::initializer_list<std::vector<IndexId>> queries)
+{
+    Batch batch;
+    QueryId id = 0;
+    for (auto q : queries) {
+        std::sort(q.begin(), q.end());
+        batch.queries.push_back({id++, std::move(q)});
+    }
+    return batch;
+}
+
+} // namespace
+
+class ReduceOpSweep
+    : public ::testing::TestWithParam<std::tuple<ReduceOp, bool>>
+{
+};
+
+TEST_P(ReduceOpSweep, TreeMatchesReference)
+{
+    const auto [op, dedup] = GetParam();
+    OpRig rig;
+    rig.check(batchOf({{1, 2, 5, 6}, {2, 5, 9, 77}, {5, 100, 333}}), op,
+              dedup);
+    // Same-rank collision path (indices 0 and 32 share a rank).
+    rig.check(batchOf({{0, 32, 64}}), op, dedup);
+    // Random workload.
+    WorkloadConfig wc;
+    wc.tables = rig.tables;
+    wc.batchSize = 8;
+    wc.querySize = 12;
+    wc.zipfSkew = 1.0;
+    wc.hotFraction = 0.02;
+    BatchGenerator gen(wc, 77);
+    for (int i = 0; i < 3; ++i)
+        rig.check(gen.next(), op, dedup);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, ReduceOpSweep,
+    ::testing::Combine(::testing::Values(ReduceOp::Sum, ReduceOp::Min,
+                                         ReduceOp::Max, ReduceOp::Mean),
+                       ::testing::Bool()));
+
+TEST(ReduceOp, CombineSemantics)
+{
+    EXPECT_FLOAT_EQ(combine(ReduceOp::Sum, 2.0f, 3.0f), 5.0f);
+    EXPECT_FLOAT_EQ(combine(ReduceOp::Min, 2.0f, 3.0f), 2.0f);
+    EXPECT_FLOAT_EQ(combine(ReduceOp::Max, 2.0f, 3.0f), 3.0f);
+    EXPECT_FLOAT_EQ(combine(ReduceOp::Mean, 2.0f, 3.0f), 5.0f);
+}
+
+TEST(ReduceOp, FinalizeOnlyAffectsMean)
+{
+    EXPECT_FLOAT_EQ(finalize(ReduceOp::Sum, 6.0f, 3), 6.0f);
+    EXPECT_FLOAT_EQ(finalize(ReduceOp::Min, 6.0f, 3), 6.0f);
+    EXPECT_FLOAT_EQ(finalize(ReduceOp::Mean, 6.0f, 3), 2.0f);
+}
+
+TEST(ReduceOp, MeanIsScaledSum)
+{
+    OpRig rig;
+    const std::vector<IndexId> indices{4, 9, 13, 700};
+    const auto sum = rig.store.reduce(indices, ReduceOp::Sum);
+    const auto mean = rig.store.reduce(indices, ReduceOp::Mean);
+    for (std::size_t e = 0; e < sum.size(); ++e)
+        EXPECT_FLOAT_EQ(mean[e], sum[e] / 4.0f);
+}
+
+TEST(ReduceOp, MinMaxAreIdempotentUnderSharing)
+{
+    // Heavy sharing: min/max must not be disturbed by the merge unit's
+    // value reuse.
+    OpRig rig;
+    rig.check(batchOf({{5, 1}, {5, 2}, {5, 3}, {5, 4}, {5, 1, 2, 3, 4}}),
+              ReduceOp::Min, true);
+    rig.check(batchOf({{5, 1}, {5, 2}, {5, 3}, {5, 4}, {5, 1, 2, 3, 4}}),
+              ReduceOp::Max, true);
+}

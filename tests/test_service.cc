@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Open-loop serving model tests: queueing behavior at low and high
+ * offered load, percentile math, and integration with the Fafnir engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "embedding/generator.hh"
+#include "embedding/service.hh"
+#include "fafnir/engine.hh"
+
+using namespace fafnir;
+using namespace fafnir::embedding;
+
+namespace
+{
+
+std::vector<Batch>
+makeStream(unsigned count)
+{
+    WorkloadConfig wc;
+    wc.tables = {32, 1u << 16, 512, 4};
+    wc.batchSize = 8;
+    wc.querySize = 8;
+    BatchGenerator gen(wc, 33);
+    std::vector<Batch> stream;
+    for (unsigned i = 0; i < count; ++i)
+        stream.push_back(gen.next());
+    return stream;
+}
+
+/** A synthetic fixed-service-time engine. */
+std::function<Tick(const Batch &, Tick)>
+fixedService(Tick service_time)
+{
+    return [service_time](const Batch &, Tick start) {
+        return start + service_time;
+    };
+}
+
+} // namespace
+
+TEST(Service, NoQueueingBelowCapacity)
+{
+    const auto stream = makeStream(32);
+    // Service 100 ns, arrivals every 200 ns: never queues.
+    const auto report = serveOpenLoop(stream, 200 * kTicksPerNs,
+                                      fixedService(100 * kTicksPerNs));
+    for (const auto &r : report.requests) {
+        EXPECT_EQ(r.queueTime(), 0u);
+        EXPECT_EQ(r.serviceTime(), 100 * kTicksPerNs);
+    }
+    EXPECT_FALSE(report.saturated);
+}
+
+TEST(Service, QueueGrowsBeyondCapacity)
+{
+    const auto stream = makeStream(64);
+    // Service 300 ns, arrivals every 100 ns: backlog grows linearly.
+    const auto report = serveOpenLoop(stream, 100 * kTicksPerNs,
+                                      fixedService(300 * kTicksPerNs));
+    EXPECT_TRUE(report.saturated);
+    // The last request queued for roughly (64-1) * 200 ns.
+    const Tick last_queue = report.requests.back().queueTime();
+    EXPECT_NEAR(static_cast<double>(last_queue),
+                63.0 * 200 * kTicksPerNs, 5.0 * kTicksPerNs);
+}
+
+TEST(Service, PercentilesOrdered)
+{
+    const auto stream = makeStream(32);
+    const auto report = serveOpenLoop(stream, 100 * kTicksPerNs,
+                                      fixedService(150 * kTicksPerNs));
+    EXPECT_LE(report.percentileTotal(0.5), report.percentileTotal(0.9));
+    EXPECT_LE(report.percentileTotal(0.9), report.percentileTotal(0.99));
+    EXPECT_LE(report.percentileTotal(0.99), report.percentileTotal(1.0));
+}
+
+TEST(Service, IntegratesWithFafnirEngine)
+{
+    EventQueue eq;
+    TableConfig tables{32, 1u << 16, 512, 4};
+    dram::MemorySystem memory(eq, dram::Geometry{},
+                              dram::Timing::ddr4_2400(),
+                              dram::Interleave::BlockRank, 512);
+    VectorLayout layout(tables, memory.mapper());
+    core::FafnirEngine engine(memory, layout, core::EngineConfig{});
+
+    const auto stream = makeStream(24);
+    const auto report = serveOpenLoop(
+        stream, 5 * kTicksPerUs,
+        [&](const Batch &batch, Tick start) {
+            return engine.lookup(batch, start).complete;
+        });
+    ASSERT_EQ(report.requests.size(), 24u);
+    // Generous inter-arrival: no saturation, sub-arrival service.
+    EXPECT_FALSE(report.saturated);
+    for (const auto &r : report.requests)
+        EXPECT_LT(r.serviceTime(), 5 * kTicksPerUs);
+}
+
+TEST(Service, SaturationDetectionIgnoresShortRuns)
+{
+    const auto stream = makeStream(4);
+    const auto report = serveOpenLoop(stream, 1 * kTicksPerNs,
+                                      fixedService(100 * kTicksPerNs));
+    // Too few requests to call saturation.
+    EXPECT_FALSE(report.saturated);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * SpTRSV tests: level-schedule correctness, solver agreement with
+ * forward substitution, dependency-depth behavior, and timing
+ * monotonicity in level depth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "dram/memsystem.hh"
+#include "sparse/sptrsv.hh"
+
+using namespace fafnir;
+using namespace fafnir::sparse;
+
+namespace
+{
+
+DenseVector
+rhs(std::uint32_t n)
+{
+    DenseVector b(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        b[i] = 1.0f + static_cast<float>(i % 13) / 4.0f;
+    return b;
+}
+
+} // namespace
+
+TEST(LevelSchedule, DiagonalIsOneLevel)
+{
+    std::vector<Triplet> triplets;
+    for (std::uint32_t i = 0; i < 16; ++i)
+        triplets.push_back({i, i, 2.0f});
+    const LevelSchedule s =
+        levelSchedule(CsrMatrix::fromTriplets(16, 16, triplets));
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_EQ(s.levels[0].size(), 16u);
+    EXPECT_DOUBLE_EQ(s.parallelism(), 16.0);
+}
+
+TEST(LevelSchedule, BidiagonalIsFullySequential)
+{
+    std::vector<Triplet> triplets;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        triplets.push_back({i, i, 2.0f});
+        if (i > 0)
+            triplets.push_back({i, i - 1, 0.5f});
+    }
+    const LevelSchedule s =
+        levelSchedule(CsrMatrix::fromTriplets(16, 16, triplets));
+    EXPECT_EQ(s.depth(), 16u);
+    for (std::uint32_t r = 0; r < 16; ++r)
+        EXPECT_EQ(s.rowLevel[r], r);
+}
+
+TEST(LevelSchedule, LevelsRespectDependencies)
+{
+    Rng rng(1);
+    const CsrMatrix l = makeLowerTriangular(512, 3.0, 64, rng);
+    const LevelSchedule s = levelSchedule(l);
+    // Every off-diagonal reference points at a strictly earlier level.
+    for (std::uint32_t r = 0; r < l.rows(); ++r) {
+        for (std::uint32_t k = l.rowPtr()[r]; k < l.rowPtr()[r + 1];
+             ++k) {
+            const std::uint32_t c = l.colIdx()[k];
+            if (c < r) {
+                EXPECT_LT(s.rowLevel[c], s.rowLevel[r]);
+            }
+        }
+    }
+}
+
+TEST(LevelSchedule, RejectsUpperEntries)
+{
+    const CsrMatrix not_lower = CsrMatrix::fromTriplets(
+        4, 4, {{0, 0, 1.0f}, {1, 1, 1.0f}, {0, 2, 1.0f},
+               {2, 2, 1.0f}, {3, 3, 1.0f}});
+    EXPECT_DEATH(levelSchedule(not_lower), "not lower triangular");
+}
+
+TEST(Sptrsv, MatchesForwardSubstitution)
+{
+    Rng rng(2);
+    for (const double nnz_per_row : {1.0, 3.0, 6.0}) {
+        const CsrMatrix l =
+            makeLowerTriangular(1024, nnz_per_row, 128, rng);
+        const DenseVector b = rhs(1024);
+        const DenseVector expect = forwardSubstitute(l, b);
+
+        EventQueue eq;
+        dram::MemorySystem memory(eq, dram::Geometry{},
+                                  dram::Timing::ddr4_2400());
+        SptrsvTiming timing;
+        const DenseVector x = sptrsvSolve(memory, l, b, 0, timing);
+        EXPECT_TRUE(denseEqual(x, expect, 1e-3f))
+            << nnz_per_row << " nnz/row";
+        EXPECT_GT(timing.complete, timing.issued);
+        EXPECT_EQ(timing.levels, levelSchedule(l).depth());
+    }
+}
+
+TEST(Sptrsv, SolutionSolvesTheSystem)
+{
+    Rng rng(3);
+    const CsrMatrix l = makeLowerTriangular(2048, 4.0, 256, rng);
+    const DenseVector b = rhs(2048);
+    EventQueue eq;
+    dram::MemorySystem memory(eq, dram::Geometry{},
+                              dram::Timing::ddr4_2400());
+    SptrsvTiming timing;
+    const DenseVector x = sptrsvSolve(memory, l, b, 0, timing);
+    EXPECT_TRUE(denseEqual(l.multiply(x), b, 1e-2f));
+}
+
+TEST(Sptrsv, DeeperDependenciesTakeLonger)
+{
+    // Same size and nnz budget; short-reach chains produce deeper
+    // schedules (more sequential levels) and thus more time.
+    Rng rng_a(4);
+    Rng rng_b(4);
+    const std::uint32_t n = 4096;
+    const CsrMatrix shallow = makeLowerTriangular(n, 2.0, 2048, rng_a);
+    const CsrMatrix deep = makeLowerTriangular(n, 2.0, 2, rng_b);
+
+    const LevelSchedule s_shallow = levelSchedule(shallow);
+    const LevelSchedule s_deep = levelSchedule(deep);
+    ASSERT_LT(s_shallow.depth(), s_deep.depth());
+
+    const DenseVector b = rhs(n);
+    auto run = [&](const CsrMatrix &l) {
+        EventQueue eq;
+        dram::MemorySystem memory(eq, dram::Geometry{},
+                                  dram::Timing::ddr4_2400());
+        SptrsvTiming timing;
+        (void)sptrsvSolve(memory, l, b, 0, timing);
+        return timing.totalTime();
+    };
+    EXPECT_LT(run(shallow), run(deep));
+}
+
+TEST(Sptrsv, GeneratorShapes)
+{
+    Rng rng(5);
+    const CsrMatrix l = makeLowerTriangular(256, 3.0, 16, rng);
+    EXPECT_EQ(l.rows(), 256u);
+    // Strictly lower triangular off-diagonals plus a full diagonal.
+    std::uint32_t diagonals = 0;
+    for (std::uint32_t r = 0; r < l.rows(); ++r)
+        for (std::uint32_t k = l.rowPtr()[r]; k < l.rowPtr()[r + 1]; ++k) {
+            EXPECT_LE(l.colIdx()[k], r);
+            diagonals += l.colIdx()[k] == r;
+        }
+    EXPECT_EQ(diagonals, 256u);
+}

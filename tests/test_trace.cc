@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Trace serialization tests: round trips, normalization, and error
+ * handling on malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "embedding/generator.hh"
+#include "embedding/trace.hh"
+
+using namespace fafnir;
+using namespace fafnir::embedding;
+
+namespace
+{
+
+std::vector<Batch>
+sampleBatches()
+{
+    WorkloadConfig wc;
+    wc.tables = {32, 1u << 16, 512, 4};
+    wc.batchSize = 4;
+    wc.querySize = 6;
+    BatchGenerator gen(wc, 21);
+    return {gen.next(), gen.next(), gen.next()};
+}
+
+} // namespace
+
+TEST(Trace, RoundTrip)
+{
+    const auto original = sampleBatches();
+    std::stringstream buffer;
+    writeTrace(buffer, original);
+    const auto loaded = readTrace(buffer);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t b = 0; b < original.size(); ++b) {
+        ASSERT_EQ(loaded[b].size(), original[b].size());
+        for (std::size_t q = 0; q < original[b].size(); ++q) {
+            EXPECT_EQ(loaded[b].queries[q].id, original[b].queries[q].id);
+            EXPECT_EQ(loaded[b].queries[q].indices,
+                      original[b].queries[q].indices);
+        }
+    }
+}
+
+TEST(Trace, NormalizesUnsortedInput)
+{
+    std::stringstream buffer;
+    buffer << "fafnir-trace v1\nbatch\nq 9 3 7 3\n";
+    const auto batches = readTrace(buffer);
+    ASSERT_EQ(batches.size(), 1u);
+    EXPECT_EQ(batches[0].queries[0].indices,
+              (std::vector<IndexId>{3, 7, 9}));
+}
+
+TEST(Trace, EmptyTraceIsValid)
+{
+    std::stringstream buffer;
+    buffer << "fafnir-trace v1\n";
+    EXPECT_TRUE(readTrace(buffer).empty());
+}
+
+TEST(Trace, SkipsBlankLines)
+{
+    std::stringstream buffer;
+    buffer << "fafnir-trace v1\n\nbatch\n\nq 1 2\n\n";
+    const auto batches = readTrace(buffer);
+    ASSERT_EQ(batches.size(), 1u);
+    EXPECT_EQ(batches[0].queries[0].indices,
+              (std::vector<IndexId>{1, 2}));
+}
+
+TEST(Trace, RejectsBadMagic)
+{
+    std::stringstream buffer;
+    buffer << "some other file\n";
+    EXPECT_DEATH(readTrace(buffer), "bad magic");
+}
+
+TEST(Trace, RejectsQueryBeforeBatch)
+{
+    std::stringstream buffer;
+    buffer << "fafnir-trace v1\nq 1 2\n";
+    EXPECT_DEATH(readTrace(buffer), "before first batch");
+}
+
+TEST(Trace, RejectsGarbageLine)
+{
+    std::stringstream buffer;
+    buffer << "fafnir-trace v1\nbatch\nhello\n";
+    EXPECT_DEATH(readTrace(buffer), "malformed");
+}
+
+TEST(Trace, FileRoundTrip)
+{
+    const auto original = sampleBatches();
+    const std::string path = "/tmp/fafnir_trace_test.txt";
+    saveTrace(path, original);
+    const auto loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded[1].queries[2].indices,
+              original[1].queries[2].indices);
+}

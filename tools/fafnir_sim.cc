@@ -1,0 +1,311 @@
+/**
+ * @file
+ * fafnir_sim — the command-line driver for the simulator.
+ *
+ * Runs a lookup or SpMV experiment with every model knob exposed as a
+ * flag and prints timing, work, memory, and energy summaries. This is
+ * the entry point for exploring configurations the bench harnesses
+ * don't sweep.
+ *
+ *   fafnir_sim --mode=lookup --ranks=32 --batch=32 --batches=64 \
+ *              --skew=1.05 --engine=event --dedup=true
+ *   fafnir_sim --mode=spmv --matrix=road --nodes=65536
+ *   fafnir_sim --mode=sptrsv --nodes=16384 --reach=64
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "baselines/cpu.hh"
+#include "baselines/recnmp.hh"
+#include "baselines/tensordimm.hh"
+#include "baselines/two_step.hh"
+#include "common/cli.hh"
+#include "dram/memsystem.hh"
+#include "embedding/generator.hh"
+#include "embedding/layout.hh"
+#include "fafnir/engine.hh"
+#include "fafnir/event_engine.hh"
+#include "hwmodel/energy_report.hh"
+#include "sparse/fafnir_spmv.hh"
+#include "sparse/matgen.hh"
+#include "sparse/sptrsv.hh"
+
+using namespace fafnir;
+
+namespace
+{
+
+struct Options
+{
+    std::string mode = "lookup";
+    std::string engine = "analytic"; // analytic | event | cpu | recnmp |
+                                     // tensordimm
+    unsigned ranks = 32;
+    unsigned batches = 32;
+    unsigned batch = 16;
+    unsigned querySize = 16;
+    double skew = 0.9;
+    double hotFraction = 0.001;
+    bool dedup = true;
+    bool interactive = false;
+    bool hbm = false;
+    std::uint64_t seed = 1;
+    // SpMV / SpTRSV knobs.
+    std::string matrix = "web"; // web | road | banded | uniform
+    unsigned nodes = 1u << 14;
+    unsigned reach = 64;
+    double nnzPerRow = 8.0;
+};
+
+embedding::TableConfig
+tableConfig()
+{
+    return {32, 1u << 20, 512, 4};
+}
+
+int
+runLookup(const Options &opt)
+{
+    EventQueue eq;
+    const dram::Geometry geometry = opt.hbm
+        ? dram::Geometry::hbm2()
+        : dram::Geometry::withTotalRanks(opt.ranks);
+    const dram::Timing timing =
+        opt.hbm ? dram::Timing::hbm2() : dram::Timing::ddr4_2400();
+    dram::MemorySystem memory(eq, geometry, timing,
+                              dram::Interleave::BlockRank, 512);
+    const embedding::TableConfig tables = tableConfig();
+    const embedding::VectorLayout layout(tables, memory.mapper());
+
+    embedding::WorkloadConfig wc;
+    wc.tables = tables;
+    wc.batchSize = opt.batch;
+    wc.querySize = opt.querySize;
+    wc.popularity = opt.skew > 0 ? embedding::Popularity::Zipfian
+                                 : embedding::Popularity::Uniform;
+    wc.zipfSkew = opt.skew;
+    wc.hotFraction = opt.hotFraction;
+    embedding::BatchGenerator gen(wc, opt.seed);
+    std::vector<embedding::Batch> batches;
+    for (unsigned i = 0; i < opt.batches; ++i)
+        batches.push_back(gen.next());
+
+    Tick complete = 0;
+    std::size_t reads = 0;
+    std::size_t references = 0;
+    std::vector<Tick> batch_latency;
+
+    auto consume = [&](const auto &timings) {
+        for (const auto &t : timings) {
+            complete = std::max(complete, t.complete);
+            reads += t.memAccesses;
+            batch_latency.push_back(t.totalTime());
+        }
+    };
+
+    if (opt.engine == "analytic" || opt.engine == "event") {
+        core::EngineConfig cfg;
+        cfg.dedup = opt.dedup;
+        cfg.interactive = opt.interactive;
+        if (opt.engine == "event") {
+            core::EventEngineConfig ecfg;
+            ecfg.base = cfg;
+            core::EventDrivenEngine engine(memory, layout, ecfg);
+            consume(engine.lookupMany(batches, 0));
+        } else {
+            core::FafnirEngine engine(memory, layout, cfg);
+            consume(engine.lookupMany(batches, 0));
+        }
+    } else if (opt.engine == "cpu") {
+        baselines::CpuEngine engine(memory, layout);
+        consume(engine.lookupMany(batches, 0));
+    } else if (opt.engine == "recnmp") {
+        baselines::RecNmpConfig cfg;
+        cfg.cacheEnabled = true;
+        baselines::RecNmpEngine engine(memory, layout, cfg);
+        consume(engine.lookupMany(batches, 0));
+    } else if (opt.engine == "tensordimm") {
+        baselines::TensorDimmEngine engine(memory, tables);
+        consume(engine.lookupMany(batches, 0));
+    } else {
+        FAFNIR_FATAL("unknown --engine '", opt.engine, "'");
+    }
+
+    for (const auto &b : batches)
+        references += b.totalIndices();
+
+    const double us_total = static_cast<double>(complete) / kTicksPerUs;
+    const auto queries = static_cast<double>(opt.batches) * opt.batch;
+    std::printf("engine=%s ranks=%u batches=%u batch=%u q=%u\n",
+                opt.engine.c_str(), opt.ranks, opt.batches, opt.batch,
+                opt.querySize);
+    std::printf("time: %.2f us total, %.1f ns/query, %.2f Mquery/s\n",
+                us_total, us_total * 1000.0 / queries,
+                queries / us_total);
+    if (!batch_latency.empty()) {
+        std::sort(batch_latency.begin(), batch_latency.end());
+        std::printf("batch latency: p50 %.2f us, p99 %.2f us\n",
+                    static_cast<double>(
+                        batch_latency[batch_latency.size() / 2]) /
+                        kTicksPerUs,
+                    static_cast<double>(
+                        batch_latency[batch_latency.size() * 99 / 100]) /
+                        kTicksPerUs);
+    }
+    std::printf("bandwidth: %.1f GB/s achieved, rank-bus utilization "
+                "%.1f%%\n",
+                memory.achievedBandwidthGBs(complete),
+                memory.rankBusUtilization(complete) * 100.0);
+    std::printf("memory: %zu reads for %zu references (%.1f%% saved), "
+                "%llu row hits / %llu misses\n",
+                reads, references,
+                100.0 * (1.0 - static_cast<double>(reads) /
+                                   static_cast<double>(references)),
+                static_cast<unsigned long long>(memory.rowHitCount()),
+                static_cast<unsigned long long>(memory.rowMissCount()));
+
+    const hwmodel::EnergyReport energy;
+    const auto e = energy.account(memory, complete);
+    std::printf("energy: %.1f uJ DRAM + %.2f uJ NDP + %.1f uJ host IO = "
+                "%.1f uJ (%.2f nJ/query)\n",
+                e.dramUj, e.ndpUj, e.hostIoUj, e.total(),
+                e.total() * 1000.0 / queries);
+    return 0;
+}
+
+sparse::CsrMatrix
+makeMatrix(const Options &opt, Rng &rng)
+{
+    if (opt.matrix == "web")
+        return sparse::makePowerLawGraph(opt.nodes, opt.nnzPerRow, 0.9,
+                                         rng);
+    if (opt.matrix == "road")
+        return sparse::makeRoadNetwork(opt.nodes, rng);
+    if (opt.matrix == "banded")
+        return sparse::makeBanded(opt.nodes, 48, rng);
+    if (opt.matrix == "uniform")
+        return sparse::makeUniformRandom(opt.nodes, opt.nodes,
+                                         opt.nnzPerRow, rng);
+    FAFNIR_FATAL("unknown --matrix '", opt.matrix, "'");
+}
+
+int
+runSpmv(const Options &opt)
+{
+    Rng rng(opt.seed);
+    const sparse::CsrMatrix csr = makeMatrix(opt, rng);
+    const sparse::LilMatrix lil = sparse::LilMatrix::fromCsr(csr);
+    const sparse::DenseVector x = sparse::makeOperand(csr.cols());
+    const sparse::DenseVector expect = csr.multiply(x);
+
+    EventQueue eq;
+    dram::MemorySystem memory(eq,
+                              dram::Geometry::withTotalRanks(opt.ranks),
+                              dram::Timing::ddr4_2400());
+
+    sparse::SpmvTiming fafnir_t;
+    {
+        sparse::FafnirSpmv engine(memory, sparse::FafnirSpmvConfig{});
+        const auto y = engine.multiply(lil, x, 0, fafnir_t);
+        if (!sparse::denseEqual(y, expect)) {
+            std::printf("FAIL: Fafnir SpMV mismatch\n");
+            return 1;
+        }
+    }
+    sparse::SpmvTiming twostep_t;
+    {
+        EventQueue eq2;
+        dram::MemorySystem memory2(
+            eq2, dram::Geometry::withTotalRanks(opt.ranks),
+            dram::Timing::ddr4_2400());
+        baselines::TwoStepEngine engine(memory2,
+                                        baselines::TwoStepConfig{});
+        const auto y = engine.multiply(lil, x, 0, twostep_t);
+        if (!sparse::denseEqual(y, expect)) {
+            std::printf("FAIL: Two-Step SpMV mismatch\n");
+            return 1;
+        }
+    }
+
+    std::printf("matrix=%s n=%u nnz=%zu merge-iterations=%u\n",
+                opt.matrix.c_str(), csr.rows(), csr.nnz(),
+                fafnir_t.plan.mergeIterations());
+    std::printf("Fafnir: %.2f us (%llu multiplies, %.1f MB streamed)\n",
+                static_cast<double>(fafnir_t.totalTime()) / kTicksPerUs,
+                static_cast<unsigned long long>(fafnir_t.multiplies),
+                static_cast<double>(fafnir_t.streamedBytes) / 1e6);
+    std::printf("Two-Step: %.2f us  -> speedup %.2fx\n",
+                static_cast<double>(twostep_t.totalTime()) / kTicksPerUs,
+                static_cast<double>(twostep_t.totalTime()) /
+                    static_cast<double>(fafnir_t.totalTime()));
+    return 0;
+}
+
+int
+runSptrsv(const Options &opt)
+{
+    Rng rng(opt.seed);
+    const sparse::CsrMatrix l =
+        sparse::makeLowerTriangular(opt.nodes, 3.0, opt.reach, rng);
+    const sparse::DenseVector b(opt.nodes, 1.0f);
+
+    EventQueue eq;
+    dram::MemorySystem memory(eq,
+                              dram::Geometry::withTotalRanks(opt.ranks),
+                              dram::Timing::ddr4_2400());
+    sparse::SptrsvTiming timing;
+    const auto x = sparse::sptrsvSolve(memory, l, b, 0, timing);
+    if (!sparse::denseEqual(l.multiply(x), b, 1e-2f)) {
+        std::printf("FAIL: SpTRSV residual too large\n");
+        return 1;
+    }
+    const auto schedule = sparse::levelSchedule(l);
+    std::printf("n=%u nnz=%zu levels=%zu rows/level=%.1f\n", opt.nodes,
+                l.nnz(), schedule.depth(), schedule.parallelism());
+    std::printf("time: %.2f us (%.3f us/level)\n",
+                static_cast<double>(timing.totalTime()) / kTicksPerUs,
+                static_cast<double>(timing.totalTime()) / kTicksPerUs /
+                    static_cast<double>(schedule.depth()));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    FlagParser flags("Fafnir simulator driver");
+    flags.addString("mode", opt.mode, "lookup | spmv | sptrsv");
+    flags.addString("engine", opt.engine,
+                    "lookup engine: analytic | event | cpu | recnmp | "
+                    "tensordimm");
+    flags.addUnsigned("ranks", opt.ranks, "memory ranks (power of two)");
+    flags.addUnsigned("batches", opt.batches, "batches in the stream");
+    flags.addUnsigned("batch", opt.batch, "queries per batch");
+    flags.addUnsigned("query-size", opt.querySize, "indices per query");
+    flags.addDouble("skew", opt.skew, "Zipfian skew (0 = uniform)");
+    flags.addDouble("hot-fraction", opt.hotFraction,
+                    "hot fraction of table rows");
+    flags.addBool("dedup", opt.dedup, "unique-index mechanism");
+    flags.addBool("interactive", opt.interactive,
+                  "query-at-a-time processing");
+    flags.addBool("hbm", opt.hbm, "HBM2 pseudo channels instead of DDR4");
+    flags.addUint64("seed", opt.seed, "workload seed");
+    flags.addString("matrix", opt.matrix,
+                    "spmv matrix: web | road | banded | uniform");
+    flags.addUnsigned("nodes", opt.nodes, "matrix dimension");
+    flags.addUnsigned("reach", opt.reach, "sptrsv dependency reach");
+    flags.addDouble("nnz-per-row", opt.nnzPerRow, "matrix density");
+    flags.parse(argc, argv);
+
+    if (opt.mode == "lookup")
+        return runLookup(opt);
+    if (opt.mode == "spmv")
+        return runSpmv(opt);
+    if (opt.mode == "sptrsv")
+        return runSptrsv(opt);
+    FAFNIR_FATAL("unknown --mode '", opt.mode, "'");
+}
