@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hbm.dir/ablation_hbm.cc.o"
+  "CMakeFiles/ablation_hbm.dir/ablation_hbm.cc.o.d"
+  "ablation_hbm"
+  "ablation_hbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

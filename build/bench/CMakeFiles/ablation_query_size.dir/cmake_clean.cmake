@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_query_size.dir/ablation_query_size.cc.o"
+  "CMakeFiles/ablation_query_size.dir/ablation_query_size.cc.o.d"
+  "ablation_query_size"
+  "ablation_query_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_query_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spmv_ranks.dir/ablation_spmv_ranks.cc.o"
+  "CMakeFiles/ablation_spmv_ranks.dir/ablation_spmv_ranks.cc.o.d"
+  "ablation_spmv_ranks"
+  "ablation_spmv_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spmv_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_scale.dir/ablation_tree_scale.cc.o"
+  "CMakeFiles/ablation_tree_scale.dir/ablation_tree_scale.cc.o.d"
+  "ablation_tree_scale"
+  "ablation_tree_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vector_size.dir/ablation_vector_size.cc.o"
+  "CMakeFiles/ablation_vector_size.dir/ablation_vector_size.cc.o.d"
+  "ablation_vector_size"
+  "ablation_vector_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vector_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_sptrsv.dir/extension_sptrsv.cc.o"
+  "CMakeFiles/extension_sptrsv.dir/extension_sptrsv.cc.o.d"
+  "extension_sptrsv"
+  "extension_sptrsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_sptrsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_unique_indices.dir/fig03_unique_indices.cc.o"
+  "CMakeFiles/fig03_unique_indices.dir/fig03_unique_indices.cc.o.d"
+  "fig03_unique_indices"
+  "fig03_unique_indices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_unique_indices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_spmv_plan.dir/fig09_spmv_plan.cc.o"
+  "CMakeFiles/fig09_spmv_plan.dir/fig09_spmv_plan.cc.o.d"
+  "fig09_spmv_plan"
+  "fig09_spmv_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_spmv_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_batch_speedup.dir/fig13_batch_speedup.cc.o"
+  "CMakeFiles/fig13_batch_speedup.dir/fig13_batch_speedup.cc.o.d"
+  "fig13_batch_speedup"
+  "fig13_batch_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_batch_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

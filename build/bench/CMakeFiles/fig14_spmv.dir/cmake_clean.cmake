@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_spmv.dir/fig14_spmv.cc.o"
+  "CMakeFiles/fig14_spmv.dir/fig14_spmv.cc.o.d"
+  "fig14_spmv"
+  "fig14_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

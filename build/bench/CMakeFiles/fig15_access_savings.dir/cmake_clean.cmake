@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_access_savings.dir/fig15_access_savings.cc.o"
+  "CMakeFiles/fig15_access_savings.dir/fig15_access_savings.cc.o.d"
+  "fig15_access_savings"
+  "fig15_access_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_access_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

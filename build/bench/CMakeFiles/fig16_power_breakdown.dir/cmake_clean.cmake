@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_power_breakdown.dir/fig16_power_breakdown.cc.o"
+  "CMakeFiles/fig16_power_breakdown.dir/fig16_power_breakdown.cc.o.d"
+  "fig16_power_breakdown"
+  "fig16_power_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_power_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

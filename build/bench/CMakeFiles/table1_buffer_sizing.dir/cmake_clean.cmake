@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_buffer_sizing.dir/table1_buffer_sizing.cc.o"
+  "CMakeFiles/table1_buffer_sizing.dir/table1_buffer_sizing.cc.o.d"
+  "table1_buffer_sizing"
+  "table1_buffer_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_buffer_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

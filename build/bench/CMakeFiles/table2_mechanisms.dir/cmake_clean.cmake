@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mechanisms.dir/table2_mechanisms.cc.o"
+  "CMakeFiles/table2_mechanisms.dir/table2_mechanisms.cc.o.d"
+  "table2_mechanisms"
+  "table2_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_system_config.dir/table3_system_config.cc.o"
+  "CMakeFiles/table3_system_config.dir/table3_system_config.cc.o.d"
+  "table3_system_config"
+  "table3_system_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_system_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_fpga_util.cc" "bench/CMakeFiles/table5_fpga_util.dir/table5_fpga_util.cc.o" "gcc" "bench/CMakeFiles/table5_fpga_util.dir/table5_fpga_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/fafnir_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/fafnir_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/fafnir_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fafnir/CMakeFiles/fafnir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/fafnir_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/fafnir_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fafnir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fafnir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

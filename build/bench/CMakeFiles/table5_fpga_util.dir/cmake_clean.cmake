@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fpga_util.dir/table5_fpga_util.cc.o"
+  "CMakeFiles/table5_fpga_util.dir/table5_fpga_util.cc.o.d"
+  "table5_fpga_util"
+  "table5_fpga_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fpga_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_asic.dir/table6_asic.cc.o"
+  "CMakeFiles/table6_asic.dir/table6_asic.cc.o.d"
+  "table6_asic"
+  "table6_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

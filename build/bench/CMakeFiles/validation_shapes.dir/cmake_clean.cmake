@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_shapes.dir/validation_shapes.cc.o"
+  "CMakeFiles/validation_shapes.dir/validation_shapes.cc.o.d"
+  "validation_shapes"
+  "validation_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

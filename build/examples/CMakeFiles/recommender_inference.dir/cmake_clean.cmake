@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_inference.dir/recommender_inference.cpp.o"
+  "CMakeFiles/recommender_inference.dir/recommender_inference.cpp.o.d"
+  "recommender_inference"
+  "recommender_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scientific_solver.dir/scientific_solver.cpp.o"
+  "CMakeFiles/scientific_solver.dir/scientific_solver.cpp.o.d"
+  "scientific_solver"
+  "scientific_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scientific_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;9;fafnir_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_recommender_inference "/root/repo/build/examples/recommender_inference")
+set_tests_properties(example_recommender_inference PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;fafnir_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph_analytics "/root/repo/build/examples/graph_analytics")
+set_tests_properties(example_graph_analytics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;fafnir_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scientific_solver "/root/repo/build/examples/scientific_solver")
+set_tests_properties(example_scientific_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;fafnir_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_replay "/root/repo/build/examples/trace_replay")
+set_tests_properties(example_trace_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;fafnir_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpu.cc" "src/baselines/CMakeFiles/fafnir_baselines.dir/cpu.cc.o" "gcc" "src/baselines/CMakeFiles/fafnir_baselines.dir/cpu.cc.o.d"
+  "/root/repo/src/baselines/recnmp.cc" "src/baselines/CMakeFiles/fafnir_baselines.dir/recnmp.cc.o" "gcc" "src/baselines/CMakeFiles/fafnir_baselines.dir/recnmp.cc.o.d"
+  "/root/repo/src/baselines/tensordimm.cc" "src/baselines/CMakeFiles/fafnir_baselines.dir/tensordimm.cc.o" "gcc" "src/baselines/CMakeFiles/fafnir_baselines.dir/tensordimm.cc.o.d"
+  "/root/repo/src/baselines/two_step.cc" "src/baselines/CMakeFiles/fafnir_baselines.dir/two_step.cc.o" "gcc" "src/baselines/CMakeFiles/fafnir_baselines.dir/two_step.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fafnir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/fafnir_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/fafnir_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/fafnir_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/fafnir/CMakeFiles/fafnir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fafnir_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fafnir_baselines.dir/cpu.cc.o"
+  "CMakeFiles/fafnir_baselines.dir/cpu.cc.o.d"
+  "CMakeFiles/fafnir_baselines.dir/recnmp.cc.o"
+  "CMakeFiles/fafnir_baselines.dir/recnmp.cc.o.d"
+  "CMakeFiles/fafnir_baselines.dir/tensordimm.cc.o"
+  "CMakeFiles/fafnir_baselines.dir/tensordimm.cc.o.d"
+  "CMakeFiles/fafnir_baselines.dir/two_step.cc.o"
+  "CMakeFiles/fafnir_baselines.dir/two_step.cc.o.d"
+  "libfafnir_baselines.a"
+  "libfafnir_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fafnir_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

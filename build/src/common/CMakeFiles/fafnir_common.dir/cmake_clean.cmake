@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fafnir_common.dir/cli.cc.o"
+  "CMakeFiles/fafnir_common.dir/cli.cc.o.d"
+  "CMakeFiles/fafnir_common.dir/debug.cc.o"
+  "CMakeFiles/fafnir_common.dir/debug.cc.o.d"
+  "CMakeFiles/fafnir_common.dir/logging.cc.o"
+  "CMakeFiles/fafnir_common.dir/logging.cc.o.d"
+  "CMakeFiles/fafnir_common.dir/random.cc.o"
+  "CMakeFiles/fafnir_common.dir/random.cc.o.d"
+  "CMakeFiles/fafnir_common.dir/stats.cc.o"
+  "CMakeFiles/fafnir_common.dir/stats.cc.o.d"
+  "CMakeFiles/fafnir_common.dir/table.cc.o"
+  "CMakeFiles/fafnir_common.dir/table.cc.o.d"
+  "libfafnir_common.a"
+  "libfafnir_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fafnir_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fafnir_dram.dir/address.cc.o"
+  "CMakeFiles/fafnir_dram.dir/address.cc.o.d"
+  "CMakeFiles/fafnir_dram.dir/cmdlog.cc.o"
+  "CMakeFiles/fafnir_dram.dir/cmdlog.cc.o.d"
+  "CMakeFiles/fafnir_dram.dir/controller.cc.o"
+  "CMakeFiles/fafnir_dram.dir/controller.cc.o.d"
+  "CMakeFiles/fafnir_dram.dir/memsystem.cc.o"
+  "CMakeFiles/fafnir_dram.dir/memsystem.cc.o.d"
+  "libfafnir_dram.a"
+  "libfafnir_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fafnir_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

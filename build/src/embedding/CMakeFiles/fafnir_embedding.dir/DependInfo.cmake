@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/batcher.cc" "src/embedding/CMakeFiles/fafnir_embedding.dir/batcher.cc.o" "gcc" "src/embedding/CMakeFiles/fafnir_embedding.dir/batcher.cc.o.d"
+  "/root/repo/src/embedding/generator.cc" "src/embedding/CMakeFiles/fafnir_embedding.dir/generator.cc.o" "gcc" "src/embedding/CMakeFiles/fafnir_embedding.dir/generator.cc.o.d"
+  "/root/repo/src/embedding/mlp.cc" "src/embedding/CMakeFiles/fafnir_embedding.dir/mlp.cc.o" "gcc" "src/embedding/CMakeFiles/fafnir_embedding.dir/mlp.cc.o.d"
+  "/root/repo/src/embedding/query.cc" "src/embedding/CMakeFiles/fafnir_embedding.dir/query.cc.o" "gcc" "src/embedding/CMakeFiles/fafnir_embedding.dir/query.cc.o.d"
+  "/root/repo/src/embedding/service.cc" "src/embedding/CMakeFiles/fafnir_embedding.dir/service.cc.o" "gcc" "src/embedding/CMakeFiles/fafnir_embedding.dir/service.cc.o.d"
+  "/root/repo/src/embedding/table.cc" "src/embedding/CMakeFiles/fafnir_embedding.dir/table.cc.o" "gcc" "src/embedding/CMakeFiles/fafnir_embedding.dir/table.cc.o.d"
+  "/root/repo/src/embedding/trace.cc" "src/embedding/CMakeFiles/fafnir_embedding.dir/trace.cc.o" "gcc" "src/embedding/CMakeFiles/fafnir_embedding.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fafnir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/fafnir_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fafnir_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fafnir_embedding.dir/batcher.cc.o"
+  "CMakeFiles/fafnir_embedding.dir/batcher.cc.o.d"
+  "CMakeFiles/fafnir_embedding.dir/generator.cc.o"
+  "CMakeFiles/fafnir_embedding.dir/generator.cc.o.d"
+  "CMakeFiles/fafnir_embedding.dir/mlp.cc.o"
+  "CMakeFiles/fafnir_embedding.dir/mlp.cc.o.d"
+  "CMakeFiles/fafnir_embedding.dir/query.cc.o"
+  "CMakeFiles/fafnir_embedding.dir/query.cc.o.d"
+  "CMakeFiles/fafnir_embedding.dir/service.cc.o"
+  "CMakeFiles/fafnir_embedding.dir/service.cc.o.d"
+  "CMakeFiles/fafnir_embedding.dir/table.cc.o"
+  "CMakeFiles/fafnir_embedding.dir/table.cc.o.d"
+  "CMakeFiles/fafnir_embedding.dir/trace.cc.o"
+  "CMakeFiles/fafnir_embedding.dir/trace.cc.o.d"
+  "libfafnir_embedding.a"
+  "libfafnir_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fafnir_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fafnir/engine.cc" "src/fafnir/CMakeFiles/fafnir_core.dir/engine.cc.o" "gcc" "src/fafnir/CMakeFiles/fafnir_core.dir/engine.cc.o.d"
+  "/root/repo/src/fafnir/event_engine.cc" "src/fafnir/CMakeFiles/fafnir_core.dir/event_engine.cc.o" "gcc" "src/fafnir/CMakeFiles/fafnir_core.dir/event_engine.cc.o.d"
+  "/root/repo/src/fafnir/functional.cc" "src/fafnir/CMakeFiles/fafnir_core.dir/functional.cc.o" "gcc" "src/fafnir/CMakeFiles/fafnir_core.dir/functional.cc.o.d"
+  "/root/repo/src/fafnir/host.cc" "src/fafnir/CMakeFiles/fafnir_core.dir/host.cc.o" "gcc" "src/fafnir/CMakeFiles/fafnir_core.dir/host.cc.o.d"
+  "/root/repo/src/fafnir/item.cc" "src/fafnir/CMakeFiles/fafnir_core.dir/item.cc.o" "gcc" "src/fafnir/CMakeFiles/fafnir_core.dir/item.cc.o.d"
+  "/root/repo/src/fafnir/pe.cc" "src/fafnir/CMakeFiles/fafnir_core.dir/pe.cc.o" "gcc" "src/fafnir/CMakeFiles/fafnir_core.dir/pe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fafnir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fafnir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/fafnir_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/fafnir_embedding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fafnir_core.dir/engine.cc.o"
+  "CMakeFiles/fafnir_core.dir/engine.cc.o.d"
+  "CMakeFiles/fafnir_core.dir/event_engine.cc.o"
+  "CMakeFiles/fafnir_core.dir/event_engine.cc.o.d"
+  "CMakeFiles/fafnir_core.dir/functional.cc.o"
+  "CMakeFiles/fafnir_core.dir/functional.cc.o.d"
+  "CMakeFiles/fafnir_core.dir/host.cc.o"
+  "CMakeFiles/fafnir_core.dir/host.cc.o.d"
+  "CMakeFiles/fafnir_core.dir/item.cc.o"
+  "CMakeFiles/fafnir_core.dir/item.cc.o.d"
+  "CMakeFiles/fafnir_core.dir/pe.cc.o"
+  "CMakeFiles/fafnir_core.dir/pe.cc.o.d"
+  "libfafnir_core.a"
+  "libfafnir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fafnir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fafnir_hwmodel.dir/asic.cc.o"
+  "CMakeFiles/fafnir_hwmodel.dir/asic.cc.o.d"
+  "CMakeFiles/fafnir_hwmodel.dir/fpga.cc.o"
+  "CMakeFiles/fafnir_hwmodel.dir/fpga.cc.o.d"
+  "libfafnir_hwmodel.a"
+  "libfafnir_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fafnir_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

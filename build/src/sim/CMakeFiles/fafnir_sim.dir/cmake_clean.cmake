@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fafnir_sim.dir/eventq.cc.o"
+  "CMakeFiles/fafnir_sim.dir/eventq.cc.o.d"
+  "libfafnir_sim.a"
+  "libfafnir_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fafnir_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/algorithms.cc" "src/sparse/CMakeFiles/fafnir_sparse.dir/algorithms.cc.o" "gcc" "src/sparse/CMakeFiles/fafnir_sparse.dir/algorithms.cc.o.d"
+  "/root/repo/src/sparse/fafnir_spmv.cc" "src/sparse/CMakeFiles/fafnir_sparse.dir/fafnir_spmv.cc.o" "gcc" "src/sparse/CMakeFiles/fafnir_sparse.dir/fafnir_spmv.cc.o.d"
+  "/root/repo/src/sparse/formats.cc" "src/sparse/CMakeFiles/fafnir_sparse.dir/formats.cc.o" "gcc" "src/sparse/CMakeFiles/fafnir_sparse.dir/formats.cc.o.d"
+  "/root/repo/src/sparse/matgen.cc" "src/sparse/CMakeFiles/fafnir_sparse.dir/matgen.cc.o" "gcc" "src/sparse/CMakeFiles/fafnir_sparse.dir/matgen.cc.o.d"
+  "/root/repo/src/sparse/matrix.cc" "src/sparse/CMakeFiles/fafnir_sparse.dir/matrix.cc.o" "gcc" "src/sparse/CMakeFiles/fafnir_sparse.dir/matrix.cc.o.d"
+  "/root/repo/src/sparse/sptrsv.cc" "src/sparse/CMakeFiles/fafnir_sparse.dir/sptrsv.cc.o" "gcc" "src/sparse/CMakeFiles/fafnir_sparse.dir/sptrsv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fafnir_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/fafnir_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/fafnir/CMakeFiles/fafnir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/fafnir_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fafnir_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

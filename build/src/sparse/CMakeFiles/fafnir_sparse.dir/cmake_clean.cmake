@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fafnir_sparse.dir/algorithms.cc.o"
+  "CMakeFiles/fafnir_sparse.dir/algorithms.cc.o.d"
+  "CMakeFiles/fafnir_sparse.dir/fafnir_spmv.cc.o"
+  "CMakeFiles/fafnir_sparse.dir/fafnir_spmv.cc.o.d"
+  "CMakeFiles/fafnir_sparse.dir/formats.cc.o"
+  "CMakeFiles/fafnir_sparse.dir/formats.cc.o.d"
+  "CMakeFiles/fafnir_sparse.dir/matgen.cc.o"
+  "CMakeFiles/fafnir_sparse.dir/matgen.cc.o.d"
+  "CMakeFiles/fafnir_sparse.dir/matrix.cc.o"
+  "CMakeFiles/fafnir_sparse.dir/matrix.cc.o.d"
+  "CMakeFiles/fafnir_sparse.dir/sptrsv.cc.o"
+  "CMakeFiles/fafnir_sparse.dir/sptrsv.cc.o.d"
+  "libfafnir_sparse.a"
+  "libfafnir_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fafnir_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batcher.dir/test_batcher.cc.o"
+  "CMakeFiles/test_batcher.dir/test_batcher.cc.o.d"
+  "test_batcher"
+  "test_batcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_invariants.dir/test_engine_invariants.cc.o"
+  "CMakeFiles/test_engine_invariants.dir/test_engine_invariants.cc.o.d"
+  "test_engine_invariants"
+  "test_engine_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

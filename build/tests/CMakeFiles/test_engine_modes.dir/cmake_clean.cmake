@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_modes.dir/test_engine_modes.cc.o"
+  "CMakeFiles/test_engine_modes.dir/test_engine_modes.cc.o.d"
+  "test_engine_modes"
+  "test_engine_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

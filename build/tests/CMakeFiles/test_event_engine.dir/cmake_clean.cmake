@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_engine.dir/test_event_engine.cc.o"
+  "CMakeFiles/test_event_engine.dir/test_event_engine.cc.o.d"
+  "test_event_engine"
+  "test_event_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_tree.dir/test_functional_tree.cc.o"
+  "CMakeFiles/test_functional_tree.dir/test_functional_tree.cc.o.d"
+  "test_functional_tree"
+  "test_functional_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

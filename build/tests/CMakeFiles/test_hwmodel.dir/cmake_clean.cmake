@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwmodel.dir/test_hwmodel.cc.o"
+  "CMakeFiles/test_hwmodel.dir/test_hwmodel.cc.o.d"
+  "test_hwmodel"
+  "test_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

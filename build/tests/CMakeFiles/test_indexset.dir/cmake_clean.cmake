@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indexset.dir/test_indexset.cc.o"
+  "CMakeFiles/test_indexset.dir/test_indexset.cc.o.d"
+  "test_indexset"
+  "test_indexset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indexset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

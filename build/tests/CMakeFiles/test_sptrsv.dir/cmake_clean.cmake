@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sptrsv.dir/test_sptrsv.cc.o"
+  "CMakeFiles/test_sptrsv.dir/test_sptrsv.cc.o.d"
+  "test_sptrsv"
+  "test_sptrsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sptrsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

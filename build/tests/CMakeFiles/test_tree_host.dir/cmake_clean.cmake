@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_host.dir/test_tree_host.cc.o"
+  "CMakeFiles/test_tree_host.dir/test_tree_host.cc.o.d"
+  "test_tree_host"
+  "test_tree_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

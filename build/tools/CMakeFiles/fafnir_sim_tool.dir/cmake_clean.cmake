@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fafnir_sim_tool.dir/fafnir_sim.cc.o"
+  "CMakeFiles/fafnir_sim_tool.dir/fafnir_sim.cc.o.d"
+  "fafnir_sim"
+  "fafnir_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fafnir_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_fafnir_sim_lookup "/root/repo/build/tools/fafnir_sim" "--mode=lookup" "--batches=4")
+set_tests_properties(tool_fafnir_sim_lookup PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_fafnir_sim_event "/root/repo/build/tools/fafnir_sim" "--mode=lookup" "--engine=event" "--batches=4")
+set_tests_properties(tool_fafnir_sim_event PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_fafnir_sim_spmv "/root/repo/build/tools/fafnir_sim" "--mode=spmv" "--nodes=4096")
+set_tests_properties(tool_fafnir_sim_spmv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_fafnir_sim_sptrsv "/root/repo/build/tools/fafnir_sim" "--mode=sptrsv" "--nodes=4096")
+set_tests_properties(tool_fafnir_sim_sptrsv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
