@@ -12,6 +12,7 @@
 #include "bench_util.hh"
 #include "embedding/batcher.hh"
 #include "fafnir/engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
@@ -42,8 +43,10 @@ queryStream(unsigned count, double skew, double hot)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("ablation_batching", argc,
+                                        argv);
     const unsigned kQueries = 512;
 
     TextTable table("Ablation — FIFO vs similarity batching "
@@ -98,5 +101,5 @@ main()
     std::cout << "\nsimilarity batching is free dedup: the same hardware "
                  "reads fewer vectors when the host groups overlapping "
                  "queries.\n";
-    return 0;
+    return session.finish();
 }

@@ -10,6 +10,7 @@
 
 #include "bench_util.hh"
 #include "fafnir/engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
@@ -27,8 +28,10 @@ struct MemoryOption
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("ablation_hbm", argc,
+                                        argv);
     const embedding::TableConfig tables{32, 1u << 20, 512, 4};
     const auto batches = makeBatches(tables, 32, 16, 16, 0.9, 0.001, 66);
     const auto single = makeBatches(tables, 1, 1, 16, 0.0, 1.0, 67);
@@ -73,5 +76,5 @@ main()
 
     std::cout << "\npaper (Section VIII): the same tree integrates with "
                  "HBM by attaching leaf PEs to pseudo channels.\n";
-    return 0;
+    return session.finish();
 }

@@ -9,13 +9,16 @@
 
 #include "bench_util.hh"
 #include "fafnir/engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("ablation_modes", argc,
+                                        argv);
     const embedding::TableConfig tables{32, 1u << 20, 512, 4};
     const auto batches =
         makeBatches(tables, 32, 16, 16, 1.05, 0.00001, 88);
@@ -62,5 +65,5 @@ main()
                  "processing, where nodes only forward or reduce without "
                  "comparisons — batching exists to amortize reads and "
                  "fill the tree.\n";
-    return 0;
+    return session.finish();
 }

@@ -13,6 +13,7 @@
 #include "bench_util.hh"
 #include "fafnir/engine.hh"
 #include "fafnir/event_engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
@@ -42,8 +43,10 @@ percentiles(const std::vector<Tick> &latencies, Tick complete, Tick start)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("ablation_pipeline", argc,
+                                        argv);
     TextTable table("Ablation — analytic barriers vs event-driven "
                     "pipeline (32 ranks, q=16)");
     table.setHeader({"batch", "model", "query p50 (ns)", "query p99 (ns)",
@@ -81,5 +84,5 @@ main()
     std::cout << "\nthe event pipeline lets early queries exit before "
                  "the batch's stragglers; per-query p50 improves while "
                  "batch completion stays comparable.\n";
-    return 0;
+    return session.finish();
 }

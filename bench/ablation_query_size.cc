@@ -14,13 +14,16 @@
 #include "baselines/tensordimm.hh"
 #include "bench_util.hh"
 #include "fafnir/engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("ablation_query_size", argc,
+                                        argv);
     TextTable table("Ablation — query size q (B=16, 32 ranks, mean "
                     "serialized batch latency, us)");
     table.setHeader({"q", "Fafnir", "RecNMP", "TensorDIMM",
@@ -59,5 +62,5 @@ main()
 
     std::cout << "\nFafnir's advantage widens with q: tree depth is "
                  "logarithmic where the baselines pay linearly.\n";
-    return 0;
+    return session.finish();
 }

@@ -11,6 +11,7 @@
 #include "bench_util.hh"
 #include "dram/controller.hh"
 #include "fafnir/engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
@@ -47,8 +48,10 @@ runStream(dram::SchedulingPolicy policy,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("ablation_scheduler", argc,
+                                        argv);
     Rng rng(99);
     const dram::Geometry geometry;
 
@@ -120,5 +123,5 @@ main()
                  rig.memory.activationCount());
     }
     root.print(std::cout);
-    return 0;
+    return session.finish();
 }

@@ -13,14 +13,17 @@
 #include "common/random.hh"
 #include "sparse/fafnir_spmv.hh"
 #include "sparse/matgen.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 using namespace fafnir::sparse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("ablation_spmv_ranks", argc,
+                                        argv);
     Rng rng(77);
     const CsrMatrix m = makeUniformRandom(1u << 15, 1u << 15, 12.0, rng);
     const LilMatrix lil = LilMatrix::fromCsr(m);
@@ -59,5 +62,5 @@ main()
 
     std::cout << "\nstreaming parallelism scales with ranks until the "
                  "tree's reduce rate binds.\n";
-    return 0;
+    return session.finish();
 }

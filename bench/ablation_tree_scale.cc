@@ -12,13 +12,16 @@
 #include "bench_util.hh"
 #include "fafnir/engine.hh"
 #include "hwmodel/asic.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("ablation_tree_scale", argc,
+                                        argv);
     const auto batches =
         makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 32, 16,
                     16, 0.9, 0.001, 55);
@@ -56,5 +59,5 @@ main()
 
     std::cout << "\npaper: 1PE:2R is the fabricated design point; other "
                  "scales trade tree depth against chip count.\n";
-    return 0;
+    return session.finish();
 }

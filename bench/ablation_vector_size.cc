@@ -13,13 +13,16 @@
 #include "baselines/tensordimm.hh"
 #include "bench_util.hh"
 #include "fafnir/engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("ablation_vector_size", argc,
+                                        argv);
     TextTable table("Ablation — single-query latency vs vector size "
                     "(q=16, 32 ranks, ns)");
     table.setHeader({"vector bytes", "slice/rank (B)", "Fafnir",
@@ -67,5 +70,5 @@ main()
     std::cout << "\nsmaller vectors worsen TensorDIMM's burst overfetch "
                  "(slice << 64 B burst); larger ones amortize Fafnir's "
                  "per-vector activation.\n";
-    return 0;
+    return session.finish();
 }

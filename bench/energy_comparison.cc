@@ -14,14 +14,17 @@
 #include "bench_util.hh"
 #include "fafnir/engine.hh"
 #include "hwmodel/energy_report.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 using namespace fafnir::hwmodel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("energy_comparison", argc,
+                                        argv);
     const auto batches =
         makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 64, 32,
                     16, 1.05, 0.00001, 314);
@@ -78,5 +81,5 @@ main()
     std::cout << "\npaper: dedup saves 34/43/58% of accesses at B=8/16/32 "
                  "and DRAM dominates, so the access saving is the energy "
                  "saving; the tree adds ~112 mW.\n";
-    return 0;
+    return session.finish();
 }

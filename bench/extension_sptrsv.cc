@@ -10,14 +10,17 @@
 
 #include "bench_util.hh"
 #include "sparse/sptrsv.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 using namespace fafnir::sparse;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("extension_sptrsv", argc,
+                                        argv);
     Rng rng(2026);
     const std::uint32_t n = 1u << 14;
 
@@ -54,5 +57,5 @@ main()
     std::cout << "\npaper (Section VIII): inversion/solver patterns need "
                  "feedback connections; level scheduling realizes them "
                  "as host loopback rounds on the same hardware.\n";
-    return 0;
+    return session.finish();
 }

@@ -13,13 +13,16 @@
 
 #include "bench_util.hh"
 #include "common/stats.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("fig03_unique_indices", argc,
+                                        argv);
     const embedding::TableConfig tables{32, 1u << 20, 512, 4};
     const unsigned rounds = 200;
 
@@ -57,5 +60,5 @@ main()
     std::cout << "\npaper: unique fractions well below 100% and falling "
                  "with batch size motivate reading only unique indices "
                  "(Section IV-C).\n";
-    return 0;
+    return session.finish();
 }

@@ -11,6 +11,7 @@
 
 #include "common/table.hh"
 #include "sparse/planner.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::sparse;
@@ -48,11 +49,13 @@ printPlanSweep(unsigned vector_size)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("fig09_spmv_plan", argc,
+                                        argv);
     printPlanSweep(1024);
     printPlanSweep(2048);
     std::cout << "paper: <= 2 merge iterations even at 20M columns "
                  "(vector size 2048).\n";
-    return 0;
+    return session.finish();
 }

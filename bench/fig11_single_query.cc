@@ -23,6 +23,7 @@
 #include "baselines/tensordimm.hh"
 #include "bench_util.hh"
 #include "fafnir/engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
@@ -61,8 +62,10 @@ measure(MakeEngine &&make_engine, const embedding::Batch &batch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("fig11_single_query", argc,
+                                        argv);
     // Average over several random single-query placements.
     const auto batches = makeBatches(embedding::TableConfig{32, 1u << 20,
                                                             512, 4},
@@ -131,5 +134,5 @@ main()
     std::cout << "\npaper: TensorDIMM memory ~4.45x / compute ~2.5x of "
                  "Fafnir; RecNMP memory == Fafnir, compute worse (~25% "
                  "forwarded to CPU).\n";
-    return 0;
+    return session.finish();
 }

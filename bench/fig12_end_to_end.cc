@@ -22,6 +22,7 @@ using namespace fafnir;
 using namespace fafnir::bench;
 
 #include "common/cli.hh"
+#include "telemetry/session.hh"
 
 namespace
 {
@@ -65,12 +66,15 @@ int
 main(int argc, char **argv)
 {
     FlagParser flags("Figure 12: end-to-end speedup vs rank count");
+    telemetry::TelemetrySession session("fig12_end_to_end");
     flags.addDouble("fc-ms", kFcMs, "fixed FC-layer time (ms)");
     flags.addDouble("other-ms", kOtherMs, "fixed other-operations time");
     flags.addUnsigned("batches", kBatches, "batches per measurement");
     flags.addUnsigned("batch", kBatchSize, "queries per batch");
     flags.addUnsigned("query-size", kQuerySize, "indices per query");
+    session.registerFlags(flags);
     flags.parse(argc, argv);
+    session.start();
 
     // The 1-rank baseline: the same lookup stream on a single rank. Use
     // Fafnir's own engine at 1 rank (a single leaf PE) so the baseline is
@@ -102,5 +106,5 @@ main(int argc, char **argv)
               << TextTable::num(base_embed, 3)
               << " ms; paper: Fafnir tracks the ideal line to 32 ranks, "
                  "RecNMP falls away as ranks grow.\n";
-    return 0;
+    return session.finish();
 }

@@ -22,6 +22,7 @@ using namespace fafnir;
 using namespace fafnir::bench;
 
 #include "common/cli.hh"
+#include "telemetry/session.hh"
 
 namespace
 {
@@ -55,13 +56,16 @@ main(int argc, char **argv)
 {
     FlagParser flags("Figure 13: lookup speedup over RecNMP vs batch "
                      "size");
+    telemetry::TelemetrySession session("fig13_batch_speedup");
     flags.addUnsigned("batches", kBatches, "batches per measurement");
     flags.addUnsigned("query-size", kQuerySize, "indices per query");
     flags.addDouble("skew", kSkew, "Zipfian skew of the trace");
     flags.addDouble("hot-fraction", kHotFraction,
                     "fraction of rows in the hot set");
     flags.addUint64("seed", kSeed, "workload seed");
+    session.registerFlags(flags);
     flags.parse(argc, argv);
+    session.start();
 
     TextTable table("Figure 13 — lookup speedup on 32 ranks (" +
                     std::to_string(kBatches) +
@@ -188,5 +192,5 @@ main(int argc, char **argv)
     std::cout << "\npaper: 3.1x / 6.7x / 12.3x without redundancy "
                  "elimination, up to an extra 3.4x from dedup vs the "
                  "128 KB 50%-hit cache; RecNMP ~15x over TensorDIMM.\n";
-    return 0;
+    return session.finish();
 }

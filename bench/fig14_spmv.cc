@@ -18,6 +18,7 @@
 #include "common/random.hh"
 #include "sparse/fafnir_spmv.hh"
 #include "sparse/matgen.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
@@ -40,8 +41,10 @@ struct Comparison
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("fig14_spmv", argc,
+                                        argv);
     Rng rng(2024);
     auto workloads = figure14Workloads(rng);
     // The 4.6x end of the paper's range: a tiny, extremely sparse
@@ -111,5 +114,5 @@ main()
 
     std::cout << "\npaper: up to 4.6x on small/sparse inputs, worst case "
                  "~1.1x on the largest (merge-dominated) ones.\n";
-    return 0;
+    return session.finish();
 }

@@ -14,13 +14,16 @@
 #include "common/stats.hh"
 #include "fafnir/host.hh"
 #include "hwmodel/energy.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("fig15_access_savings", argc,
+                                        argv);
     const unsigned rounds = 100;
     LookupRig rig(32);
     const core::Host host(rig.layout);
@@ -64,5 +67,5 @@ main()
               << energy.params().readBurstNj
               << " nJ/burst), so the saved-access fraction is the saved-"
                  "energy fraction.\n";
-    return 0;
+    return session.finish();
 }

@@ -12,6 +12,7 @@
 #include "common/table.hh"
 #include "hwmodel/asic.hh"
 #include "hwmodel/fpga.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::hwmodel;
@@ -38,8 +39,10 @@ printFpga(const char *title, const std::vector<PowerSlice> &slices)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("fig16_power_breakdown", argc,
+                                        argv);
     const FpgaModel fpga;
     printFpga("Figure 16a — FPGA dynamic power @200 MHz, DIMM/rank node "
               "(paper: 0.23 W)",
@@ -60,5 +63,5 @@ main()
     pe.print(std::cout);
     std::cout << "\npaper: the near-uniform distribution prevents hot "
                  "spots.\n";
-    return 0;
+    return session.finish();
 }

@@ -16,13 +16,16 @@
 #include "baselines/tensordimm.hh"
 #include "bench_util.hh"
 #include "fafnir/engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("roofline", argc,
+                                        argv);
     const auto batches =
         makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 64, 32,
                     16, 0.9, 0.01, 606);
@@ -87,5 +90,5 @@ main()
                  "TensorDIMM overfetches (high bus busy, low useful "
                  "bytes); Fafnir converts rank-bus capacity directly "
                  "into useful gather bandwidth.\n";
-    return 0;
+    return session.finish();
 }

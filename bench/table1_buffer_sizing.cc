@@ -10,13 +10,16 @@
 
 #include "common/table.hh"
 #include "fafnir/sizing.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("table1_buffer_sizing", argc,
+                                        argv);
     const BufferSizing sizing;
 
     TextTable table("Table I — buffer sizing (KiB)");
@@ -34,5 +37,5 @@ main()
               << " B (512 B value + " << sizing.headerBytes()
               << " B header: q=16 indices at 5 bits plus "
               << sizing.residualSlots << " query residuals)\n";
-    return 0;
+    return session.finish();
 }

@@ -13,13 +13,16 @@
 #include "fafnir/engine.hh"
 #include "sparse/fafnir_spmv.hh"
 #include "sparse/matgen.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("table2_mechanisms", argc,
+                                        argv);
     // Embedding lookup measurement.
     LookupRig rig(32);
     core::FafnirEngine lookup_engine(rig.memory, rig.layout,
@@ -64,5 +67,5 @@ main()
     table.row("reuse mechanism", "operand buffered at leaf multipliers",
               "unique-index headers, no cache");
     table.print(std::cout);
-    return 0;
+    return session.finish();
 }

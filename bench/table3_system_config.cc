@@ -13,12 +13,15 @@
 #include "dram/config.hh"
 #include "dram/timing.hh"
 #include "fafnir/engine.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("table3_system_config", argc,
+                                        argv);
     const dram::Geometry g;
     const dram::Timing t = dram::Timing::ddr4_2400();
     const core::EngineConfig cfg;
@@ -76,5 +79,5 @@ main()
     host.row("Two-Step", "1024-column runs, 0.35x stream multiply rate, "
                          "single-pass parallel merge");
     host.print(std::cout);
-    return 0;
+    return session.finish();
 }

@@ -13,13 +13,16 @@
 #include "common/types.hh"
 #include "fafnir/pe.hh"
 #include "fafnir/tree.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("table4_pe_latency", argc,
+                                        argv);
     const PeLatency lat;
     const double period_ns = 1000.0 / 200.0; // 200 MHz
 
@@ -55,5 +58,5 @@ main()
 
     std::cout << "\npaper: critical path = compare + reduce (reduce and "
                  "forward are parallel paths).\n";
-    return 0;
+    return session.finish();
 }

@@ -11,6 +11,7 @@
 
 #include "common/table.hh"
 #include "hwmodel/fpga.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::hwmodel;
@@ -46,8 +47,10 @@ printUsage(const FpgaModel &model, const FpgaUsage &usage)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("table5_fpga_util", argc,
+                                        argv);
     const FpgaModel model;
     printUsage(model, model.peUsage(32));
     printUsage(model, model.dimmRankNodeUsage(32));
@@ -56,5 +59,5 @@ main()
 
     std::cout << "paper: system <= 5% LUT, 0.15% LUTRAM, 1% FF, 13% BRAM "
                  "on XCVU9P.\n";
-    return 0;
+    return session.finish();
 }

@@ -16,13 +16,16 @@
 #include "common/table.hh"
 #include "fafnir/tree.hh"
 #include "hwmodel/asic.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::hwmodel;
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("table6_asic", argc,
+                                        argv);
     const AsicModel model;
 
     TextTable table("Table VI — 7 nm ASIC area / power");
@@ -60,5 +63,5 @@ main()
     conn.row("Fafnir tree ((2m-2) + c + rank links)",
              topo.connectionCount(4));
     conn.print(std::cout);
-    return 0;
+    return session.finish();
 }

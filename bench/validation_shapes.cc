@@ -18,6 +18,7 @@
 #include "fafnir/engine.hh"
 #include "sparse/fafnir_spmv.hh"
 #include "sparse/matgen.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 using namespace fafnir::bench;
@@ -40,8 +41,10 @@ check(const char *claim, double value, double lo, double hi)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    telemetry::TelemetrySession session("validation_shapes", argc,
+                                        argv);
     // ---- Figure 11: single-query latency relationships. -----------------
     {
         const auto batch =
@@ -185,5 +188,5 @@ main()
         return 1;
     }
     std::printf("\nall paper-shape claims hold\n");
-    return 0;
+    return session.finish();
 }

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Build everything, run the full test suite, and regenerate every paper
-# table/figure plus the ablations into results/.
+# table/figure plus the ablations into results/. Each harness writes its
+# table to results/<name>.txt and a machine-readable run report to
+# results/<name>.json (see docs/OBSERVABILITY.md).
 #
 # Usage: scripts/run_all.sh [build-dir]
 set -euo pipefail
@@ -9,12 +11,18 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 results_dir="$repo_root/results"
 
-cmake -B "$build_dir" -G Ninja -S "$repo_root"
-cmake --build "$build_dir"
+# Respect an existing cache's generator; prefer Ninja for fresh trees.
+if [ ! -f "$build_dir/CMakeCache.txt" ] && command -v ninja >/dev/null; then
+    cmake -B "$build_dir" -G Ninja -S "$repo_root"
+else
+    cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" -j "$(nproc)"
 
 ctest --test-dir "$build_dir" --output-on-failure
 
 mkdir -p "$results_dir"
+failed=()
 for bench in "$build_dir"/bench/*; do
     [ -f "$bench" ] && [ -x "$bench" ] || continue
     name="$(basename "$bench")"
@@ -22,15 +30,24 @@ for bench in "$build_dir"/bench/*; do
       micro_primitives)
         # google-benchmark output: keep it, but don't let jitter into the
         # table outputs.
-        "$bench" --benchmark_min_time=0.01 \
-            > "$results_dir/$name.txt" 2>&1 || true
+        if ! "$bench" --benchmark_min_time=0.01 \
+            > "$results_dir/$name.txt" 2>&1; then
+            failed+=("$name")
+        fi
         ;;
       *)
         echo "== $name =="
-        "$bench" | tee "$results_dir/$name.txt"
+        if ! "$bench" --report="$results_dir/$name.json" \
+            | tee "$results_dir/$name.txt"; then
+            failed+=("$name")
+        fi
         echo
         ;;
     esac
 done
 
+if [ "${#failed[@]}" -gt 0 ]; then
+    echo "FAILED: ${failed[*]}" >&2
+    exit 1
+fi
 echo "results written to $results_dir"

@@ -5,6 +5,7 @@
 
 #include "cli.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -12,6 +13,31 @@
 
 namespace fafnir
 {
+
+namespace
+{
+
+/** Classic Levenshtein distance, for did-you-mean suggestions. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
 
 void
 FlagParser::add(const std::string &name, Kind kind, void *target,
@@ -59,6 +85,14 @@ FlagParser::addString(const std::string &name, std::string &value,
 }
 
 void
+FlagParser::fail(const std::string &message) const
+{
+    std::fprintf(stderr, "error: %s\nrun with --help for usage\n",
+                 message.c_str());
+    std::exit(2);
+}
+
+void
 FlagParser::assign(const Flag &flag, const std::string &text)
 {
     try {
@@ -79,8 +113,8 @@ FlagParser::assign(const Flag &flag, const std::string &text)
             } else if (text == "false" || text == "0") {
                 *static_cast<bool *>(flag.target) = false;
             } else {
-                FAFNIR_FATAL("--", flag.name, " expects true/false, got '",
-                             text, "'");
+                fail("--" + flag.name + " expects true/false, got '" +
+                     text + "'");
             }
             break;
           case Kind::String:
@@ -88,7 +122,7 @@ FlagParser::assign(const Flag &flag, const std::string &text)
             break;
         }
     } catch (const std::exception &) {
-        FAFNIR_FATAL("bad value for --", flag.name, ": '", text, "'");
+        fail("bad value for --" + flag.name + ": '" + text + "'");
     }
 }
 
@@ -110,8 +144,8 @@ FlagParser::parse(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h")
             printHelpAndExit(argv[0]);
-        FAFNIR_ASSERT(arg.rfind("--", 0) == 0, "expected --flag, got '",
-                      arg, "'");
+        if (arg.rfind("--", 0) != 0)
+            fail("expected --flag, got '" + arg + "'");
         arg = arg.substr(2);
 
         std::string name;
@@ -122,7 +156,8 @@ FlagParser::parse(int argc, char **argv)
             value = arg.substr(eq + 1);
         } else {
             name = arg;
-            FAFNIR_ASSERT(i + 1 < argc, "--", name, " needs a value");
+            if (i + 1 >= argc)
+                fail("--" + name + " needs a value");
             value = argv[++i];
         }
 
@@ -134,8 +169,22 @@ FlagParser::parse(int argc, char **argv)
                 break;
             }
         }
-        if (!matched)
-            FAFNIR_FATAL("unknown flag --", name, " (see --help)");
+        if (!matched) {
+            std::string message = "unknown flag --" + name;
+            // Suggest the closest registered flag when the typo is small.
+            const Flag *best = nullptr;
+            std::size_t best_distance = 3; // only suggest close typos
+            for (const auto &flag : flags_) {
+                const std::size_t d = editDistance(name, flag.name);
+                if (d < best_distance) {
+                    best = &flag;
+                    best_distance = d;
+                }
+            }
+            if (best != nullptr)
+                message += " (did you mean --" + best->name + "?)";
+            fail(message);
+        }
     }
 }
 

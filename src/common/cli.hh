@@ -3,8 +3,9 @@
  * Minimal command-line flag parsing for the bench harnesses.
  *
  * Flags use the form `--name=value` (or `--name value`). Unknown flags
- * are fatal so typos never silently fall back to defaults; `--help`
- * prints the registered flags and exits.
+ * exit with a usage error (and a did-you-mean suggestion) so typos
+ * never silently fall back to defaults; `--help` prints the registered
+ * flags and exits.
  */
 
 #ifndef FAFNIR_COMMON_CLI_HH
@@ -38,8 +39,8 @@ class FlagParser
                    const std::string &help);
 
     /**
-     * Parse argv. Exits with code 0 on --help; faults on unknown flags
-     * or malformed values.
+     * Parse argv. Exits with code 0 on --help; prints an error and
+     * exits with code 2 on unknown flags or malformed values.
      */
     void parse(int argc, char **argv);
 
@@ -65,6 +66,7 @@ class FlagParser
     void add(const std::string &name, Kind kind, void *target,
              const std::string &help, std::string default_value);
     void assign(const Flag &flag, const std::string &text);
+    [[noreturn]] void fail(const std::string &message) const;
     [[noreturn]] void printHelpAndExit(const char *argv0) const;
 
     std::string summary_;

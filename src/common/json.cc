@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Implementation of the streaming JSON writer.
+ */
+
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace fafnir
+{
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < scopes_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::prepare(bool is_key)
+{
+    if (afterKey_) {
+        FAFNIR_ASSERT(!is_key, "two keys in a row");
+        afterKey_ = false;
+        return;
+    }
+    if (scopes_.empty())
+        return;
+    Scope &scope = scopes_.back();
+    FAFNIR_ASSERT(scope.isObject == is_key,
+                  "bare value in object / key in array");
+    if (scope.members++ > 0)
+        os_ << ',';
+    indent();
+}
+
+void
+JsonWriter::beginObject()
+{
+    prepare(false);
+    os_ << '{';
+    scopes_.push_back({true, 0});
+}
+
+void
+JsonWriter::endObject()
+{
+    FAFNIR_ASSERT(!scopes_.empty() && scopes_.back().isObject,
+                  "endObject outside an object");
+    const bool had_members = scopes_.back().members > 0;
+    scopes_.pop_back();
+    if (had_members)
+        indent();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    prepare(false);
+    os_ << '[';
+    scopes_.push_back({false, 0});
+}
+
+void
+JsonWriter::endArray()
+{
+    FAFNIR_ASSERT(!scopes_.empty() && !scopes_.back().isObject,
+                  "endArray outside an array");
+    const bool had_members = scopes_.back().members > 0;
+    scopes_.pop_back();
+    if (had_members)
+        indent();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    prepare(true);
+    os_ << '"' << escape(name) << "\":";
+    if (pretty_)
+        os_ << ' ';
+    afterKey_ = true;
+}
+
+void
+JsonWriter::value(const std::string &text)
+{
+    prepare(false);
+    os_ << '"' << escape(text) << '"';
+}
+
+void
+JsonWriter::value(double number)
+{
+    prepare(false);
+    if (!std::isfinite(number)) {
+        os_ << "null"; // JSON has no NaN/Inf
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", number);
+    os_ << buf;
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    prepare(false);
+    os_ << number;
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    prepare(false);
+    os_ << number;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    prepare(false);
+    os_ << (flag ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    prepare(false);
+    os_ << "null";
+}
+
+} // namespace fafnir

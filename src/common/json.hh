@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * The telemetry layer (stats export, Chrome traces, run reports) emits
+ * JSON from several places; this writer centralizes escaping, comma
+ * placement, and number formatting so every artifact is well-formed by
+ * construction. It is a writer only — parsing (used in tests to validate
+ * the emitted artifacts) lives with the tests.
+ */
+
+#ifndef FAFNIR_COMMON_JSON_HH
+#define FAFNIR_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fafnir
+{
+
+/**
+ * Emits one JSON document onto a stream. Containers are opened/closed
+ * explicitly; the writer tracks nesting and inserts commas and (when
+ * pretty-printing) indentation.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true)
+        : os_(os), pretty_(pretty)
+    {}
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next object member. */
+    void key(const std::string &name);
+
+    void value(const std::string &text);
+    void value(const char *text) { value(std::string(text)); }
+    void value(double number);
+    void value(std::uint64_t number);
+    void value(std::int64_t number);
+    void value(int number) { value(static_cast<std::int64_t>(number)); }
+    void value(unsigned number)
+    {
+        value(static_cast<std::uint64_t>(number));
+    }
+    void value(bool flag);
+    void null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    member(const std::string &name, T &&v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(const std::string &text);
+
+  private:
+    struct Scope
+    {
+        bool isObject = false;
+        std::size_t members = 0;
+    };
+
+    /** Comma/indent bookkeeping before a value or key. */
+    void prepare(bool is_key);
+    void indent();
+
+    std::ostream &os_;
+    bool pretty_;
+    std::vector<Scope> scopes_;
+    /** A key was just written; the next value completes the member. */
+    bool afterKey_ = false;
+};
+
+} // namespace fafnir
+
+#endif // FAFNIR_COMMON_JSON_HH

@@ -6,8 +6,13 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
+
+#include "json.hh"
+#include "logging.hh"
 
 namespace fafnir
 {
@@ -24,6 +29,45 @@ Distribution::sample(double v)
     }
     sum_ += v;
     ++count_;
+
+    if (reservoir_.size() < kReservoirSize) {
+        reservoir_.push_back(v);
+        return;
+    }
+    // Vitter's algorithm R with a deterministic LCG: keep each of the
+    // count_ samples with probability kReservoirSize / count_.
+    rngState_ = rngState_ * 6364136223846793005ull +
+                1442695040888963407ull;
+    const std::uint64_t slot = rngState_ % count_;
+    if (slot < kReservoirSize)
+        reservoir_[slot] = v;
+}
+
+double
+Distribution::min() const
+{
+    return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+Distribution::max() const
+{
+    return count_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+Distribution::percentile(double p) const
+{
+    FAFNIR_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (reservoir_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> sorted(reservoir_);
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank: the smallest value with at least p% of samples at or
+    // below it.
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[rank == 0 ? 0 : rank - 1];
 }
 
 void
@@ -33,55 +77,211 @@ Distribution::reset()
     sum_ = 0.0;
     min_ = 0.0;
     max_ = 0.0;
+    reservoir_.clear();
+    rngState_ = 0x9e3779b97f4a7c15ull;
 }
 
 void
 StatGroup::addCounter(const std::string &stat, const Counter &counter,
                       const std::string &desc)
 {
-    entries_.push_back({stat,
-                        [&counter] { return std::to_string(counter.value()); },
-                        desc});
+    Entry entry{stat, Kind::Counter, &counter, nullptr, {}, desc};
+    entries_.push_back(std::move(entry));
 }
 
 void
 StatGroup::addDistribution(const std::string &stat, const Distribution &dist,
                            const std::string &desc)
 {
-    entries_.push_back(
-        {stat,
-         [&dist] {
-             std::ostringstream os;
-             os << std::fixed << std::setprecision(2) << dist.mean()
-                << " (n=" << dist.count() << ", min=" << dist.min()
-                << ", max=" << dist.max() << ")";
-             return os.str();
-         },
-         desc});
+    Entry entry{stat, Kind::Distribution, nullptr, &dist, {}, desc};
+    entries_.push_back(std::move(entry));
 }
 
 void
 StatGroup::addFormula(const std::string &stat, std::function<double()> fn,
                       const std::string &desc)
 {
-    entries_.push_back({stat,
-                        [fn = std::move(fn)] {
-                            std::ostringstream os;
-                            os << std::fixed << std::setprecision(4) << fn();
-                            return os.str();
-                        },
-                        desc});
+    Entry entry{stat, Kind::Formula, nullptr, nullptr, std::move(fn),
+                desc};
+    entries_.push_back(std::move(entry));
 }
+
+namespace
+{
+
+std::string
+renderDistribution(const Distribution &dist)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2);
+    if (dist.count() == 0) {
+        os << "- (n=0)";
+        return os.str();
+    }
+    os << dist.mean() << " (n=" << dist.count() << ", min=" << dist.min()
+       << ", max=" << dist.max() << ", p50=" << dist.p50()
+       << ", p95=" << dist.p95() << ", p99=" << dist.p99() << ")";
+    return os.str();
+}
+
+std::string
+renderFormula(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(4) << v;
+    return os.str();
+}
+
+} // namespace
 
 void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &entry : entries_) {
-        os << name_ << '.' << entry.name << ' ' << entry.render();
+        os << name_ << '.' << entry.name << ' ';
+        switch (entry.kind) {
+          case Kind::Counter:
+            os << entry.counter->value();
+            break;
+          case Kind::Distribution:
+            os << renderDistribution(*entry.dist);
+            break;
+          case Kind::Formula:
+            os << renderFormula(entry.formula());
+            break;
+        }
         if (!entry.desc.empty())
             os << " # " << entry.desc;
         os << '\n';
     }
+}
+
+void
+StatGroup::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    for (const auto &entry : entries_) {
+        json.key(entry.name);
+        switch (entry.kind) {
+          case Kind::Counter:
+            json.value(entry.counter->value());
+            break;
+          case Kind::Distribution: {
+            const Distribution &d = *entry.dist;
+            json.beginObject();
+            json.member("count", d.count());
+            json.member("mean", d.mean());
+            json.member("min", d.min()); // NaN -> null when empty
+            json.member("max", d.max());
+            json.member("sum", d.sum());
+            json.member("p50", d.p50());
+            json.member("p95", d.p95());
+            json.member("p99", d.p99());
+            json.endObject();
+            break;
+          }
+          case Kind::Formula:
+            json.value(entry.formula());
+            break;
+        }
+    }
+    json.endObject();
+}
+
+void
+StatGroup::writeCsv(std::ostream &os) const
+{
+    auto row = [&](const std::string &stat, double v) {
+        os << name_ << '.' << stat << ',';
+        if (std::isfinite(v))
+            os << v;
+        os << '\n';
+    };
+    for (const auto &entry : entries_) {
+        switch (entry.kind) {
+          case Kind::Counter:
+            os << name_ << '.' << entry.name << ','
+               << entry.counter->value() << '\n';
+            break;
+          case Kind::Distribution: {
+            const Distribution &d = *entry.dist;
+            os << name_ << '.' << entry.name << ".count," << d.count()
+               << '\n';
+            row(entry.name + ".mean", d.mean());
+            row(entry.name + ".min", d.min());
+            row(entry.name + ".max", d.max());
+            row(entry.name + ".p50", d.p50());
+            row(entry.name + ".p95", d.p95());
+            row(entry.name + ".p99", d.p99());
+            break;
+          }
+          case Kind::Formula:
+            row(entry.name, entry.formula());
+            break;
+        }
+    }
+}
+
+StatRegistry &
+StatRegistry::instance()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+StatGroup &
+StatRegistry::group(const std::string &name)
+{
+    for (const auto &g : groups_) {
+        if (g->name() == name)
+            return *g;
+    }
+    groups_.push_back(std::make_unique<StatGroup>(name));
+    return *groups_.back();
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    for (const auto &g : groups_) {
+        if (g->name() == name)
+            return true;
+    }
+    return false;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &g : groups_)
+        g->dump(os);
+}
+
+void
+StatRegistry::writeJson(JsonWriter &json) const
+{
+    json.beginObject();
+    for (const auto &g : groups_) {
+        json.key(g->name());
+        g->writeJson(json);
+    }
+    json.endObject();
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    writeJson(json);
+    os << '\n';
+}
+
+void
+StatRegistry::dumpCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    for (const auto &g : groups_)
+        g->writeCsv(os);
 }
 
 } // namespace fafnir

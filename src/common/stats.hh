@@ -3,9 +3,12 @@
  * Lightweight statistics package.
  *
  * Every model component owns named counters/scalars registered into a
- * StatGroup; benches and examples dump groups as aligned text. This is a
- * deliberately small subset of gem5's stats framework: scalar counters,
- * averages, histograms, and formulas evaluated at dump time.
+ * StatGroup; benches and examples dump groups as aligned text, JSON, or
+ * CSV. This is a deliberately small subset of gem5's stats framework:
+ * scalar counters, distributions with percentiles, and formulas
+ * evaluated at dump time. A process-wide StatRegistry owns groups so a
+ * whole run's statistics can be exported as one machine-readable
+ * artifact (`--stats-json` / `--stats-csv` in the harnesses).
  */
 
 #ifndef FAFNIR_COMMON_STATS_HH
@@ -14,12 +17,15 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace fafnir
 {
+
+class JsonWriter;
 
 /** A named monotonic counter. */
 class Counter
@@ -37,7 +43,14 @@ class Counter
     std::uint64_t value_ = 0;
 };
 
-/** Running mean/min/max over a stream of samples. */
+/**
+ * Running mean/min/max plus percentiles over a stream of samples.
+ *
+ * Moments are exact. Percentiles are exact while the sample count stays
+ * within the reservoir (8192 entries) and an unbiased deterministic
+ * reservoir approximation beyond it, which keeps memory bounded for
+ * multi-million-sample runs while staying reproducible.
+ */
 class Distribution
 {
   public:
@@ -45,16 +58,34 @@ class Distribution
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
-    double min() const { return count_ ? min_ : 0.0; }
-    double max() const { return count_ ? max_ : 0.0; }
+    /** NaN when no samples have been recorded. */
+    double min() const;
+    /** NaN when no samples have been recorded. */
+    double max() const;
     double sum() const { return sum_; }
+
+    /**
+     * Nearest-rank percentile, @p p in [0, 100]. NaN when empty.
+     * percentile(50) of {1..100} is 50; percentile(99) is 99.
+     */
+    double percentile(double p) const;
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
     void reset();
 
   private:
+    /** Reservoir capacity: exact percentiles up to this many samples. */
+    static constexpr std::size_t kReservoirSize = 8192;
+
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    std::vector<double> reservoir_;
+    /** Deterministic LCG state for reservoir replacement. */
+    std::uint64_t rngState_ = 0x9e3779b97f4a7c15ull;
 };
 
 /**
@@ -77,18 +108,80 @@ class StatGroup
     /** Write "group.stat value # desc" lines. */
     void dump(std::ostream &os) const;
 
+    /** Emit this group as one JSON object (distributions expand to
+     *  {count, mean, min, max, sum, p50, p95, p99}). */
+    void writeJson(JsonWriter &json) const;
+
+    /** Append "group.stat,value" CSV rows (no header). */
+    void writeCsv(std::ostream &os) const;
+
     const std::string &name() const { return name_; }
+    std::size_t size() const { return entries_.size(); }
 
   private:
+    enum class Kind
+    {
+        Counter,
+        Distribution,
+        Formula,
+    };
+
     struct Entry
     {
         std::string name;
-        std::function<std::string()> render;
+        Kind kind;
+        const Counter *counter = nullptr;
+        const Distribution *dist = nullptr;
+        std::function<double()> formula;
         std::string desc;
     };
 
     std::string name_;
     std::vector<Entry> entries_;
+};
+
+/**
+ * Process-wide owner of StatGroups.
+ *
+ * Components create (or look up) their group with group(); harnesses
+ * serialize every registered group at the end of a run. Groups reference
+ * caller-owned counters, so a harness that registers stats for
+ * run-scoped objects must dump and clear() before those objects die.
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** The process-wide registry used by the CLI harnesses. */
+    static StatRegistry &instance();
+
+    /** Get-or-create the group named @p name (registration order kept). */
+    StatGroup &group(const std::string &name);
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return groups_.size(); }
+
+    /** Aligned-text dump of every group, in registration order. */
+    void dump(std::ostream &os) const;
+
+    /** One JSON object: {"group": {"stat": value | distribution}}. */
+    void dumpJson(std::ostream &os) const;
+
+    /** Emit the same object into an in-progress JSON document. */
+    void writeJson(JsonWriter &json) const;
+
+    /** CSV with a "stat,value" header; distributions are flattened. */
+    void dumpCsv(std::ostream &os) const;
+
+    /** Drop all groups (their referenced counters are untouched). */
+    void clear() { groups_.clear(); }
+
+  private:
+    std::vector<std::unique_ptr<StatGroup>> groups_;
 };
 
 } // namespace fafnir

@@ -10,6 +10,8 @@
 #include <map>
 #include <sstream>
 
+#include "telemetry/trace_sink.hh"
+
 namespace fafnir::dram
 {
 
@@ -140,6 +142,21 @@ checkProtocol(const CommandLog &log, const Timing &timing,
         }
     }
     return violations;
+}
+
+void
+writeTrace(const CommandLog &log, telemetry::TraceSink &sink)
+{
+    for (const auto &record : log.records()) {
+        sink.setThreadName(telemetry::kPidDram,
+                           static_cast<int>(record.rank),
+                           "rank " + std::to_string(record.rank));
+        sink.instantEvent(telemetry::kPidDram,
+                          static_cast<int>(record.rank), "dram.cmd",
+                          toString(record.command), record.at,
+                          {{"bank", static_cast<double>(record.bank)},
+                           {"row", static_cast<double>(record.row)}});
+    }
 }
 
 } // namespace fafnir::dram

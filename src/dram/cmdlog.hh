@@ -23,6 +23,11 @@
 #include "dram/config.hh"
 #include "dram/timing.hh"
 
+namespace fafnir::telemetry
+{
+class TraceSink;
+} // namespace fafnir::telemetry
+
 namespace fafnir::dram
 {
 
@@ -81,6 +86,13 @@ struct ProtocolViolation
 std::vector<ProtocolViolation>
 checkProtocol(const CommandLog &log, const Timing &timing,
               const Geometry &geometry);
+
+/**
+ * Bridge a command log onto a trace timeline: every ACT/RD/PRE/REF
+ * becomes an instant event on its rank's track of the "dram" process,
+ * so per-rank command activity lines up against PE and batch spans.
+ */
+void writeTrace(const CommandLog &log, telemetry::TraceSink &sink);
 
 } // namespace fafnir::dram
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/debug.hh"
+#include "telemetry/trace_sink.hh"
 
 namespace fafnir::dram
 {
@@ -30,6 +31,11 @@ Controller::enqueue(Addr addr, unsigned bytes, Tick when,
     queue.requests.push_back({addr, bytes, dest, when, sequence_++,
                               std::move(on_complete)});
     ++pending_;
+    if (auto *ts = telemetry::sink()) {
+        ts->counterEvent(telemetry::kPidDram, "ctrl.pending",
+                         std::max(when, memory_.eventq().now()),
+                         static_cast<double>(pending_));
+    }
 
     if (!queue.draining) {
         queue.draining = true;
@@ -129,6 +135,17 @@ Controller::drain(unsigned rank)
     queue.nextIssue = result.firstData;
     ++issued_;
     --pending_;
+    if (auto *ts = telemetry::sink()) {
+        // Queueing + service lifetime of the request on its rank track.
+        ts->completeEvent(telemetry::kPidDram, static_cast<int>(rank),
+                          "dram.ctrl", "request", picked.arrival,
+                          result.complete - picked.arrival,
+                          {{"queuedTicks",
+                            static_cast<double>(issue_at -
+                                                picked.arrival)}});
+        ts->counterEvent(telemetry::kPidDram, "ctrl.pending", now,
+                         static_cast<double>(pending_));
+    }
 
     if (picked.onComplete) {
         eq.scheduleFn(result.complete,

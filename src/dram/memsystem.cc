@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "telemetry/trace_sink.hh"
+
 namespace fafnir::dram
 {
 
@@ -20,6 +22,7 @@ MemorySystem::MemorySystem(EventQueue &eq, const Geometry &geometry,
     for (auto &rank : ranks_)
         rank.banks.resize(geometry.banksPerRank);
     channels_.resize(geometry.channels);
+    rankBursts_.resize(geometry.totalRanks());
 }
 
 void
@@ -48,6 +51,9 @@ MemorySystem::reset()
     activations_.reset();
     bytesToHost_.reset();
     bytesToNdp_.reset();
+    for (auto &counter : rankBursts_)
+        counter.reset();
+    readLatencyNs_.reset();
 }
 
 MemorySystem::RankState &
@@ -172,8 +178,34 @@ MemorySystem::accessBurst(const Coordinates &coords, Tick earliest,
         result.firstData = data_start;
     ++result.bursts;
     ++bursts_;
+    ++rankBursts_[coords.globalRank(mapper_.geometry())];
     return complete;
 }
+
+namespace
+{
+
+/** One span per read request on the owning rank's trace track. */
+void
+traceRead(const Coordinates &coords, const Geometry &geometry,
+          unsigned bytes, Tick earliest, const AccessResult &result)
+{
+    auto *ts = telemetry::sink();
+    if (ts == nullptr)
+        return;
+    const unsigned rank = coords.globalRank(geometry);
+    ts->setThreadName(telemetry::kPidDram, static_cast<int>(rank),
+                      "rank " + std::to_string(rank));
+    ts->completeEvent(telemetry::kPidDram, static_cast<int>(rank),
+                      "dram.read", "rd", earliest,
+                      result.complete - earliest,
+                      {{"bytes", static_cast<double>(bytes)},
+                       {"rowHits", static_cast<double>(result.rowHits)},
+                       {"rowMisses",
+                        static_cast<double>(result.rowMisses)}});
+}
+
+} // namespace
 
 AccessResult
 MemorySystem::read(Addr addr, unsigned bytes, Tick earliest,
@@ -198,6 +230,9 @@ MemorySystem::read(Addr addr, unsigned bytes, Tick earliest,
         bytesToHost_ += bytes;
     else
         bytesToNdp_ += bytes;
+    readLatencyNs_.sample(static_cast<double>(complete - earliest) /
+                          kTicksPerNs);
+    traceRead(mapper_.decode(first), g, bytes, earliest, result);
     return result;
 }
 
@@ -244,6 +279,9 @@ MemorySystem::readAt(const Coordinates &coords, unsigned bytes,
         bytesToHost_ += bytes;
     else
         bytesToNdp_ += bytes;
+    readLatencyNs_.sample(static_cast<double>(complete - earliest) /
+                          kTicksPerNs);
+    traceRead(coords, g, bytes, earliest, result);
     return result;
 }
 
@@ -298,6 +336,15 @@ MemorySystem::streamFromRank(unsigned rank, std::uint64_t bytes,
     } else {
         bytesToNdp_ += bytes;
     }
+    rankBursts_[rank] += bursts;
+    if (auto *ts = telemetry::sink()) {
+        ts->setThreadName(telemetry::kPidDram, static_cast<int>(rank),
+                          "rank " + std::to_string(rank));
+        ts->completeEvent(telemetry::kPidDram, static_cast<int>(rank),
+                          "dram.stream", "stream", start_at,
+                          complete - start_at,
+                          {{"bytes", static_cast<double>(bytes)}});
+    }
     return complete;
 }
 
@@ -316,6 +363,7 @@ MemorySystem::streamToRank(unsigned rank, std::uint64_t bytes,
     state.busFreeAt = complete;
     bursts_ += bursts;
     rankBusBusy_ += bursts * timing_.tBurst;
+    rankBursts_[rank] += bursts;
     ++writes_;
     bytesToNdp_ += bytes;
     return complete;
@@ -378,6 +426,13 @@ MemorySystem::registerStats(StatGroup &group) const
                      "bytes consumed inside DIMMs by NDP units");
     group.addCounter("refreshStalls", refreshStalls_,
                      "accesses delayed by a refresh window");
+    group.addDistribution("readLatencyNs", readLatencyNs_,
+                          "per-request read latency (ns)");
+    for (std::size_t rank = 0; rank < rankBursts_.size(); ++rank) {
+        group.addCounter("rank" + std::to_string(rank) + ".bursts",
+                         rankBursts_[rank],
+                         "bursts served by rank " + std::to_string(rank));
+    }
 }
 
 } // namespace fafnir::dram

@@ -169,6 +169,16 @@ class MemorySystem
         return refreshStalls_.value();
     }
 
+    /** Bursts served by one physical rank (traffic-balance telemetry). */
+    std::uint64_t
+    rankBurstCount(unsigned rank) const
+    {
+        return rankBursts_[rank].value();
+    }
+
+    /** Per-request read latency (ns), with percentiles. */
+    const Distribution &readLatencyNs() const { return readLatencyNs_; }
+
     /**
      * Fraction of aggregate rank-bus capacity used over @p elapsed —
      * the roofline the paper argues Fafnir fills and the baselines
@@ -260,6 +270,10 @@ class MemorySystem
     Counter rankBusBusy_;
     /** Cumulative channel-bus occupancy across all channels (ticks). */
     Counter channelBusBusy_;
+    /** Bursts served per physical rank. */
+    std::vector<Counter> rankBursts_;
+    /** Completion - request time of each read() / readAt(), in ns. */
+    Distribution readLatencyNs_;
 };
 
 } // namespace fafnir::dram

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/trace_sink.hh"
 
 namespace fafnir::embedding
 {
@@ -46,6 +47,10 @@ serveOpenLoop(const std::vector<Batch> &batches, Tick inter_arrival,
 
     ServiceReport report;
     report.requests.reserve(batches.size());
+    if (auto *ts = telemetry::sink()) {
+        ts->setThreadName(telemetry::kPidService, 0, "queue");
+        ts->setThreadName(telemetry::kPidService, 1, "serve");
+    }
     Tick engine_free = 0;
     for (std::size_t i = 0; i < batches.size(); ++i) {
         ServedRequest request;
@@ -55,6 +60,18 @@ serveOpenLoop(const std::vector<Batch> &batches, Tick inter_arrival,
         FAFNIR_ASSERT(request.completed >= request.started,
                       "service went backwards");
         engine_free = request.completed;
+        if (auto *ts = telemetry::sink()) {
+            // Queueing and service phases of each batch as stacked spans.
+            const std::string label = "batch " + std::to_string(i);
+            if (request.queueTime() > 0) {
+                ts->completeEvent(telemetry::kPidService, 0,
+                                  "service.queue", label + " (queued)",
+                                  request.arrival, request.queueTime());
+            }
+            ts->completeEvent(telemetry::kPidService, 1, "service.serve",
+                              label, request.started,
+                              request.serviceTime());
+        }
         report.requests.push_back(request);
     }
 

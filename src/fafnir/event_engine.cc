@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "common/logging.hh"
+#include "telemetry/trace_sink.hh"
 
 namespace fafnir::core
 {
@@ -45,10 +46,39 @@ EventDrivenEngine::EventDrivenEngine(dram::MemorySystem &memory,
       topology_(memory.geometry().totalRanks(),
                 config.base.ranksPerLeafPe),
       host_(layout), tree_(topology_),
-      pePeriod_(periodFromMhz(config.base.peClockMhz))
+      pePeriod_(periodFromMhz(config.base.peClockMhz)),
+      peStats_(topology_.numPes() + 1)
 {
     if (config_.base.interactive)
         config_.base.latency.compare = 0;
+}
+
+void
+EventDrivenEngine::registerStats(StatGroup &group) const
+{
+    for (unsigned pe = 1; pe <= topology_.numPes(); ++pe) {
+        const std::string prefix = "pe" + std::to_string(pe);
+        const PeTelemetry &activity = peStats_[pe];
+        group.addCounter(prefix + ".deliveries", activity.deliveries,
+                         "inputs delivered to PE " + std::to_string(pe));
+        group.addCounter(prefix + ".outputs", activity.outputs,
+                         "outputs emitted");
+        group.addCounter(prefix + ".reduces", activity.reduces,
+                         "reduce emissions");
+        group.addCounter(prefix + ".forwards", activity.forwards,
+                         "forward emissions");
+        group.addFormula(
+            prefix + ".occupancy",
+            [this, pe] {
+                const std::uint64_t active = activeTicks_.value();
+                return active == 0
+                    ? 0.0
+                    : static_cast<double>(
+                          peStats_[pe].busyTicks.value()) /
+                          static_cast<double>(active);
+            },
+            "output-port busy fraction over simulated time");
+    }
 }
 
 std::vector<EventLookupTiming>
@@ -110,6 +140,29 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
     }
 
     std::vector<Tick> root_times(run.rootOutputs.size(), MaxTick);
+
+    // --- Timeline tracing (no-ops when no sink is installed). -----------
+    telemetry::TraceSink *ts = telemetry::sink();
+    if (ts) {
+        for (unsigned pe = 1; pe <= num_pes; ++pe) {
+            ts->setThreadName(
+                telemetry::kPidTree, static_cast<int>(pe),
+                "PE " + std::to_string(pe) + " (h" +
+                    std::to_string(topology_.heightOf(pe)) + ")");
+        }
+    }
+    // Items buffered per tree level, emitted as one counter track each.
+    std::vector<std::int64_t> level_occupancy(topology_.numLevels(), 0);
+    auto occupancy_changed = [&](unsigned pe, int delta, Tick at) {
+        if (!ts)
+            return;
+        const unsigned height = topology_.heightOf(pe);
+        level_occupancy[height] += delta;
+        ts->counterEvent(
+            telemetry::kPidTree,
+            "tree.occupancy.h" + std::to_string(height), at,
+            static_cast<double>(level_occupancy[height]));
+    };
 
     // --- Pipeline dynamics. ---------------------------------------------
     auto align = [this](Tick t) {
@@ -195,13 +248,31 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
                     unsigned &uses =
                         state.remainingUses[src.side][src.index];
                     FAFNIR_ASSERT(uses > 0, "provenance double-free");
-                    if (--uses == 0)
+                    if (--uses == 0) {
                         --state.occupancy[src.side];
+                        occupancy_changed(pe, -1, emit);
+                    }
                 }
 
                 state.emitted[k] = true;
                 ++state.emittedCount;
                 progressed = true;
+                PeTelemetry &activity = peStats_[pe];
+                ++activity.outputs;
+                const bool is_reduce = out.action == PeAction::Reduce;
+                if (is_reduce)
+                    ++activity.reduces;
+                else
+                    ++activity.forwards;
+                const Tick issue_ticks =
+                    config_.base.latency.issue * pePeriod_;
+                activity.busyTicks += issue_ticks;
+                if (ts) {
+                    ts->completeEvent(telemetry::kPidTree,
+                                      static_cast<int>(pe), "pe",
+                                      is_reduce ? "reduce" : "forward",
+                                      emit, issue_ticks);
+                }
                 if (config_.recordTimeline)
                     timing.timeline.push_back({emit, pe, "emit", k});
 
@@ -227,6 +298,8 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
                       "delivery beyond expected inputs");
         Tick at = eq.now();
         ++state.occupancy[side];
+        ++peStats_[pe].deliveries;
+        occupancy_changed(pe, 1, at);
         if (state.occupancy[side] > config_.base.hwBatch) {
             ++timing.fifoOverflows;
             at += config_.overflowPenalty * pePeriod_;
@@ -318,6 +391,7 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
         link_free = done;
     }
     timing.complete = link_free + config_.base.hostReceiveOverhead;
+    activeTicks_ += timing.complete - start;
 
     if (config_.recordTimeline) {
         std::sort(timing.timeline.begin(), timing.timeline.end(),

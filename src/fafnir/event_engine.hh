@@ -29,6 +29,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/stats.hh"
 #include "fafnir/engine.hh"
 
 namespace fafnir::core
@@ -70,6 +71,17 @@ struct EventLookupTiming : LookupTiming
 void writeTimeline(std::ostream &os,
                    const std::vector<TimelineEvent> &timeline);
 
+/** Lifetime activity counters of one PE, accumulated across lookups. */
+struct PeTelemetry
+{
+    Counter deliveries;
+    Counter outputs;
+    Counter reduces;
+    Counter forwards;
+    /** Ticks the PE's output port was occupied by emissions. */
+    Counter busyTicks;
+};
+
 /** The event-driven Fafnir lookup model. */
 class EventDrivenEngine
 {
@@ -89,6 +101,12 @@ class EventDrivenEngine
     const TreeTopology &topology() const { return topology_; }
     const EventEngineConfig &config() const { return config_; }
 
+    /** Per-PE activity since construction (index 1..numPes). */
+    const std::vector<PeTelemetry> &peTelemetry() const { return peStats_; }
+
+    /** Register per-PE counters and occupancy formulas into @p group. */
+    void registerStats(StatGroup &group) const;
+
   private:
     dram::MemorySystem &memory_;
     const embedding::VectorLayout &layout_;
@@ -97,6 +115,10 @@ class EventDrivenEngine
     Host host_;
     FunctionalTree tree_;
     Tick pePeriod_;
+    /** Indexed by PE id (entry 0 unused); never resized after build. */
+    std::vector<PeTelemetry> peStats_;
+    /** Simulated ticks covered by lookups (for occupancy formulas). */
+    Counter activeTicks_;
 };
 
 } // namespace fafnir::core

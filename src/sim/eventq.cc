@@ -6,6 +6,7 @@
 #include "eventq.hh"
 
 #include "common/logging.hh"
+#include "telemetry/trace_sink.hh"
 
 namespace fafnir
 {
@@ -57,6 +58,11 @@ EventQueue::step()
             now_ = top.when;
             --pendingCount_;
             ++executed_;
+            if (auto *ts = telemetry::sink()) {
+                ts->counterEvent(telemetry::kPidSim, "eventq.pending",
+                                 now_,
+                                 static_cast<double>(pendingCount_));
+            }
             // The shared_ptr in `top` keeps the callable alive even if the
             // callback schedules more work or the queue reallocates.
             (*top.inlineFn)();
@@ -69,6 +75,12 @@ EventQueue::step()
         top.event->scheduled_ = false;
         --pendingCount_;
         ++executed_;
+        if (auto *ts = telemetry::sink()) {
+            ts->instantEvent(telemetry::kPidSim, 0, "sim.dispatch",
+                             top.event->name_, now_);
+            ts->counterEvent(telemetry::kPidSim, "eventq.pending", now_,
+                             static_cast<double>(pendingCount_));
+        }
         top.event->callback_();
         return true;
     }

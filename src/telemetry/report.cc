@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Implementation of the run-report artifact.
+ */
+
+#include "report.hh"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+
+#ifndef FAFNIR_GIT_DESCRIBE
+#define FAFNIR_GIT_DESCRIBE "unknown"
+#endif
+
+namespace fafnir::telemetry
+{
+
+RunReport::RunReport(std::string tool)
+    : tool_(std::move(tool)), started_(std::chrono::steady_clock::now()),
+      startedWall_(std::chrono::system_clock::now())
+{}
+
+void
+RunReport::setConfig(const std::string &key, const std::string &value)
+{
+    config_.push_back({key, ConfigKind::String, value, 0.0, 0, false});
+}
+
+void
+RunReport::setConfig(const std::string &key, double value)
+{
+    config_.push_back({key, ConfigKind::Number, {}, value, 0, false});
+}
+
+void
+RunReport::setConfig(const std::string &key, std::uint64_t value)
+{
+    config_.push_back({key, ConfigKind::Integer, {}, 0.0, value, false});
+}
+
+void
+RunReport::setConfig(const std::string &key, bool value)
+{
+    config_.push_back({key, ConfigKind::Boolean, {}, 0.0, 0, value});
+}
+
+void
+RunReport::setMetric(const std::string &key, double value)
+{
+    metrics_.emplace_back(key, value);
+}
+
+void
+RunReport::noteArtifact(const std::string &kind, const std::string &path)
+{
+    artifacts_.emplace_back(kind, path);
+}
+
+std::string
+RunReport::gitDescribe()
+{
+    return FAFNIR_GIT_DESCRIBE;
+}
+
+void
+RunReport::write(std::ostream &os, const StatRegistry *stats) const
+{
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+
+    char timestamp[32] = "unknown";
+    const std::time_t t = std::chrono::system_clock::to_time_t(startedWall_);
+    if (std::tm tm{}; gmtime_r(&t, &tm) != nullptr)
+        std::strftime(timestamp, sizeof timestamp, "%Y-%m-%dT%H:%M:%SZ",
+                      &tm);
+
+    JsonWriter json(os);
+    json.beginObject();
+    json.member("tool", tool_);
+    json.member("git", gitDescribe());
+    json.member("timestamp", std::string(timestamp));
+    json.member("wallSeconds", wall_seconds);
+
+    json.key("config");
+    json.beginObject();
+    for (const auto &entry : config_) {
+        json.key(entry.key);
+        switch (entry.kind) {
+          case ConfigKind::String: json.value(entry.text); break;
+          case ConfigKind::Number: json.value(entry.number); break;
+          case ConfigKind::Integer: json.value(entry.integer); break;
+          case ConfigKind::Boolean: json.value(entry.flag); break;
+        }
+    }
+    json.endObject();
+
+    json.key("metrics");
+    json.beginObject();
+    for (const auto &[key, value] : metrics_)
+        json.member(key, value);
+    json.endObject();
+
+    if (!artifacts_.empty()) {
+        json.key("artifacts");
+        json.beginObject();
+        for (const auto &[kind, path] : artifacts_)
+            json.member(kind, path);
+        json.endObject();
+    }
+
+    if (stats != nullptr) {
+        json.key("stats");
+        stats->writeJson(json);
+    }
+
+    json.endObject();
+    os << '\n';
+}
+
+bool
+RunReport::writeFile(const std::string &path,
+                     const StatRegistry *stats) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    write(os, stats);
+    return static_cast<bool>(os);
+}
+
+} // namespace fafnir::telemetry

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-run report artifact.
+ *
+ * A RunReport stamps one simulation run into a single JSON document:
+ * which tool ran, with which configuration, on which source revision,
+ * how long it took in wall time, and the key result metrics. The bench
+ * harnesses and fafnir_sim write one report per run into results/, so a
+ * directory of reports forms a machine-diffable trajectory that future
+ * performance PRs can regress against.
+ *
+ * Schema:
+ * {
+ *   "tool":       "fig12_end_to_end",
+ *   "git":        "ada6207",             // git describe at configure time
+ *   "timestamp":  "2026-08-06T12:34:56Z",
+ *   "wallSeconds": 1.25,
+ *   "config":     { "ranks": 32, ... },
+ *   "metrics":    { "totalUs": 812.5, ... },
+ *   "artifacts":  { "trace": "trace.json", ... },
+ *   "stats":      { ... }                // optional StatRegistry embed
+ * }
+ */
+
+#ifndef FAFNIR_TELEMETRY_REPORT_HH
+#define FAFNIR_TELEMETRY_REPORT_HH
+
+#include <chrono>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fafnir
+{
+class StatRegistry;
+} // namespace fafnir
+
+namespace fafnir::telemetry
+{
+
+/** One run's provenance, configuration, and headline metrics. */
+class RunReport
+{
+  public:
+    explicit RunReport(std::string tool);
+
+    /** @{ Configuration knobs (kept in insertion order). */
+    void setConfig(const std::string &key, const std::string &value);
+    void setConfig(const std::string &key, double value);
+    void setConfig(const std::string &key, std::uint64_t value);
+    void setConfig(const std::string &key, bool value);
+    /** @} */
+
+    /** A headline result metric. */
+    void setMetric(const std::string &key, double value);
+
+    /** Record a companion artifact written by this run (trace, csv...). */
+    void noteArtifact(const std::string &kind, const std::string &path);
+
+    /** The source revision baked in at configure time ("unknown" when
+     *  built outside a git checkout). */
+    static std::string gitDescribe();
+
+    /**
+     * Serialize the report. Wall time is measured from construction to
+     * this call. @p stats, when given, is embedded under "stats".
+     */
+    void write(std::ostream &os, const StatRegistry *stats = nullptr) const;
+
+    /** write() to @p path. @return false on I/O failure. */
+    bool writeFile(const std::string &path,
+                   const StatRegistry *stats = nullptr) const;
+
+  private:
+    enum class ConfigKind
+    {
+        String,
+        Number,
+        Integer,
+        Boolean,
+    };
+
+    struct ConfigEntry
+    {
+        std::string key;
+        ConfigKind kind;
+        std::string text;
+        double number = 0.0;
+        std::uint64_t integer = 0;
+        bool flag = false;
+    };
+
+    std::string tool_;
+    std::chrono::steady_clock::time_point started_;
+    std::chrono::system_clock::time_point startedWall_;
+    std::vector<ConfigEntry> config_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, std::string>> artifacts_;
+};
+
+} // namespace fafnir::telemetry
+
+#endif // FAFNIR_TELEMETRY_REPORT_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Implementation of the harness telemetry session.
+ */
+
+#include "session.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.hh"
+#include "common/stats.hh"
+
+namespace fafnir::telemetry
+{
+
+TelemetrySession::TelemetrySession(std::string tool)
+    : tool_(tool), report_(std::move(tool))
+{}
+
+TelemetrySession::TelemetrySession(std::string tool, int argc,
+                                   char **argv)
+    : TelemetrySession(std::move(tool))
+{
+    FlagParser flags(tool_ + " harness (telemetry flags)");
+    registerFlags(flags);
+    flags.parse(argc, argv);
+    start();
+}
+
+TelemetrySession::~TelemetrySession()
+{
+    finish();
+}
+
+void
+TelemetrySession::registerFlags(FlagParser &flags)
+{
+    flags.addString("stats-json", statsJsonPath_,
+                    "write all registered stats as JSON to this path");
+    flags.addString("stats-csv", statsCsvPath_,
+                    "write all registered stats as CSV to this path");
+    flags.addString("trace", tracePath_,
+                    "write a Chrome trace (Perfetto) to this path");
+    flags.addString("report", reportPath_,
+                    "write a per-run report artifact to this path");
+}
+
+void
+TelemetrySession::start()
+{
+    if (!tracePath_.empty()) {
+        sink_.emplace();
+        install_.emplace(&*sink_);
+    }
+}
+
+int
+TelemetrySession::finish()
+{
+    if (finished_)
+        return 0;
+    finished_ = true;
+
+    StatRegistry &registry = StatRegistry::instance();
+    bool ok = true;
+    auto write_to = [&ok](const std::string &path, auto &&emit) {
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         path.c_str());
+            ok = false;
+            return;
+        }
+        emit(os);
+    };
+
+    if (!statsJsonPath_.empty()) {
+        write_to(statsJsonPath_,
+                 [&](std::ostream &os) { registry.dumpJson(os); });
+        report_.noteArtifact("statsJson", statsJsonPath_);
+    }
+    if (!statsCsvPath_.empty()) {
+        write_to(statsCsvPath_,
+                 [&](std::ostream &os) { registry.dumpCsv(os); });
+        report_.noteArtifact("statsCsv", statsCsvPath_);
+    }
+    if (sink_ && !tracePath_.empty()) {
+        if (!sink_->writeFile(tracePath_)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         tracePath_.c_str());
+            ok = false;
+        }
+        report_.noteArtifact("trace", tracePath_);
+    }
+    if (!reportPath_.empty() &&
+        !report_.writeFile(reportPath_, &registry)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     reportPath_.c_str());
+        ok = false;
+    }
+
+    // Groups reference harness-scoped objects; drop them now.
+    registry.clear();
+    install_.reset();
+    sink_.reset();
+    return ok ? 0 : 1;
+}
+
+} // namespace fafnir::telemetry

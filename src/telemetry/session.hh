@@ -1,0 +1,101 @@
+/**
+ * @file
+ * One-object telemetry wiring for a CLI harness.
+ *
+ * A TelemetrySession bundles the four telemetry outputs every harness
+ * offers — `--stats-json`, `--stats-csv`, `--trace`, `--report` — into
+ * one object: it registers the flags, installs the process-global
+ * TraceSink when tracing is requested, and writes whichever artifacts
+ * were asked for in finish().
+ *
+ * Harnesses without their own flags construct it from argv directly:
+ *
+ *   int main(int argc, char **argv) {
+ *       telemetry::TelemetrySession session("fig12", argc, argv);
+ *       ...
+ *       return session.finish();
+ *   }
+ *
+ * Harnesses with their own FlagParser splice it in:
+ *
+ *   telemetry::TelemetrySession session("fafnir_sim");
+ *   session.registerFlags(flags);
+ *   flags.parse(argc, argv);
+ *   session.start();
+ *
+ * finish() serializes the process-wide StatRegistry, so it must run
+ * while any objects whose stats were registered are still alive — call
+ * it explicitly at the end of main rather than relying on the
+ * destructor when stats reference main-scoped objects declared after
+ * the session.
+ */
+
+#ifndef FAFNIR_TELEMETRY_SESSION_HH
+#define FAFNIR_TELEMETRY_SESSION_HH
+
+#include <optional>
+#include <string>
+
+#include "telemetry/report.hh"
+#include "telemetry/trace_sink.hh"
+
+namespace fafnir
+{
+class FlagParser;
+} // namespace fafnir
+
+namespace fafnir::telemetry
+{
+
+/** Flag parsing + sink installation + artifact writing for one run. */
+class TelemetrySession
+{
+  public:
+    /** For harnesses that splice into their own FlagParser. */
+    explicit TelemetrySession(std::string tool);
+
+    /** Parse @p argv with a fresh parser (telemetry flags only) and
+     *  start() immediately. */
+    TelemetrySession(std::string tool, int argc, char **argv);
+
+    /** Writes any un-finished artifacts (see the header caveat). */
+    ~TelemetrySession();
+
+    TelemetrySession(const TelemetrySession &) = delete;
+    TelemetrySession &operator=(const TelemetrySession &) = delete;
+
+    /** Register --stats-json/--stats-csv/--trace/--report. */
+    void registerFlags(FlagParser &flags);
+
+    /** Install the trace sink if tracing was requested. Call once,
+     *  after flags are parsed. */
+    void start();
+
+    /** The per-run report artifact (config and metrics accumulate). */
+    RunReport &report() { return report_; }
+
+    /** The run's trace sink, or nullptr when tracing is off. */
+    TraceSink *traceSink() { return sink_ ? &*sink_ : nullptr; }
+
+    /**
+     * Write every requested artifact, embed the StatRegistry into the
+     * report, then clear the registry and uninstall the sink.
+     * Idempotent. @return 0 on success, 1 if any artifact failed.
+     */
+    int finish();
+
+  private:
+    std::string tool_;
+    std::string statsJsonPath_;
+    std::string statsCsvPath_;
+    std::string tracePath_;
+    std::string reportPath_;
+    std::optional<TraceSink> sink_;
+    std::optional<ScopedSinkInstall> install_;
+    RunReport report_;
+    bool finished_ = false;
+};
+
+} // namespace fafnir::telemetry
+
+#endif // FAFNIR_TELEMETRY_SESSION_HH

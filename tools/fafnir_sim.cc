@@ -11,10 +11,17 @@
  *              --skew=1.05 --engine=event --dedup=true
  *   fafnir_sim --mode=spmv --matrix=road --nodes=65536
  *   fafnir_sim --mode=sptrsv --nodes=16384 --reach=64
+ *
+ * Telemetry flags (see docs/OBSERVABILITY.md):
+ *   --stats-json=out.json   every registered stat as one JSON object
+ *   --stats-csv=out.csv     the same stats flattened to CSV
+ *   --trace=trace.json      Chrome trace of the run (Perfetto-viewable)
+ *   --report=run.json       per-run report artifact (config + metrics)
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
 #include "baselines/cpu.hh"
@@ -22,6 +29,8 @@
 #include "baselines/tensordimm.hh"
 #include "baselines/two_step.hh"
 #include "common/cli.hh"
+#include "common/stats.hh"
+#include "dram/cmdlog.hh"
 #include "dram/memsystem.hh"
 #include "embedding/generator.hh"
 #include "embedding/layout.hh"
@@ -31,6 +40,7 @@
 #include "sparse/fafnir_spmv.hh"
 #include "sparse/matgen.hh"
 #include "sparse/sptrsv.hh"
+#include "telemetry/session.hh"
 
 using namespace fafnir;
 
@@ -66,8 +76,9 @@ tableConfig()
 }
 
 int
-runLookup(const Options &opt)
+runLookup(const Options &opt, telemetry::TelemetrySession &session)
 {
+    telemetry::RunReport &run = session.report();
     EventQueue eq;
     const dram::Geometry geometry = opt.hbm
         ? dram::Geometry::hbm2()
@@ -76,6 +87,9 @@ runLookup(const Options &opt)
         opt.hbm ? dram::Timing::hbm2() : dram::Timing::ddr4_2400();
     dram::MemorySystem memory(eq, geometry, timing,
                               dram::Interleave::BlockRank, 512);
+    dram::CommandLog cmdlog;
+    if (session.traceSink() != nullptr)
+        memory.attachCommandLog(&cmdlog);
     const embedding::TableConfig tables = tableConfig();
     const embedding::VectorLayout layout(tables, memory.mapper());
 
@@ -96,14 +110,21 @@ runLookup(const Options &opt)
     std::size_t reads = 0;
     std::size_t references = 0;
     std::vector<Tick> batch_latency;
+    Distribution batch_latency_us;
 
     auto consume = [&](const auto &timings) {
         for (const auto &t : timings) {
             complete = std::max(complete, t.complete);
             reads += t.memAccesses;
             batch_latency.push_back(t.totalTime());
+            batch_latency_us.sample(
+                static_cast<double>(t.totalTime()) / kTicksPerUs);
         }
     };
+
+    // The event engine outlives the run so its per-PE counters can be
+    // exported after the lookups finish.
+    std::unique_ptr<core::EventDrivenEngine> event_engine;
 
     if (opt.engine == "analytic" || opt.engine == "event") {
         core::EngineConfig cfg;
@@ -112,8 +133,9 @@ runLookup(const Options &opt)
         if (opt.engine == "event") {
             core::EventEngineConfig ecfg;
             ecfg.base = cfg;
-            core::EventDrivenEngine engine(memory, layout, ecfg);
-            consume(engine.lookupMany(batches, 0));
+            event_engine = std::make_unique<core::EventDrivenEngine>(
+                memory, layout, ecfg);
+            consume(event_engine->lookupMany(batches, 0));
         } else {
             core::FafnirEngine engine(memory, layout, cfg);
             consume(engine.lookupMany(batches, 0));
@@ -130,7 +152,10 @@ runLookup(const Options &opt)
         baselines::TensorDimmEngine engine(memory, tables);
         consume(engine.lookupMany(batches, 0));
     } else {
-        FAFNIR_FATAL("unknown --engine '", opt.engine, "'");
+        std::fprintf(stderr, "error: unknown --engine '%s'\n"
+                             "run with --help for usage\n",
+                     opt.engine.c_str());
+        return 2;
     }
 
     for (const auto &b : batches)
@@ -172,7 +197,29 @@ runLookup(const Options &opt)
                 "%.1f uJ (%.2f nJ/query)\n",
                 e.dramUj, e.ndpUj, e.hostIoUj, e.total(),
                 e.total() * 1000.0 / queries);
-    return 0;
+
+    StatRegistry &registry = StatRegistry::instance();
+    memory.registerStats(registry.group("memory"));
+    if (event_engine)
+        event_engine->registerStats(registry.group("tree"));
+    StatGroup &lookup = registry.group("lookup");
+    lookup.addDistribution("batchLatencyUs", batch_latency_us,
+                           "per-batch end-to-end latency");
+
+    run.setMetric("totalUs", us_total);
+    run.setMetric("nsPerQuery", us_total * 1000.0 / queries);
+    run.setMetric("mQueriesPerSec", queries / us_total);
+    run.setMetric("achievedGBs", memory.achievedBandwidthGBs(complete));
+    run.setMetric("rankBusUtilization",
+                  memory.rankBusUtilization(complete));
+    run.setMetric("memReads", static_cast<double>(reads));
+    run.setMetric("references", static_cast<double>(references));
+    run.setMetric("energyUj", e.total());
+    run.setMetric("energyNjPerQuery", e.total() * 1000.0 / queries);
+
+    if (auto *ts = session.traceSink())
+        dram::writeTrace(cmdlog, *ts);
+    return session.finish();
 }
 
 sparse::CsrMatrix
@@ -192,8 +239,9 @@ makeMatrix(const Options &opt, Rng &rng)
 }
 
 int
-runSpmv(const Options &opt)
+runSpmv(const Options &opt, telemetry::TelemetrySession &session)
 {
+    telemetry::RunReport &run = session.report();
     Rng rng(opt.seed);
     const sparse::CsrMatrix csr = makeMatrix(opt, rng);
     const sparse::LilMatrix lil = sparse::LilMatrix::fromCsr(csr);
@@ -240,12 +288,24 @@ runSpmv(const Options &opt)
                 static_cast<double>(twostep_t.totalTime()) / kTicksPerUs,
                 static_cast<double>(twostep_t.totalTime()) /
                     static_cast<double>(fafnir_t.totalTime()));
-    return 0;
+
+    StatRegistry &registry = StatRegistry::instance();
+    memory.registerStats(registry.group("memory"));
+
+    run.setMetric("nnz", static_cast<double>(csr.nnz()));
+    run.setMetric("fafnirUs",
+                  static_cast<double>(fafnir_t.totalTime()) / kTicksPerUs);
+    run.setMetric("twoStepUs", static_cast<double>(twostep_t.totalTime()) /
+                                   kTicksPerUs);
+    run.setMetric("speedup", static_cast<double>(twostep_t.totalTime()) /
+                                 static_cast<double>(fafnir_t.totalTime()));
+    return session.finish();
 }
 
 int
-runSptrsv(const Options &opt)
+runSptrsv(const Options &opt, telemetry::TelemetrySession &session)
 {
+    telemetry::RunReport &run = session.report();
     Rng rng(opt.seed);
     const sparse::CsrMatrix l =
         sparse::makeLowerTriangular(opt.nodes, 3.0, opt.reach, rng);
@@ -268,7 +328,15 @@ runSptrsv(const Options &opt)
                 static_cast<double>(timing.totalTime()) / kTicksPerUs,
                 static_cast<double>(timing.totalTime()) / kTicksPerUs /
                     static_cast<double>(schedule.depth()));
-    return 0;
+
+    StatRegistry &registry = StatRegistry::instance();
+    memory.registerStats(registry.group("memory"));
+
+    run.setMetric("nnz", static_cast<double>(l.nnz()));
+    run.setMetric("levels", static_cast<double>(schedule.depth()));
+    run.setMetric("totalUs",
+                  static_cast<double>(timing.totalTime()) / kTicksPerUs);
+    return session.finish();
 }
 
 } // namespace
@@ -299,13 +367,38 @@ main(int argc, char **argv)
     flags.addUnsigned("nodes", opt.nodes, "matrix dimension");
     flags.addUnsigned("reach", opt.reach, "sptrsv dependency reach");
     flags.addDouble("nnz-per-row", opt.nnzPerRow, "matrix density");
+    telemetry::TelemetrySession session("fafnir_sim");
+    session.registerFlags(flags);
     flags.parse(argc, argv);
+    session.start();
+
+    telemetry::RunReport &report = session.report();
+    report.setConfig("mode", opt.mode);
+    report.setConfig("engine", opt.engine);
+    report.setConfig("ranks", static_cast<std::uint64_t>(opt.ranks));
+    report.setConfig("batches", static_cast<std::uint64_t>(opt.batches));
+    report.setConfig("batch", static_cast<std::uint64_t>(opt.batch));
+    report.setConfig("querySize",
+                     static_cast<std::uint64_t>(opt.querySize));
+    report.setConfig("skew", opt.skew);
+    report.setConfig("dedup", opt.dedup);
+    report.setConfig("hbm", opt.hbm);
+    report.setConfig("seed", opt.seed);
+    if (opt.mode != "lookup") {
+        report.setConfig("matrix", opt.matrix);
+        report.setConfig("nodes", static_cast<std::uint64_t>(opt.nodes));
+        report.setConfig("reach", static_cast<std::uint64_t>(opt.reach));
+        report.setConfig("nnzPerRow", opt.nnzPerRow);
+    }
 
     if (opt.mode == "lookup")
-        return runLookup(opt);
+        return runLookup(opt, session);
     if (opt.mode == "spmv")
-        return runSpmv(opt);
+        return runSpmv(opt, session);
     if (opt.mode == "sptrsv")
-        return runSptrsv(opt);
-    FAFNIR_FATAL("unknown --mode '", opt.mode, "'");
+        return runSptrsv(opt, session);
+    std::fprintf(stderr,
+                 "error: unknown --mode '%s'\nrun with --help for usage\n",
+                 opt.mode.c_str());
+    return 2;
 }
