@@ -67,6 +67,14 @@ class TelemetrySession
     /** Register --stats-json/--stats-csv/--trace/--report. */
     void registerFlags(FlagParser &flags);
 
+    /** Report path used when --report was not given (call after parse). */
+    void
+    defaultReportPath(const std::string &path)
+    {
+        if (reportPath_.empty())
+            reportPath_ = path;
+    }
+
     /** Install the trace sink if tracing was requested. Call once,
      *  after flags are parsed. */
     void start();
