@@ -9,8 +9,11 @@
  * throughput. Emits the numbers as a run report (BENCH_hotpath.json by
  * default) so successive performance PRs leave a recorded trajectory;
  * pass --baseline=<earlier report> to get speedup columns against it.
+ * Each rate is the best of three runs, so a background process on a
+ * shared box cannot masquerade as a regression.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -40,6 +43,20 @@ double
 seconds(Clock::time_point begin, Clock::time_point end)
 {
     return std::chrono::duration<double>(end - begin).count();
+}
+
+/**
+ * Best rate out of @p reps runs: the box shares one core with the rest
+ * of the system, so the max is the least-disturbed measurement.
+ */
+template <typename F>
+auto
+bestOf(int reps, F &&run) -> decltype(run())
+{
+    auto best = run();
+    for (int r = 1; r < reps; ++r)
+        best = std::max(best, run());
+    return best;
 }
 
 /** Rounds of one-shot bursts at scattered future ticks, fully drained. */
@@ -149,6 +166,12 @@ struct PeRates
     double itemsPerSec = 0.0;
     double reducedElementsPerSec = 0.0;
 };
+
+bool
+operator<(const PeRates &a, const PeRates &b)
+{
+    return a.itemsPerSec < b.itemsPerSec;
+}
 
 PeRates
 benchPe(std::size_t pairs, std::size_t dim, bool values,
@@ -265,11 +288,16 @@ main(int argc, char **argv)
     session.report().setConfig("peIters", pe_iters);
     session.report().setConfig("peValueIters", pe_value_iters);
 
-    const double burst = benchEventBurst(events, 512);
-    const double chain = benchEventChain(events / 4);
-    const double churn = benchEventChurn(churn_ops);
-    const PeRates header = benchPe(pe_pairs, pe_dim, false, pe_iters);
-    const PeRates value = benchPe(pe_pairs, pe_dim, true, pe_value_iters);
+    const double burst =
+        bestOf(3, [&] { return benchEventBurst(events, 512); });
+    const double chain =
+        bestOf(3, [&] { return benchEventChain(events / 4); });
+    const double churn =
+        bestOf(3, [&] { return benchEventChurn(churn_ops); });
+    const PeRates header =
+        bestOf(3, [&] { return benchPe(pe_pairs, pe_dim, false, pe_iters); });
+    const PeRates value = bestOf(
+        3, [&] { return benchPe(pe_pairs, pe_dim, true, pe_value_iters); });
 
     struct Metric
     {

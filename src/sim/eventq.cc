@@ -1,9 +1,23 @@
 /**
  * @file
  * Implementation of the event queue.
+ *
+ * Structure invariants (established in the header comment):
+ *  - windowBase_ <= now_ except transiently inside advance(), between a
+ *    window re-base and the execution of the migrated heap minimum.
+ *  - Live bucket entries sit in bucket[when - windowBase_]; ticks below
+ *    now_ have already been drained, so their buckets are empty.
+ *  - Heap entries satisfy when - windowBase_ >= kWindow: inserts target
+ *    the heap only beyond the window, and every re-base migrates all
+ *    entries that the new window covers.
+ *  - The occupancy bitmap is exact: a bucket bit is set iff its chain is
+ *    non-empty, and a summary bit iff its bitmap word is non-zero.
  */
 
 #include "eventq.hh"
+
+#include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 #include "telemetry/trace_sink.hh"
@@ -11,29 +25,344 @@
 namespace fafnir
 {
 
-void
-EventQueue::schedule(Event &event, Tick when)
+namespace
 {
-    FAFNIR_ASSERT(when >= now_, "scheduling event '", event.name(),
-                  "' in the past: ", when, " < ", now_);
-    if (event.scheduled_)
-        --pendingCount_; // the stale queue entry becomes a no-op
-    ++event.generation_;
-    event.scheduled_ = true;
-    event.when_ = when;
-    queue_.push({when, event.priority_, sequence_++, &event,
-                 event.generation_, nullptr});
-    ++pendingCount_;
+
+/** Children of 4-ary heap node @p i start at 4i+1; parent is (i-1)/4. */
+constexpr std::size_t kHeapArity = 4;
+
+} // namespace
+
+EventQueue::EventQueue()
+    : bucketHead_(kWindow, nullptr), bucketBits_(kWindow / 64, 0)
+{
+    for (std::uint64_t &word : summaryBits_)
+        word = 0;
+}
+
+EventQueue::~EventQueue()
+{
+    // Destroy never-fired one-shot callbacks still sitting in the queue.
+    const auto dropOneShot = [](Node *node) {
+        if (node->event == nullptr)
+            node->drop(node->storage);
+    };
+    for (std::size_t i = cacheIdx_; i < cache_.size(); ++i)
+        dropOneShot(cache_[i].node);
+    for (std::size_t word = 0; word < bucketBits_.size(); ++word) {
+        std::uint64_t bits = bucketBits_[word];
+        while (bits != 0) {
+            const std::size_t bucket =
+                word * 64 + std::countr_zero(bits);
+            bits &= bits - 1;
+            for (Node *node = bucketHead_[bucket]; node != nullptr;
+                 node = node->next) {
+                dropOneShot(node);
+            }
+        }
+    }
+    for (const HeapEntry &entry : heap_)
+        dropOneShot(entry.node);
+}
+
+EventQueue::Node *
+EventQueue::allocNode()
+{
+    Node *node = freeHead_;
+    if (node != nullptr) {
+        freeHead_ = node->next;
+        return node;
+    }
+    // New chunk, threaded onto the free list in address order.
+    chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+    Node *const chunk = chunks_.back().get();
+    for (std::size_t i = kChunkNodes - 1; i > 0; --i)
+        chunk[i].next = i + 1 < kChunkNodes ? &chunk[i + 1] : nullptr;
+    freeHead_ = &chunk[1];
+    return &chunk[0];
 }
 
 void
-EventQueue::scheduleFn(Tick when, std::function<void()> fn, int priority)
+EventQueue::freeNode(Node *node)
 {
-    FAFNIR_ASSERT(when >= now_, "scheduling callback in the past: ", when,
-                  " < ", now_);
-    queue_.push({when, priority, sequence_++, nullptr, 0,
-                 std::make_shared<std::function<void()>>(std::move(fn))});
-    ++pendingCount_;
+    node->next = freeHead_;
+    freeHead_ = node;
+}
+
+void
+EventQueue::clearBucketBit(std::size_t bucket)
+{
+    std::uint64_t &word = bucketBits_[bucket >> 6];
+    word &= ~(std::uint64_t(1) << (bucket & 63));
+    if (word == 0) {
+        summaryBits_[bucket >> 12] &=
+            ~(std::uint64_t(1) << ((bucket >> 6) & 63));
+    }
+}
+
+std::size_t
+EventQueue::scanBuckets(std::size_t from) const
+{
+    std::size_t word = from >> 6;
+    const std::uint64_t first =
+        bucketBits_[word] & (~std::uint64_t(0) << (from & 63));
+    if (first != 0)
+        return (word << 6) + std::countr_zero(first);
+
+    // The summary is exact, so any set summary bit names a non-empty word.
+    std::size_t sword = word >> 6;
+    const unsigned sbit = static_cast<unsigned>(word & 63);
+    std::uint64_t summary =
+        sbit == 63 ? 0
+                   : summaryBits_[sword] & (~std::uint64_t(0) << (sbit + 1));
+    constexpr std::size_t kSummaryWords = kWindow / 64 / 64;
+    while (true) {
+        if (summary != 0) {
+            word = (sword << 6) + std::countr_zero(summary);
+            const std::uint64_t bits = bucketBits_[word];
+            return (word << 6) + std::countr_zero(bits);
+        }
+        if (++sword >= kSummaryWords)
+            return kWindow;
+        summary = summaryBits_[sword];
+    }
+}
+
+void
+EventQueue::heapPush(HeapEntry entry)
+{
+    std::size_t hole = heap_.size();
+    heap_.push_back(entry);
+    while (hole > 0) {
+        const std::size_t parent = (hole - 1) / kHeapArity;
+        if (!heapBefore(entry, heap_[parent]))
+            break;
+        heap_[hole] = heap_[parent];
+        hole = parent;
+    }
+    heap_[hole] = entry;
+}
+
+void
+EventQueue::heapPopTop()
+{
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        heapSiftDown(0, last);
+}
+
+void
+EventQueue::heapSiftDown(std::size_t hole, HeapEntry entry)
+{
+    const std::size_t size = heap_.size();
+    while (true) {
+        const std::size_t first = hole * kHeapArity + 1;
+        if (first >= size)
+            break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + kHeapArity, size);
+        for (std::size_t child = first + 1; child < last; ++child) {
+            if (heapBefore(heap_[child], heap_[best]))
+                best = child;
+        }
+        if (!heapBefore(heap_[best], entry))
+            break;
+        heap_[hole] = heap_[best];
+        hole = best;
+    }
+    heap_[hole] = entry;
+}
+
+void
+EventQueue::activateTick(Tick tick)
+{
+    const std::size_t bucket =
+        static_cast<std::size_t>(tick - windowBase_);
+    Node *node = bucketHead_[bucket];
+    bucketHead_[bucket] = nullptr;
+    clearBucketBit(bucket);
+
+    cache_.clear();
+    cacheIdx_ = 0;
+    cacheTick_ = tick;
+    activeBucket_ = bucket;
+    cacheDirty_ = false;
+    curSink_ = telemetry::sink();
+    while (node != nullptr) {
+        Node *const next = node->next;
+        if (next != nullptr)
+            __builtin_prefetch(next);
+        if (isStaleNode(*node)) {
+            --stale_;
+            freeNode(node);
+        } else {
+            cache_.push_back({node->order, node});
+        }
+        node = next;
+    }
+    // The chain is newest-first; reversing restores insertion order,
+    // which is already sorted unless priorities interleave.
+    std::reverse(cache_.begin(), cache_.end());
+    const auto less = [](const CacheEntry &a, const CacheEntry &b) {
+        return a.order < b.order;
+    };
+    if (!std::is_sorted(cache_.begin(), cache_.end(), less))
+        std::sort(cache_.begin(), cache_.end(), less);
+}
+
+void
+EventQueue::refreshCache()
+{
+    Node *node = bucketHead_[activeBucket_];
+    bucketHead_[activeBucket_] = nullptr;
+    clearBucketBit(activeBucket_);
+    cacheDirty_ = false;
+
+    const std::size_t start = cache_.size();
+    while (node != nullptr) {
+        Node *const next = node->next;
+        if (next != nullptr)
+            __builtin_prefetch(next);
+        if (isStaleNode(*node)) {
+            --stale_;
+            freeNode(node);
+        } else {
+            cache_.push_back({node->order, node});
+        }
+        node = next;
+    }
+    std::reverse(cache_.begin() + start, cache_.end());
+    const auto less = [](const CacheEntry &a, const CacheEntry &b) {
+        return a.order < b.order;
+    };
+    // New arrivals carry fresh sequence numbers, so appending keeps the
+    // remainder sorted unless one outranks a pending entry by priority.
+    if (!std::is_sorted(cache_.begin() + cacheIdx_, cache_.end(), less))
+        std::sort(cache_.begin() + cacheIdx_, cache_.end(), less);
+}
+
+void
+EventQueue::rebaseWindow()
+{
+    Tick base = heap_[0].when;
+    if (base > MaxTick - kWindow + 1)
+        base = MaxTick - kWindow + 1; // keep windowBase_+index overflow-free
+    FAFNIR_ASSERT(base >= windowBase_, "window re-base moved backwards");
+    windowBase_ = base;
+    while (!heap_.empty()) {
+        const HeapEntry top = heap_[0];
+        const Tick delta = top.when - windowBase_;
+        if (delta >= kWindow)
+            break;
+        heapPopTop();
+        if (isStaleNode(*top.node)) {
+            --stale_;
+            freeNode(top.node);
+        } else {
+            // Heap pops arrive in (when, order) order, so same-tick
+            // chains stay newest-first like direct inserts.
+            bucketPush(static_cast<std::size_t>(delta), top.node);
+        }
+    }
+}
+
+Tick
+EventQueue::advance(Tick limit)
+{
+    while (true) {
+        const std::size_t from =
+            now_ > windowBase_
+                ? static_cast<std::size_t>(now_ - windowBase_)
+                : 0;
+        const std::size_t bucket = scanBuckets(from);
+        if (bucket == kWindow) {
+            // Nothing in the window; the heap minimum is next.
+            while (!heap_.empty() && isStaleNode(*heap_[0].node)) {
+                --stale_;
+                freeNode(heap_[0].node);
+                heapPopTop();
+            }
+            if (heap_.empty())
+                return MaxTick;
+            if (heap_[0].when > limit)
+                return heap_[0].when;
+            rebaseWindow();
+            continue;
+        }
+        const Tick tick = windowBase_ + bucket;
+        if (tick > limit)
+            return tick;
+        activateTick(tick);
+        if (cacheIdx_ < cache_.size())
+            return tick;
+        // The tick held only stale entries; keep scanning.
+    }
+}
+
+bool
+EventQueue::fireNext()
+{
+    // Same-tick arrivals (scheduled while this tick drains) must be
+    // merged before choosing the next entry.
+    if (cacheDirty_)
+        refreshCache();
+    const CacheEntry entry = cache_[cacheIdx_++];
+    // Pull the next entry's node in while this one executes.
+    if (cacheIdx_ < cache_.size())
+        __builtin_prefetch(cache_[cacheIdx_].node);
+    Node *const node = entry.node;
+    Event *const event = node->event;
+    if (event != nullptr) {
+        if (node->generation != event->generation_) {
+            --stale_;
+            freeNode(node);
+            return false;
+        }
+        now_ = cacheTick_;
+        event->scheduled_ = false;
+        --pendingCount_;
+        ++executed_;
+        freeNode(node);
+        if (curSink_ != nullptr) {
+            curSink_->instantEvent(telemetry::kPidSim, 0, "sim.dispatch",
+                                   event->name_, now_);
+            curSink_->counterEvent(telemetry::kPidSim, "eventq.pending",
+                                   now_,
+                                   static_cast<double>(pendingCount_));
+        }
+        event->callback_();
+        return true;
+    }
+    now_ = cacheTick_;
+    --pendingCount_;
+    ++executed_;
+    if (curSink_ != nullptr) {
+        curSink_->counterEvent(telemetry::kPidSim, "eventq.pending", now_,
+                               static_cast<double>(pendingCount_));
+    }
+    // Invoke from the node (slab storage is stable even if the callback
+    // schedules more work), then retire it.
+    node->fire(node->storage);
+    freeNode(node);
+    return true;
+}
+
+void
+EventQueue::schedule(Event &event, Tick when)
+{
+    if (event.scheduled_) {
+        --pendingCount_; // the stale queue entry becomes a no-op
+        ++stale_;
+    }
+    ++event.generation_;
+    event.scheduled_ = true;
+    event.when_ = when;
+    Node *const node = allocNode();
+    node->event = &event;
+    node->generation = event.generation_;
+    insertNode(node, when, event.priority_);
+    maybeCompact();
 }
 
 void
@@ -44,62 +373,107 @@ EventQueue::deschedule(Event &event)
     ++event.generation_; // invalidates the queue entry lazily
     event.scheduled_ = false;
     --pendingCount_;
+    ++stale_;
+    maybeCompact();
+}
+
+void
+EventQueue::maybeCompact()
+{
+    if (stale_ >= 64 && stale_ > pendingCount_)
+        compact();
+}
+
+void
+EventQueue::compact()
+{
+    // Cache remainder.
+    const auto staleOut = [this](const CacheEntry &entry) {
+        if (isStaleNode(*entry.node)) {
+            --stale_;
+            freeNode(entry.node);
+            return true;
+        }
+        return false;
+    };
+    cache_.erase(std::remove_if(cache_.begin() +
+                                    static_cast<std::ptrdiff_t>(cacheIdx_),
+                                cache_.end(), staleOut),
+                 cache_.end());
+
+    // Bucket chains, preserving newest-first chain order.
+    for (std::size_t word = 0; word < bucketBits_.size(); ++word) {
+        std::uint64_t bits = bucketBits_[word];
+        while (bits != 0) {
+            const std::size_t bucket =
+                word * 64 + std::countr_zero(bits);
+            bits &= bits - 1;
+            Node *node = bucketHead_[bucket];
+            Node *newHead = nullptr;
+            Node **link = &newHead;
+            while (node != nullptr) {
+                Node *const next = node->next;
+                if (isStaleNode(*node)) {
+                    --stale_;
+                    freeNode(node);
+                } else {
+                    *link = node;
+                    link = &node->next;
+                }
+                node = next;
+            }
+            *link = nullptr;
+            bucketHead_[bucket] = newHead;
+            if (newHead == nullptr)
+                clearBucketBit(bucket);
+        }
+    }
+
+    // Heap: filter, then Floyd rebuild. Pop order depends only on the
+    // (when, order) key, a total order, so rebuilding cannot change the
+    // execution order.
+    std::size_t kept = 0;
+    for (const HeapEntry &entry : heap_) {
+        if (isStaleNode(*entry.node)) {
+            --stale_;
+            freeNode(entry.node);
+        } else {
+            heap_[kept++] = entry;
+        }
+    }
+    heap_.resize(kept);
+    if (heap_.size() > 1) {
+        for (std::size_t i = (heap_.size() - 2) / kHeapArity + 1; i-- > 0;)
+            heapSiftDown(i, heap_[i]);
+    }
 }
 
 bool
 EventQueue::step()
 {
-    while (!queue_.empty()) {
-        QueuedEvent top = queue_.top();
-        queue_.pop();
-        if (top.event == nullptr) {
-            FAFNIR_ASSERT(top.when >= now_,
-                          "event queue time went backwards");
-            now_ = top.when;
-            --pendingCount_;
-            ++executed_;
-            if (auto *ts = telemetry::sink()) {
-                ts->counterEvent(telemetry::kPidSim, "eventq.pending",
-                                 now_,
-                                 static_cast<double>(pendingCount_));
-            }
-            // The shared_ptr in `top` keeps the callable alive even if the
-            // callback schedules more work or the queue reallocates.
-            (*top.inlineFn)();
+    while (true) {
+        if (cacheIdx_ >= cache_.size()) {
+            advance(MaxTick);
+            if (cacheIdx_ >= cache_.size())
+                return false; // idle
+        }
+        if (fireNext())
             return true;
-        }
-        if (top.generation != top.event->generation_)
-            continue; // cancelled or rescheduled
-        FAFNIR_ASSERT(top.when >= now_, "event queue time went backwards");
-        now_ = top.when;
-        top.event->scheduled_ = false;
-        --pendingCount_;
-        ++executed_;
-        if (auto *ts = telemetry::sink()) {
-            ts->instantEvent(telemetry::kPidSim, 0, "sim.dispatch",
-                             top.event->name_, now_);
-            ts->counterEvent(telemetry::kPidSim, "eventq.pending", now_,
-                             static_cast<double>(pendingCount_));
-        }
-        top.event->callback_();
-        return true;
     }
-    return false;
 }
 
 Tick
 EventQueue::run(Tick limit)
 {
-    while (!queue_.empty()) {
-        const QueuedEvent &top = queue_.top();
-        if (top.event != nullptr &&
-            top.generation != top.event->generation_) {
-            queue_.pop();
-            continue;
+    while (true) {
+        if (cacheIdx_ >= cache_.size()) {
+            advance(limit);
+            if (cacheIdx_ >= cache_.size())
+                break; // idle, or the next tick is beyond the limit
+        } else if (cacheTick_ > limit) {
+            break; // a partially drained tick left over from an earlier run
         }
-        if (top.when > limit)
-            break;
-        step();
+        fireNext();
     }
     return now_;
 }
