@@ -28,6 +28,7 @@
 #include "common/table.hh"
 #include "common/types.hh"
 #include "fafnir/pe.hh"
+#include "fafnir/pool.hh"
 #include "sim/eventq.hh"
 #include "telemetry/session.hh"
 
@@ -182,12 +183,17 @@ benchPe(std::size_t pairs, std::size_t dim, bool values,
     makePeSides(pairs, dim, values, a, b);
 
     PeActivity activity;
+    VectorPool pool;
     std::size_t outputs = 0;
     const auto begin = Clock::now();
     for (std::uint64_t it = 0; it < iterations; ++it) {
-        const auto out = ProcessingElement::process(
-            a, b, activity, values, embedding::ReduceOp::Sum);
+        auto out = ProcessingElement::process(
+            a, b, activity, values, embedding::ReduceOp::Sum, &pool);
         outputs += out.size();
+        // Steady state: a parent consumes these outputs and their value
+        // buffers come back, exactly as FunctionalTree::run recycles.
+        for (auto &o : out)
+            pool.release(std::move(o.item.value));
     }
     const auto end = Clock::now();
     FAFNIR_ASSERT(outputs == pairs * iterations, "unexpected PE outputs");

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * A vector with inline storage for its first N elements.
+ *
+ * The tree data path is dominated by tiny arrays: a flit header holds a
+ * handful of indices and one or two query residuals. Keeping those
+ * elements inside the owning object removes one heap allocation (and
+ * one pointer chase) per header on the PE compare/reduce/merge path.
+ * Beyond N elements a SmallVec spills to the heap and behaves like a
+ * std::vector.
+ *
+ * The interface is the std::vector subset the repo uses — contiguous
+ * T* iterators, push/emplace/resize/erase, lexicographic comparison —
+ * not a drop-in replacement. Unlike std::vector, moving a SmallVec
+ * that is inline moves element-by-element, so iterators into a
+ * moved-from SmallVec are invalid either way.
+ */
+
+#ifndef FAFNIR_COMMON_SMALLVEC_HH
+#define FAFNIR_COMMON_SMALLVEC_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace fafnir
+{
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+  public:
+    static_assert(N > 0, "SmallVec needs at least one inline slot");
+
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+    using size_type = std::size_t;
+
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> init) { assignRange(init.begin(), init.size()); }
+
+    SmallVec(const SmallVec &other) { assignRange(other.data_, other.size_); }
+
+    SmallVec(SmallVec &&other) noexcept { stealFrom(other); }
+
+    ~SmallVec() { destroyAll(); }
+
+    SmallVec &
+    operator=(const SmallVec &other)
+    {
+        if (this != &other) {
+            clear();
+            assignRange(other.data_, other.size_);
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            stealFrom(other);
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(std::initializer_list<T> init)
+    {
+        clear();
+        assignRange(init.begin(), init.size());
+        return *this;
+    }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return capacity_; }
+    /** True while the elements live inside the object itself. */
+    bool inlined() const { return data_ == inlineData(); }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    T &front() { return data_[0]; }
+    const T &front() const { return data_[0]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    void
+    reserve(std::size_t wanted)
+    {
+        if (wanted > capacity_)
+            grow(wanted);
+    }
+
+    void
+    push_back(const T &value)
+    {
+        emplace_back(value);
+    }
+
+    void
+    push_back(T &&value)
+    {
+        emplace_back(std::move(value));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (size_ == capacity_)
+            grow(capacity_ * 2);
+        T *slot = data_ + size_;
+        ::new (static_cast<void *>(slot)) T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    void
+    pop_back()
+    {
+        FAFNIR_ASSERT(size_ > 0, "pop_back on empty SmallVec");
+        data_[--size_].~T();
+    }
+
+    void
+    resize(std::size_t count)
+    {
+        if (count < size_) {
+            while (size_ > count)
+                data_[--size_].~T();
+            return;
+        }
+        reserve(count);
+        while (size_ < count)
+            ::new (static_cast<void *>(data_ + size_++)) T();
+    }
+
+    void
+    clear()
+    {
+        while (size_ > 0)
+            data_[--size_].~T();
+    }
+
+    /** Erase [first, last); later elements shift down. */
+    iterator
+    erase(iterator first, iterator last)
+    {
+        iterator out = std::move(last, end(), first);
+        while (end() != out)
+            pop_back();
+        return first;
+    }
+
+    bool
+    operator==(const SmallVec &other) const
+    {
+        return std::equal(begin(), end(), other.begin(), other.end());
+    }
+
+    bool
+    operator<(const SmallVec &other) const
+    {
+        return std::lexicographical_compare(begin(), end(), other.begin(),
+                                            other.end());
+    }
+
+  private:
+    T *
+    inlineData()
+    {
+        return reinterpret_cast<T *>(inline_);
+    }
+
+    const T *
+    inlineData() const
+    {
+        return reinterpret_cast<const T *>(inline_);
+    }
+
+    /** Copy-construct @p count elements from @p src into an empty self. */
+    void
+    assignRange(const T *src, std::size_t count)
+    {
+        reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            ::new (static_cast<void *>(data_ + i)) T(src[i]);
+        size_ = count;
+    }
+
+    /** Take @p other's elements; leaves @p other empty and inline. */
+    void
+    stealFrom(SmallVec &other)
+    {
+        if (!other.inlined()) {
+            data_ = other.data_;
+            size_ = other.size_;
+            capacity_ = other.capacity_;
+        } else {
+            data_ = inlineData();
+            size_ = other.size_;
+            capacity_ = N;
+            for (std::size_t i = 0; i < size_; ++i) {
+                ::new (static_cast<void *>(data_ + i))
+                    T(std::move(other.data_[i]));
+                other.data_[i].~T();
+            }
+        }
+        other.data_ = other.inlineData();
+        other.size_ = 0;
+        other.capacity_ = N;
+    }
+
+    void
+    grow(std::size_t wanted)
+    {
+        const std::size_t cap = std::max(wanted, capacity_ * 2);
+        T *fresh = static_cast<T *>(
+            ::operator new(cap * sizeof(T), std::align_val_t(alignof(T))));
+        for (std::size_t i = 0; i < size_; ++i) {
+            ::new (static_cast<void *>(fresh + i)) T(std::move(data_[i]));
+            data_[i].~T();
+        }
+        if (!inlined())
+            ::operator delete(data_, std::align_val_t(alignof(T)));
+        data_ = fresh;
+        capacity_ = cap;
+    }
+
+    /** Destroy elements and release any heap block (end-of-life only). */
+    void
+    destroyAll()
+    {
+        clear();
+        if (!inlined())
+            ::operator delete(data_, std::align_val_t(alignof(T)));
+    }
+
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+    T *data_ = inlineData();
+    std::size_t size_ = 0;
+    std::size_t capacity_ = N;
+};
+
+} // namespace fafnir
+
+#endif // FAFNIR_COMMON_SMALLVEC_HH

@@ -37,7 +37,9 @@ FunctionalTree::run(const PreparedBatch &prepared, bool values,
     }
 
     // Children have larger heap ids than parents, so a descending sweep
-    // evaluates each PE after both of its children.
+    // evaluates each PE after both of its children. The pool recycles
+    // each level's dead value buffers into the next level's outputs.
+    VectorPool pool;
     std::vector<std::vector<Item>> outputs(num_pes + 1);
     for (unsigned pe = num_pes; pe >= 1; --pe) {
         std::vector<Item> *a = &side_a[pe];
@@ -48,8 +50,8 @@ FunctionalTree::run(const PreparedBatch &prepared, bool values,
         }
 
         PeActivity activity;
-        std::vector<PeOutput> pe_out =
-            ProcessingElement::process(*a, *b, activity, values, op);
+        std::vector<PeOutput> pe_out = ProcessingElement::process(
+            *a, *b, activity, values, op, &pool);
         run.total += activity;
         run.maxPeOutputs = std::max(run.maxPeOutputs, pe_out.size());
 
@@ -67,10 +69,16 @@ FunctionalTree::run(const PreparedBatch &prepared, bool values,
             for (auto &out : pe_out)
                 outputs[pe].push_back(std::move(out.item));
         }
-        // Free the children's outputs eagerly.
+        // The inputs are consumed: recycle their value buffers, then
+        // free the item lists eagerly.
         if (!topology_.isLeafPe(pe)) {
+            pool.releaseValues(outputs[topology_.leftChild(pe)]);
+            pool.releaseValues(outputs[topology_.rightChild(pe)]);
             outputs[topology_.leftChild(pe)].clear();
             outputs[topology_.rightChild(pe)].clear();
+        } else {
+            pool.releaseValues(side_a[pe]);
+            pool.releaseValues(side_b[pe]);
         }
         if (pe == 1)
             break; // unsigned loop guard
@@ -116,6 +124,7 @@ FunctionalTree::run(const PreparedBatch &prepared, bool values,
         run.results[q] = std::move(acc);
     }
 
+    run.poolStats = pool.stats();
     return run;
 }
 

@@ -24,6 +24,7 @@
 #include "embedding/table.hh"
 #include "fafnir/host.hh"
 #include "fafnir/pe.hh"
+#include "fafnir/pool.hh"
 #include "fafnir/tree.hh"
 
 namespace fafnir::core
@@ -53,6 +54,8 @@ struct TreeRun
     std::vector<std::size_t> rootItemsPerQuery;
     /** Largest post-merge output list of any PE (buffer occupancy). */
     std::size_t maxPeOutputs = 0;
+    /** Value-buffer recycling counters for the evaluation's pool. */
+    VectorPool::Stats poolStats;
     /** Per-PE traces, indexed by heap id; kept only when requested. */
     std::vector<PeTrace> trace;
 };

@@ -45,7 +45,8 @@ Host::prepare(const embedding::Batch &batch, bool dedup) const
     for (const auto &q : batch.queries)
         prepared.querySets.emplace_back(q.indices);
 
-    auto make_read = [&](IndexId index, std::vector<QueryResidual> queries) {
+    auto make_read = [&](IndexId index,
+                         SmallVec<QueryResidual, 2> queries) {
         RankRead read;
         read.index = index;
         read.address = layout_.addressOf(index);
@@ -68,7 +69,7 @@ Host::prepare(const embedding::Batch &batch, bool dedup) const
 
     if (dedup) {
         for (const auto &[index, queries] : users) {
-            std::vector<QueryResidual> residuals;
+            SmallVec<QueryResidual, 2> residuals;
             residuals.reserve(queries.size());
             const IndexSet self = IndexSet::single(index);
             for (QueryId q : queries)

@@ -13,10 +13,12 @@
 
 #include <algorithm>
 #include <initializer_list>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/smallvec.hh"
 #include "common/types.hh"
 
 namespace fafnir::core
@@ -26,6 +28,13 @@ namespace fafnir::core
 class IndexSet
 {
   public:
+    /**
+     * Inline storage: headers are tiny (a query holds at most 16
+     * indices, most sets are far smaller), so eight inline slots cover
+     * the common case without a heap allocation per header.
+     */
+    using Storage = SmallVec<IndexId, 8>;
+
     IndexSet() = default;
 
     IndexSet(std::initializer_list<IndexId> init)
@@ -35,8 +44,11 @@ class IndexSet
     }
 
     /** Build from an arbitrary vector (sorted + deduplicated). */
-    explicit IndexSet(std::vector<IndexId> items) : items_(std::move(items))
+    explicit IndexSet(const std::vector<IndexId> &items)
     {
+        items_.reserve(items.size());
+        for (IndexId index : items)
+            items_.push_back(index);
         normalize();
     }
 
@@ -54,7 +66,7 @@ class IndexSet
 
     auto begin() const { return items_.begin(); }
     auto end() const { return items_.end(); }
-    const std::vector<IndexId> &items() const { return items_; }
+    const Storage &items() const { return items_; }
 
     bool
     contains(IndexId index) const
@@ -141,7 +153,7 @@ class IndexSet
                      items_.end());
     }
 
-    std::vector<IndexId> items_;
+    Storage items_;
 };
 
 } // namespace fafnir::core

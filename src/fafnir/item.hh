@@ -20,8 +20,8 @@
 #define FAFNIR_FAFNIR_ITEM_HH
 
 #include <string>
-#include <vector>
 
+#include "common/smallvec.hh"
 #include "common/types.hh"
 #include "embedding/table.hh"
 #include "fafnir/indexset.hh"
@@ -44,8 +44,12 @@ struct Item
 {
     /** Vectors already reduced into `value` (the header's indices field). */
     IndexSet indices;
-    /** Queries that still want this value (the header's queries field). */
-    std::vector<QueryResidual> queries;
+    /**
+     * Queries that still want this value (the header's queries field).
+     * Two inline slots: most items carry one residual (their own query)
+     * and pick up more only when the merge unit folds headers together.
+     */
+    SmallVec<QueryResidual, 2> queries;
     /**
      * The partial reduction. Empty in timing-only runs; the functional
      * model always populates it.

@@ -5,9 +5,11 @@
 
 #include "pe.hh"
 
+#include <algorithm>
 #include <map>
 
 #include "common/logging.hh"
+#include "fafnir/pool.hh"
 
 namespace fafnir::core
 {
@@ -15,13 +17,25 @@ namespace fafnir::core
 namespace
 {
 
+/** A copy of @p v, into recycled capacity when a pool is supplied. */
+embedding::Vector
+copyValue(const embedding::Vector &v, VectorPool *pool)
+{
+    if (pool == nullptr || v.empty())
+        return v;
+    embedding::Vector out = pool->acquire(v.size());
+    std::copy(v.begin(), v.end(), out.begin());
+    return out;
+}
+
 /** Element-wise combine used by the reduce path. */
 embedding::Vector
 addValues(const embedding::Vector &a, const embedding::Vector &b,
-          embedding::ReduceOp op)
+          embedding::ReduceOp op, VectorPool *pool)
 {
     FAFNIR_ASSERT(a.size() == b.size(), "value dimension mismatch");
-    embedding::Vector out(a.size());
+    embedding::Vector out = pool != nullptr ? pool->acquire(a.size())
+                                            : embedding::Vector(a.size());
     for (std::size_t i = 0; i < a.size(); ++i)
         out[i] = embedding::combine(op, a[i], b[i]);
     return out;
@@ -30,12 +44,12 @@ addValues(const embedding::Vector &a, const embedding::Vector &b,
 /** A forward of @p source carrying only the residual of @p query. */
 PeOutput
 makeForward(const Item &source, const QueryResidual &residual,
-            std::uint8_t side, std::uint16_t index)
+            std::uint8_t side, std::uint16_t index, VectorPool *pool)
 {
     Item item;
     item.indices = source.indices;
     item.queries = {residual};
-    item.value = source.value;
+    item.value = copyValue(source.value, pool);
     return {std::move(item), PeAction::Forward, {{side, index}}};
 }
 
@@ -44,7 +58,8 @@ makeForward(const Item &source, const QueryResidual &residual,
 std::vector<PeOutput>
 ProcessingElement::process(const std::vector<Item> &a,
                            const std::vector<Item> &b, PeActivity &activity,
-                           bool values, embedding::ReduceOp op)
+                           bool values, embedding::ReduceOp op,
+                           VectorPool *pool)
 {
     // The compute-unit fabric compares every entry of one buffer with every
     // entry of the other (Section IV-B).
@@ -85,7 +100,7 @@ ProcessingElement::process(const std::vector<Item> &a,
             item.indices = left.indices.disjointUnion(right.indices);
             item.queries = {{query, ra->remaining.minus(right.indices)}};
             if (values && !left.value.empty())
-                item.value = addValues(left.value, right.value, op);
+                item.value = addValues(left.value, right.value, op, pool);
             raw.push_back(
                 {std::move(item),
                  PeAction::Reduce,
@@ -96,13 +111,13 @@ ProcessingElement::process(const std::vector<Item> &a,
         for (std::size_t i = paired; i < in_a.size(); ++i) {
             raw.push_back(
                 makeForward(a[in_a[i]], *a[in_a[i]].findQuery(query), 0,
-                            static_cast<std::uint16_t>(in_a[i])));
+                            static_cast<std::uint16_t>(in_a[i]), pool));
             ++activity.forwards;
         }
         for (std::size_t i = paired; i < in_b.size(); ++i) {
             raw.push_back(
                 makeForward(b[in_b[i]], *b[in_b[i]].findQuery(query), 1,
-                            static_cast<std::uint16_t>(in_b[i])));
+                            static_cast<std::uint16_t>(in_b[i]), pool));
             ++activity.forwards;
         }
     }
@@ -117,6 +132,9 @@ ProcessingElement::process(const std::vector<Item> &a,
         if (inserted)
             continue;
         PeOutput &existing = it->second;
+        // The losing duplicate's value buffer dies here; recycle it.
+        if (pool != nullptr)
+            pool->release(std::move(out.item.value));
         for (auto &residual : out.item.queries) {
             bool duplicate = false;
             for (const auto &have : existing.item.queries) {

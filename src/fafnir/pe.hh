@@ -32,6 +32,8 @@
 namespace fafnir::core
 {
 
+class VectorPool;
+
 /**
  * Latencies of the compute-unit components in PE cycles (the paper's
  * Table IV, 200 MHz FPGA implementation). Reduce and forward are parallel
@@ -119,11 +121,14 @@ class ProcessingElement
      * @param values when false, item values are not combined (timing-only
      *        runs on large batches skip the arithmetic).
      * @param op element-wise operator of the reduce path.
+     * @param pool optional buffer recycler for output values; results
+     *        are bit-identical with or without one.
      */
     static std::vector<PeOutput>
     process(const std::vector<Item> &a, const std::vector<Item> &b,
             PeActivity &activity, bool values = true,
-            embedding::ReduceOp op = embedding::ReduceOp::Sum);
+            embedding::ReduceOp op = embedding::ReduceOp::Sum,
+            VectorPool *pool = nullptr);
 
     /**
      * Upper bound on outputs: min(nm + n + m, batch) — Section IV-B.

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Recycling pool for embedding-value buffers.
+ *
+ * A functional tree evaluation churns through one value vector per
+ * reduce/forward output at every level; without reuse each of those is
+ * a fresh heap allocation that dies one level up. A VectorPool keeps
+ * the dead buffers and hands their capacity back to the next output,
+ * so a steady-state batch run allocates only for its peak working set.
+ *
+ * The pool is a per-evaluation object, not a global: FunctionalTree
+ * owns one per run() and threads it through ProcessingElement. Not
+ * thread-safe — parallel sweeps use one pool per evaluation, which is
+ * also what keeps pooled and unpooled runs bit-identical.
+ */
+
+#ifndef FAFNIR_FAFNIR_POOL_HH
+#define FAFNIR_FAFNIR_POOL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "embedding/table.hh"
+
+namespace fafnir::core
+{
+
+/** Recycles embedding::Vector buffers between tree levels. */
+class VectorPool
+{
+  public:
+    /** Counters for sizing and for asserting reuse in tests. */
+    struct Stats
+    {
+        std::uint64_t acquires = 0;
+        /** Acquires served from a recycled buffer (no allocation). */
+        std::uint64_t reuses = 0;
+        std::uint64_t releases = 0;
+    };
+
+    /**
+     * A vector of @p size elements with unspecified contents — callers
+     * overwrite every element. Reuses a released buffer's capacity when
+     * one is available.
+     */
+    embedding::Vector
+    acquire(std::size_t size)
+    {
+        ++stats_.acquires;
+        if (free_.empty())
+            return embedding::Vector(size);
+        ++stats_.reuses;
+        embedding::Vector v = std::move(free_.back());
+        free_.pop_back();
+        v.resize(size);
+        return v;
+    }
+
+    /** Return a dead buffer's capacity to the pool. */
+    void
+    release(embedding::Vector &&v)
+    {
+        if (v.capacity() == 0)
+            return;
+        ++stats_.releases;
+        free_.push_back(std::move(v));
+        free_.back().clear();
+    }
+
+    /** Strip and recycle the value buffers of a consumed item list. */
+    template <typename Items>
+    void
+    releaseValues(Items &items)
+    {
+        for (auto &item : items)
+            release(std::move(item.value));
+    }
+
+    const Stats &stats() const { return stats_; }
+    std::size_t idleBuffers() const { return free_.size(); }
+
+  private:
+    std::vector<embedding::Vector> free_;
+    Stats stats_;
+};
+
+} // namespace fafnir::core
+
+#endif // FAFNIR_FAFNIR_POOL_HH

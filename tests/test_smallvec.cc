@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SmallVec: inline-to-heap growth, value semantics, element lifetimes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/smallvec.hh"
+
+using namespace fafnir;
+
+TEST(SmallVec, StaysInlineUpToCapacity)
+{
+    SmallVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_TRUE(v.inlined());
+    EXPECT_EQ(v.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_TRUE(v.inlined());
+    EXPECT_EQ(v.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, SpillsToHeapAndKeepsContents)
+{
+    SmallVec<int, 4> v;
+    for (int i = 0; i < 100; ++i)
+        v.push_back(i);
+    EXPECT_FALSE(v.inlined());
+    EXPECT_EQ(v.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, CopyAndCompare)
+{
+    SmallVec<int, 2> a{1, 2, 3};
+    SmallVec<int, 2> b = a;
+    EXPECT_EQ(a, b);
+    b.push_back(4);
+    EXPECT_FALSE(a == b);
+    EXPECT_TRUE(a < b);
+    a = b;
+    EXPECT_EQ(a, b);
+    a = {9};
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(a[0], 9);
+}
+
+TEST(SmallVec, MoveStealsHeapAndEmptiesSource)
+{
+    SmallVec<int, 2> big{1, 2, 3, 4, 5};
+    const int *data = big.data();
+    SmallVec<int, 2> stolen = std::move(big);
+    EXPECT_EQ(stolen.data(), data); // heap block moved wholesale
+    EXPECT_EQ(stolen.size(), 5u);
+    EXPECT_TRUE(big.empty());
+    EXPECT_TRUE(big.inlined());
+    big.push_back(7); // source is reusable
+    EXPECT_EQ(big[0], 7);
+
+    SmallVec<int, 4> inl{1, 2};
+    SmallVec<int, 4> moved = std::move(inl);
+    EXPECT_TRUE(moved.inlined());
+    EXPECT_EQ(moved.size(), 2u);
+    EXPECT_EQ(moved[1], 2);
+}
+
+TEST(SmallVec, EraseShiftsTail)
+{
+    SmallVec<int, 8> v{0, 1, 2, 3, 4, 5};
+    v.erase(v.begin() + 1, v.begin() + 3);
+    EXPECT_EQ(v, (SmallVec<int, 8>{0, 3, 4, 5}));
+    v.erase(v.begin(), v.end());
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVec, ResizeConstructsAndDestroys)
+{
+    SmallVec<std::string, 2> v;
+    v.resize(5);
+    EXPECT_EQ(v.size(), 5u);
+    v[4] = "tail";
+    v.resize(1);
+    EXPECT_EQ(v.size(), 1u);
+    v.resize(3);
+    EXPECT_EQ(v[1], "");
+}
+
+// Element lifetimes via shared_ptr refcounts: every copy/move/erase
+// path must construct and destroy exactly once.
+TEST(SmallVec, NonTrivialElementLifetimes)
+{
+    auto token = std::make_shared<int>(1);
+    {
+        SmallVec<std::shared_ptr<int>, 2> v;
+        for (int i = 0; i < 10; ++i)
+            v.push_back(token); // crosses the spill boundary
+        EXPECT_EQ(token.use_count(), 11);
+
+        SmallVec<std::shared_ptr<int>, 2> copy = v;
+        EXPECT_EQ(token.use_count(), 21);
+        SmallVec<std::shared_ptr<int>, 2> moved = std::move(copy);
+        EXPECT_EQ(token.use_count(), 21);
+
+        moved.erase(moved.begin(), moved.begin() + 5);
+        EXPECT_EQ(token.use_count(), 16);
+        v.clear();
+        EXPECT_EQ(token.use_count(), 6);
+        v = moved; // copy-assign into cleared vec
+        EXPECT_EQ(token.use_count(), 11);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SmallVec, PopAndBackAccessors)
+{
+    SmallVec<int, 2> v{5, 6, 7};
+    EXPECT_EQ(v.front(), 5);
+    EXPECT_EQ(v.back(), 7);
+    v.pop_back();
+    EXPECT_EQ(v.back(), 6);
+    EXPECT_EQ(v.size(), 2u);
+}
