@@ -7,6 +7,8 @@
 
 #include <cmath>
 
+#include "embedding/reduce_kernels.hh"
+
 namespace fafnir::embedding
 {
 
@@ -25,11 +27,13 @@ EmbeddingStore::reduce(const std::vector<IndexId> &indices,
 {
     FAFNIR_ASSERT(!indices.empty(), "reducing an empty query");
     Vector acc = vector(indices.front());
-    for (std::size_t i = 1; i < indices.size(); ++i)
+    Vector row(config_.dim());
+    for (std::size_t i = 1; i < indices.size(); ++i) {
         for (unsigned e = 0; e < config_.dim(); ++e)
-            acc[e] = combine(op, acc[e], element(indices[i], e));
-    for (float &v : acc)
-        v = finalize(op, v, indices.size());
+            row[e] = element(indices[i], e);
+        combineSpan(op, acc.data(), row.data(), acc.size());
+    }
+    finalizeSpan(op, acc.data(), acc.size(), indices.size());
     return acc;
 }
 

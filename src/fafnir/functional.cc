@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "embedding/reduce_kernels.hh"
 
 namespace fafnir::core
 {
@@ -105,9 +106,9 @@ FunctionalTree::run(const PreparedBatch &prepared, bool values,
                 if (acc.empty()) {
                     acc = out.item.value;
                 } else {
-                    for (std::size_t e = 0; e < acc.size(); ++e)
-                        acc[e] = embedding::combine(op, acc[e],
-                                                    out.item.value[e]);
+                    embedding::combineSpan(op, acc.data(),
+                                           out.item.value.data(),
+                                           acc.size());
                 }
             }
         }
@@ -119,8 +120,8 @@ FunctionalTree::run(const PreparedBatch &prepared, bool values,
                       covered.toString(), ", want ",
                       prepared.querySets[q].toString());
         // Mean is a Sum through the tree, scaled at the root output.
-        for (float &v : acc)
-            v = embedding::finalize(op, v, covered.size());
+        embedding::finalizeSpan(op, acc.data(), acc.size(),
+                                covered.size());
         run.results[q] = std::move(acc);
     }
 

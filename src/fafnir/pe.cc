@@ -9,6 +9,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "embedding/reduce_kernels.hh"
 #include "fafnir/pool.hh"
 
 namespace fafnir::core
@@ -36,8 +37,7 @@ addValues(const embedding::Vector &a, const embedding::Vector &b,
     FAFNIR_ASSERT(a.size() == b.size(), "value dimension mismatch");
     embedding::Vector out = pool != nullptr ? pool->acquire(a.size())
                                             : embedding::Vector(a.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        out[i] = embedding::combine(op, a[i], b[i]);
+    embedding::combineSpan(op, out.data(), a.data(), b.data(), a.size());
     return out;
 }
 

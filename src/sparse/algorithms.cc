@@ -6,8 +6,10 @@
 #include "algorithms.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hh"
+#include "embedding/reduce_kernels.hh"
 
 namespace fafnir::sparse
 {
@@ -54,13 +56,14 @@ pageRank(FafnirSpmv &engine, const LilMatrix &adjacency, double damping,
         now = timing.complete;
         result.multiplies += timing.multiplies;
 
-        double delta = 0.0;
-        for (std::uint32_t i = 0; i < n; ++i) {
-            const float updated =
-                base + static_cast<float>(damping) * contrib[i];
-            delta += std::fabs(updated - result.solution[i]);
-            result.solution[i] = updated;
-        }
+        // Element-wise damped update (vectorizable), then the residual
+        // in the original sequential association.
+        DenseVector updated(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            updated[i] = base + static_cast<float>(damping) * contrib[i];
+        const double delta = embedding::absDeltaSum(
+            updated.data(), result.solution.data(), n);
+        result.solution = std::move(updated);
         result.iterations = iter + 1;
         result.residual = delta;
         if (delta < config.tolerance) {
@@ -108,12 +111,12 @@ jacobiSolve(FafnirSpmv &engine, const CsrMatrix &a, const DenseVector &b,
         now = timing.complete;
         result.multiplies += timing.multiplies;
 
-        double delta = 0.0;
-        for (std::uint32_t i = 0; i < n; ++i) {
-            const float updated = (b[i] - rx[i]) / diag[i];
-            delta += std::fabs(updated - result.solution[i]);
-            result.solution[i] = updated;
-        }
+        DenseVector updated(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            updated[i] = (b[i] - rx[i]) / diag[i];
+        const double delta = embedding::absDeltaSum(
+            updated.data(), result.solution.data(), n);
+        result.solution = std::move(updated);
         result.iterations = iter + 1;
         result.residual = delta / n;
         if (result.residual < config.tolerance) {
@@ -146,11 +149,10 @@ powerIteration(FafnirSpmv &engine, const LilMatrix &a,
         for (float v : next)
             norm = std::max(norm, std::fabs(v));
         FAFNIR_ASSERT(norm > 0.0f, "iterate collapsed to zero");
-        double delta = 0.0;
-        for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::uint32_t i = 0; i < n; ++i)
             next[i] /= norm;
-            delta += std::fabs(next[i] - result.solution[i]);
-        }
+        const double delta = embedding::absDeltaSum(
+            next.data(), result.solution.data(), n);
         result.solution = std::move(next);
         result.iterations = iter + 1;
         result.residual = delta / n;

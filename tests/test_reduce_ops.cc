@@ -8,9 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+
 #include "dram/memsystem.hh"
 #include "embedding/generator.hh"
 #include "embedding/layout.hh"
+#include "embedding/reduce_kernels.hh"
 #include "fafnir/functional.hh"
 
 using namespace fafnir;
@@ -130,4 +134,104 @@ TEST(ReduceOp, MinMaxAreIdempotentUnderSharing)
               ReduceOp::Min, true);
     rig.check(batchOf({{5, 1}, {5, 2}, {5, 3}, {5, 4}, {5, 1, 2, 3, 4}}),
               ReduceOp::Max, true);
+}
+
+// --- span kernels ------------------------------------------------------
+// The dispatched kernels (AVX2 on machines that have it) must match the
+// scalar combine/finalize reference bit for bit, for every operator, on
+// lengths that exercise full vector blocks, ragged tails, and spans
+// shorter than one vector.
+
+namespace
+{
+
+std::vector<float>
+randomSpan(std::mt19937 &rng, std::size_t n)
+{
+    // Mix magnitudes and signs; exact zeros and negative zeros land in
+    // the stream too, which is where min/max semantics diverge.
+    std::uniform_real_distribution<float> dist(-1000.0f, 1000.0f);
+    std::uniform_int_distribution<int> special(0, 15);
+    std::vector<float> v(n);
+    for (auto &x : v) {
+        const int s = special(rng);
+        x = s == 0 ? 0.0f : s == 1 ? -0.0f : dist(rng);
+    }
+    return v;
+}
+
+} // namespace
+
+TEST(ReduceKernels, BackendIsReported)
+{
+    const std::string backend = reduceKernelBackend();
+    EXPECT_TRUE(backend == "avx2" || backend == "scalar") << backend;
+}
+
+TEST(ReduceKernels, SpansMatchScalarReferenceExactly)
+{
+    std::mt19937 rng(4242);
+    const ReduceOp ops[] = {ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max,
+                            ReduceOp::Mean};
+    // 1..17 covers sub-vector spans and ragged tails; the big sizes
+    // cover multi-block loops (128 is the repo's default dimension).
+    const std::size_t sizes[] = {1,  2,  3,  7,  8,  9,   15,  16, 17,
+                                 31, 33, 64, 100, 128, 129, 255, 256};
+    for (const ReduceOp op : ops) {
+        for (const std::size_t n : sizes) {
+            const auto a = randomSpan(rng, n);
+            const auto b = randomSpan(rng, n);
+
+            // In-place two-operand form.
+            std::vector<float> dst = a;
+            combineSpan(op, dst.data(), b.data(), n);
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(dst[i], combine(op, a[i], b[i]))
+                    << toString(op) << " n=" << n << " i=" << i;
+            }
+
+            // Three-operand form.
+            std::vector<float> out(n, -1.0f);
+            combineSpan(op, out.data(), a.data(), b.data(), n);
+            ASSERT_EQ(out, dst) << toString(op) << " n=" << n;
+
+            // Finalization (Mean scales, everything else no-ops).
+            std::vector<float> fin = a;
+            finalizeSpan(op, fin.data(), n, 7);
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(fin[i], finalize(op, a[i], 7))
+                    << toString(op) << " n=" << n << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(ReduceKernels, MinMaxOrderingSemantics)
+{
+    // std::min/std::max return the FIRST operand on ties; signed zeros
+    // tie under <, so the sign of the result pins operand order.
+    const std::size_t n = 9; // one vector block plus a tail element
+    std::vector<float> pos(n, 0.0f);
+    std::vector<float> neg(n, -0.0f);
+
+    std::vector<float> dst = pos;
+    combineSpan(ReduceOp::Min, dst.data(), neg.data(), n);
+    for (const float v : dst)
+        EXPECT_FALSE(std::signbit(v)); // min(+0, -0) = +0
+
+    dst = neg;
+    combineSpan(ReduceOp::Max, dst.data(), pos.data(), n);
+    for (const float v : dst)
+        EXPECT_TRUE(std::signbit(v)); // max(-0, +0) = -0
+}
+
+TEST(ReduceKernels, AbsDeltaSumIsSequential)
+{
+    const std::vector<float> a{1.0f, 2.0f, 3.5f};
+    const std::vector<float> b{0.5f, 4.0f, 3.5f};
+    double expect = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expect += std::fabs(a[i] - b[i]);
+    EXPECT_EQ(absDeltaSum(a.data(), b.data(), a.size()), expect);
+    EXPECT_EQ(absDeltaSum(a.data(), b.data(), 0), 0.0);
 }
