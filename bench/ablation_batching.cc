@@ -8,8 +8,12 @@
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/cli.hh"
+#include "common/parallel.hh"
 #include "embedding/batcher.hh"
 #include "fafnir/engine.hh"
 #include "telemetry/session.hh"
@@ -45,8 +49,17 @@ queryStream(unsigned count, double skew, double hot)
 int
 main(int argc, char **argv)
 {
-    telemetry::TelemetrySession session("ablation_batching", argc,
-                                        argv);
+    unsigned jobs = defaultJobs();
+    FlagParser flags("ablation: FIFO vs similarity batching");
+    flags.addUnsigned("jobs", jobs,
+                      "worker threads for the sweep (1 = serial)");
+    telemetry::TelemetrySession session("ablation_batching");
+    session.registerFlags(flags);
+    flags.parse(argc, argv);
+    session.start();
+    if (telemetry::sink() != nullptr)
+        jobs = 1; // the process-global TraceSink is not thread-safe
+
     const unsigned kQueries = 512;
 
     TextTable table("Ablation — FIFO vs similarity batching "
@@ -60,41 +73,68 @@ main(int argc, char **argv)
         double skew;
         double hot;
     };
-    for (const Trace &trace :
-         {Trace{"hot (skew 1.05)", 1.05, 0.00002},
-          Trace{"warm (skew 0.9)", 0.9, 0.0005}}) {
-        const auto stream = queryStream(kQueries, trace.skew, trace.hot);
+    const std::vector<Trace> traces{
+        Trace{"hot (skew 1.05)", 1.05, 0.00002},
+        Trace{"warm (skew 0.9)", 0.9, 0.0005}};
 
-        struct Policy
-        {
-            const char *name;
-            BatchPolicy policy;
-            unsigned window;
-        };
-        for (const Policy &policy :
-             {Policy{"FIFO", BatchPolicy::Fifo, 0},
-              Policy{"similarity", BatchPolicy::Similarity, 128},
-              Policy{"similarity", BatchPolicy::Similarity, 512}}) {
-            BatcherConfig cfg;
-            cfg.batchSize = 32;
-            cfg.windowSize = policy.window ? policy.window : 32;
-            cfg.policy = policy.policy;
-            const auto composed = composeBatches(stream, cfg);
+    struct Policy
+    {
+        const char *name;
+        BatchPolicy policy;
+        unsigned window;
+    };
+    const std::vector<Policy> policies{
+        Policy{"FIFO", BatchPolicy::Fifo, 0},
+        Policy{"similarity", BatchPolicy::Similarity, 128},
+        Policy{"similarity", BatchPolicy::Similarity, 512}};
 
-            LookupRig rig(32);
-            core::FafnirEngine engine(rig.memory, rig.layout,
-                                      core::EngineConfig{});
-            const auto timings =
-                engine.lookupMany(composed.batches, 0);
-            std::size_t reads = 0;
-            for (const auto &t : timings)
-                reads += t.memAccesses;
+    // Streams are generated once, up front; the trace x policy grid is
+    // then a flat list of independent points whose rows land in
+    // pre-sized slots and print in grid order — bit-identical to a
+    // serial sweep at any job count.
+    std::vector<std::vector<Query>> streams;
+    streams.reserve(traces.size());
+    for (const Trace &trace : traces)
+        streams.push_back(queryStream(kQueries, trace.skew, trace.hot));
 
-            table.row(trace.name, policy.name,
-                      policy.window ? std::to_string(policy.window) : "-",
-                      TextTable::num(composed.meanUniqueFraction(), 3),
-                      reads, us(timings.back().complete));
-        }
+    struct Row
+    {
+        double unique_fraction = 0.0;
+        std::size_t reads = 0;
+        Tick complete = 0;
+    };
+    const std::size_t points = traces.size() * policies.size();
+    std::vector<Row> rows(points);
+
+    parallelFor(points, jobs, [&](std::size_t p) {
+        const auto &stream = streams[p / policies.size()];
+        const Policy &policy = policies[p % policies.size()];
+
+        BatcherConfig cfg;
+        cfg.batchSize = 32;
+        cfg.windowSize = policy.window ? policy.window : 32;
+        cfg.policy = policy.policy;
+        const auto composed = composeBatches(stream, cfg);
+
+        LookupRig rig(32);
+        core::FafnirEngine engine(rig.memory, rig.layout,
+                                  core::EngineConfig{});
+        const auto timings = engine.lookupMany(composed.batches, 0);
+        std::size_t reads = 0;
+        for (const auto &t : timings)
+            reads += t.memAccesses;
+
+        rows[p] = Row{composed.meanUniqueFraction(), reads,
+                      timings.back().complete};
+    });
+
+    for (std::size_t p = 0; p < points; ++p) {
+        const Trace &trace = traces[p / policies.size()];
+        const Policy &policy = policies[p % policies.size()];
+        table.row(trace.name, policy.name,
+                  policy.window ? std::to_string(policy.window) : "-",
+                  TextTable::num(rows[p].unique_fraction, 3),
+                  rows[p].reads, us(rows[p].complete));
     }
     table.print(std::cout);
 

@@ -9,10 +9,13 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "baselines/recnmp.hh"
 #include "baselines/tensordimm.hh"
 #include "bench_util.hh"
+#include "common/cli.hh"
+#include "common/parallel.hh"
 #include "fafnir/engine.hh"
 #include "telemetry/session.hh"
 
@@ -22,14 +25,36 @@ using namespace fafnir::bench;
 int
 main(int argc, char **argv)
 {
-    telemetry::TelemetrySession session("ablation_query_size", argc,
-                                        argv);
+    unsigned jobs = defaultJobs();
+    FlagParser flags("ablation: pooling factor q");
+    flags.addUnsigned("jobs", jobs,
+                      "worker threads for the sweep (1 = serial)");
+    telemetry::TelemetrySession session("ablation_query_size");
+    session.registerFlags(flags);
+    flags.parse(argc, argv);
+    session.start();
+    if (telemetry::sink() != nullptr)
+        jobs = 1; // the process-global TraceSink is not thread-safe
+
     TextTable table("Ablation — query size q (B=16, 32 ranks, mean "
                     "serialized batch latency, us)");
     table.setHeader({"q", "Fafnir", "RecNMP", "TensorDIMM",
                      "RecNMP/Fafnir", "TensorDIMM/Fafnir"});
 
-    for (unsigned q : {2u, 4u, 8u, 16u, 32u}) {
+    // Every point generates its own batches and rigs; results land in
+    // per-point slots and print in index order, so output matches a
+    // serial run bit for bit.
+    const std::vector<unsigned> qs{2u, 4u, 8u, 16u, 32u};
+    struct Row
+    {
+        double ff_us = 0.0;
+        double rn_us = 0.0;
+        double td_us = 0.0;
+    };
+    std::vector<Row> rows(qs.size());
+
+    parallelFor(qs.size(), jobs, [&](std::size_t p) {
+        const unsigned q = qs[p];
         const auto batches =
             makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 16,
                         16, q, 0.9, 0.01, 404);
@@ -54,9 +79,13 @@ main(int argc, char **argv)
         baselines::TensorDimmEngine td(td_rig.memory, td_rig.tables);
         const double td_us = serialized(td);
 
-        table.row(q, ff_us, rn_us, td_us,
-                  TextTable::num(rn_us / ff_us, 2) + "x",
-                  TextTable::num(td_us / ff_us, 2) + "x");
+        rows[p] = Row{ff_us, rn_us, td_us};
+    });
+
+    for (std::size_t p = 0; p < qs.size(); ++p) {
+        table.row(qs[p], rows[p].ff_us, rows[p].rn_us, rows[p].td_us,
+                  TextTable::num(rows[p].rn_us / rows[p].ff_us, 2) + "x",
+                  TextTable::num(rows[p].td_us / rows[p].ff_us, 2) + "x");
     }
     table.print(std::cout);
 

@@ -8,8 +8,11 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/cli.hh"
+#include "common/parallel.hh"
 #include "fafnir/engine.hh"
 #include "hwmodel/asic.hh"
 #include "telemetry/session.hh"
@@ -20,8 +23,17 @@ using namespace fafnir::bench;
 int
 main(int argc, char **argv)
 {
-    telemetry::TelemetrySession session("ablation_tree_scale", argc,
-                                        argv);
+    unsigned jobs = defaultJobs();
+    FlagParser flags("ablation: ranks per leaf PE");
+    flags.addUnsigned("jobs", jobs,
+                      "worker threads for the sweep (1 = serial)");
+    telemetry::TelemetrySession session("ablation_tree_scale");
+    session.registerFlags(flags);
+    flags.parse(argc, argv);
+    session.start();
+    if (telemetry::sink() != nullptr)
+        jobs = 1; // the process-global TraceSink is not thread-safe
+
     const auto batches =
         makeBatches(embedding::TableConfig{32, 1u << 20, 512, 4}, 32, 16,
                     16, 0.9, 0.001, 55);
@@ -32,7 +44,20 @@ main(int argc, char **argv)
     table.setHeader({"scale", "PEs", "levels", "mean batch (us)",
                      "stream (us)", "tree area (mm^2)"});
 
-    for (unsigned rpl : {1u, 2u, 4u}) {
+    // Each sweep point owns its rigs and engines; only the result slot
+    // is shared, so rows come out bit-identical at any job count.
+    const std::vector<unsigned> scales{1u, 2u, 4u};
+    struct Row
+    {
+        unsigned pes = 0;
+        unsigned levels = 0;
+        double mean_us = 0.0;
+        double stream_us = 0.0;
+    };
+    std::vector<Row> rows(scales.size());
+
+    parallelFor(scales.size(), jobs, [&](std::size_t p) {
+        const unsigned rpl = scales[p];
         LookupRig rig(32);
         core::EngineConfig cfg;
         cfg.ranksPerLeafPe = rpl;
@@ -48,12 +73,16 @@ main(int argc, char **argv)
         core::FafnirEngine engine2(rig2.memory, rig2.layout, cfg);
         const auto timings = engine2.lookupMany(batches, 0);
 
-        const unsigned pes = engine.topology().numPes();
-        table.row("1PE:" + std::to_string(rpl) + "R", pes,
-                  engine.topology().numLevels(),
-                  us(serial) / batches.size(),
-                  us(timings.back().complete),
-                  TextTable::num(pes * asic.peAreaMm2(), 3));
+        rows[p] = Row{engine.topology().numPes(),
+                      engine.topology().numLevels(),
+                      us(serial) / batches.size(),
+                      us(timings.back().complete)};
+    });
+
+    for (std::size_t p = 0; p < scales.size(); ++p) {
+        table.row("1PE:" + std::to_string(scales[p]) + "R", rows[p].pes,
+                  rows[p].levels, rows[p].mean_us, rows[p].stream_us,
+                  TextTable::num(rows[p].pes * asic.peAreaMm2(), 3));
     }
     table.print(std::cout);
 

@@ -4,12 +4,26 @@
 # table to results/<name>.txt and a machine-readable run report to
 # results/<name>.json (see docs/OBSERVABILITY.md).
 #
-# Usage: scripts/run_all.sh [build-dir]
+# Usage: scripts/run_all.sh [-j N] [build-dir]
+#   -j N   worker threads for sweep-parallel harnesses (default: nproc).
+#          Sweep output is bit-identical at any N; only wall time moves.
 set -euo pipefail
+
+jobs="$(nproc)"
+while getopts "j:" opt; do
+    case "$opt" in
+      j) jobs="$OPTARG" ;;
+      *) echo "usage: $0 [-j N] [build-dir]" >&2; exit 2 ;;
+    esac
+done
+shift $((OPTIND - 1))
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 results_dir="$repo_root/results"
+
+# Harnesses whose sweep points run under parallelFor (--jobs flag).
+parallel_benches=" ablation_tree_scale ablation_query_size ablation_batching "
 
 # Respect an existing cache's generator; prefer Ninja for fresh trees.
 if [ ! -f "$build_dir/CMakeCache.txt" ] && command -v ninja >/dev/null; then
@@ -23,9 +37,12 @@ ctest --test-dir "$build_dir" --output-on-failure
 
 mkdir -p "$results_dir"
 failed=()
+timing_names=()
+timing_secs=()
 for bench in "$build_dir"/bench/*; do
     [ -f "$bench" ] && [ -x "$bench" ] || continue
     name="$(basename "$bench")"
+    start="$(date +%s.%N)"
     case "$name" in
       micro_primitives)
         # google-benchmark output: keep it, but don't let jitter into the
@@ -35,16 +52,42 @@ for bench in "$build_dir"/bench/*; do
             failed+=("$name")
         fi
         ;;
+      micro_hotpath)
+        # Hot-path throughput report, with speedups against the recorded
+        # baseline so performance PRs leave a trajectory.
+        echo "== $name =="
+        if ! "$bench" --report="$results_dir/BENCH_hotpath.json" \
+            --baseline="$repo_root/results/BENCH_hotpath_baseline.json" \
+            | tee "$results_dir/$name.txt"; then
+            failed+=("$name")
+        fi
+        echo
+        ;;
       *)
         echo "== $name =="
-        if ! "$bench" --report="$results_dir/$name.json" \
+        extra=()
+        case "$parallel_benches" in
+          *" $name "*) extra+=("--jobs=$jobs") ;;
+        esac
+        if ! "$bench" --report="$results_dir/$name.json" "${extra[@]}" \
             | tee "$results_dir/$name.txt"; then
             failed+=("$name")
         fi
         echo
         ;;
     esac
+    timing_names+=("$name")
+    timing_secs+=("$(echo "$start" "$(date +%s.%N)" | awk '{printf "%.2f", $2 - $1}')")
 done
+
+echo "== harness wall time (jobs=$jobs) =="
+printf '%-28s %10s\n' "harness" "seconds"
+total=0
+for i in "${!timing_names[@]}"; do
+    printf '%-28s %10s\n' "${timing_names[$i]}" "${timing_secs[$i]}"
+    total="$(echo "$total" "${timing_secs[$i]}" | awk '{printf "%.2f", $1 + $2}')"
+done
+printf '%-28s %10s\n' "total" "$total"
 
 if [ "${#failed[@]}" -gt 0 ]; then
     echo "FAILED: ${failed[*]}" >&2

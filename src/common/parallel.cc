@@ -1,0 +1,73 @@
+/**
+ * @file
+ * parallelFor implementation: atomic work claiming over std::thread.
+ */
+
+#include "parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fafnir
+{
+
+unsigned
+defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    const std::size_t workers =
+        std::min<std::size_t>(jobs, n);
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    const auto work = [&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 1; t < workers; ++t)
+        pool.emplace_back(work);
+    work(); // the calling thread is worker 0
+    for (std::thread &t : pool)
+        t.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace fafnir
