@@ -59,6 +59,8 @@ main(int argc, char **argv)
     session.start();
     if (telemetry::sink() != nullptr)
         jobs = 1; // the process-global TraceSink is not thread-safe
+    if (fault::plan() != nullptr)
+        jobs = 1; // the fault plan's RNG streams are not thread-safe
 
     const unsigned kQueries = 512;
 

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "embedding/reduce_kernels.hh"
+
 namespace fafnir::baselines
 {
 
@@ -69,6 +71,27 @@ CpuEngine::lookupKeepCore(const embedding::Batch &batch, Tick start)
         timing.complete = std::max(timing.complete, partial_ready);
     }
     return timing;
+}
+
+std::vector<embedding::Vector>
+CpuEngine::reduceBatch(const embedding::EmbeddingStore &store,
+                       const embedding::Batch &batch,
+                       embedding::ReduceOp op) const
+{
+    batch.check();
+    std::vector<embedding::Vector> results;
+    results.reserve(batch.size());
+    for (const auto &query : batch.queries) {
+        embedding::Vector acc = store.vector(query.indices.front());
+        for (std::size_t i = 1; i < query.indices.size(); ++i) {
+            const embedding::Vector v = store.vector(query.indices[i]);
+            embedding::combineSpan(op, acc.data(), v.data(), acc.size());
+        }
+        embedding::finalizeSpan(op, acc.data(), acc.size(),
+                                query.indices.size());
+        results.push_back(std::move(acc));
+    }
+    return results;
 }
 
 } // namespace fafnir::baselines

@@ -13,6 +13,7 @@
 #include "dram/memsystem.hh"
 #include "embedding/layout.hh"
 #include "embedding/query.hh"
+#include "embedding/table.hh"
 
 namespace fafnir::baselines
 {
@@ -41,6 +42,16 @@ class CpuEngine
     /** Run batches back to back (memory pipelined under host work). */
     std::vector<LookupTiming>
     lookupMany(const std::vector<embedding::Batch> &batches, Tick start);
+
+    /**
+     * The values this baseline computes: the host folds each query's
+     * vectors sequentially in index order (one SIMD accumulator per
+     * query). Differential-conformance companion of lookup().
+     */
+    std::vector<embedding::Vector>
+    reduceBatch(const embedding::EmbeddingStore &store,
+                const embedding::Batch &batch,
+                embedding::ReduceOp op) const;
 
   private:
     LookupTiming lookupKeepCore(const embedding::Batch &batch, Tick start);

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "embedding/reduce_kernels.hh"
 
 namespace fafnir::baselines
 {
@@ -166,6 +167,44 @@ RecNmpEngine::lookupKeepCore(const embedding::Batch &batch, Tick start)
         timing.complete = std::max(timing.complete, partial_ready);
     }
     return timing;
+}
+
+std::vector<embedding::Vector>
+RecNmpEngine::reduceBatch(const embedding::EmbeddingStore &store,
+                          const embedding::Batch &batch,
+                          embedding::ReduceOp op) const
+{
+    batch.check();
+    const unsigned dim = layout_.tables().dim();
+
+    std::vector<embedding::Vector> results;
+    results.reserve(batch.size());
+    for (const auto &query : batch.queries) {
+        // Same spatial grouping as the timing path: one NDP partial per
+        // DIMM (member order), host fold in DIMM order.
+        std::map<unsigned, std::vector<IndexId>> by_dimm;
+        for (IndexId index : query.indices)
+            by_dimm[layout_.dimmOf(index)].push_back(index);
+
+        embedding::Vector acc;
+        for (const auto &[dimm, members] : by_dimm) {
+            embedding::Vector partial = store.vector(members.front());
+            for (std::size_t i = 1; i < members.size(); ++i) {
+                const embedding::Vector v = store.vector(members[i]);
+                embedding::combineSpan(op, partial.data(), v.data(), dim);
+            }
+            if (acc.empty()) {
+                acc = std::move(partial);
+            } else {
+                embedding::combineSpan(op, acc.data(), partial.data(),
+                                       dim);
+            }
+        }
+        embedding::finalizeSpan(op, acc.data(), acc.size(),
+                                query.indices.size());
+        results.push_back(std::move(acc));
+    }
+    return results;
 }
 
 } // namespace fafnir::baselines

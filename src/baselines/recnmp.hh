@@ -105,6 +105,17 @@ class RecNmpEngine
     std::vector<LookupTiming>
     lookupMany(const std::vector<embedding::Batch> &batches, Tick start);
 
+    /**
+     * The values this baseline computes: each DIMM's NDP unit folds its
+     * co-located vectors in query order into one partial, and the host
+     * folds the partials in DIMM order. Differential-conformance
+     * companion of lookup() (same grouping as the timing path).
+     */
+    std::vector<embedding::Vector>
+    reduceBatch(const embedding::EmbeddingStore &store,
+                const embedding::Batch &batch,
+                embedding::ReduceOp op) const;
+
     /** Drop all cache contents (between experiments). */
     void resetCaches();
 

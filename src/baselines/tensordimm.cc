@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "embedding/reduce_kernels.hh"
 
 namespace fafnir::baselines
 {
@@ -118,6 +119,43 @@ TensorDimmEngine::lookup(const embedding::Batch &batch, Tick start)
         timing.complete = std::max(timing.complete, done);
     }
     return timing;
+}
+
+std::vector<embedding::Vector>
+TensorDimmEngine::reduceBatch(const embedding::EmbeddingStore &store,
+                              const embedding::Batch &batch,
+                              embedding::ReduceOp op) const
+{
+    batch.check();
+    const unsigned num_ranks = memory_.geometry().totalRanks();
+    const unsigned dim = tables_.dim();
+    const unsigned slice_elems = sliceBytes_ / tables_.elementBytes;
+
+    std::vector<embedding::Vector> results;
+    results.reserve(batch.size());
+    for (const auto &query : batch.queries) {
+        embedding::Vector out(dim);
+        // Each rank's adder owns one slice of the output and folds the
+        // query's vectors in index order — element-serial, the way the
+        // pipelined slice adders consume their 16 B stream.
+        for (unsigned rank = 0; rank < num_ranks; ++rank) {
+            const unsigned lo = rank * slice_elems;
+            const unsigned hi = std::min(dim, lo + slice_elems);
+            for (unsigned e = lo; e < hi; ++e)
+                out[e] = store.element(query.indices.front(), e);
+            for (std::size_t i = 1; i < query.indices.size(); ++i) {
+                for (unsigned e = lo; e < hi; ++e) {
+                    out[e] = embedding::combine(
+                        op, out[e],
+                        store.element(query.indices[i], e));
+                }
+            }
+        }
+        embedding::finalizeSpan(op, out.data(), out.size(),
+                                query.indices.size());
+        results.push_back(std::move(out));
+    }
+    return results;
 }
 
 } // namespace fafnir::baselines

@@ -49,6 +49,17 @@ class TensorDimmEngine
     std::vector<LookupTiming>
     lookupMany(const std::vector<embedding::Batch> &batches, Tick start);
 
+    /**
+     * The values this baseline computes: each rank's NDP adder folds
+     * its slice of the query's vectors in index order, and the host
+     * concatenates the slices. Differential-conformance companion of
+     * lookup().
+     */
+    std::vector<embedding::Vector>
+    reduceBatch(const embedding::EmbeddingStore &store,
+                const embedding::Batch &batch,
+                embedding::ReduceOp op) const;
+
     /** Bytes of each vector held by one rank. */
     unsigned sliceBytes() const { return sliceBytes_; }
 

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/debug.hh"
+#include "common/faultinject.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::dram
@@ -103,6 +104,24 @@ Controller::drain(unsigned rank)
         return;
     }
 
+    // Transient command stall (dram_stall hook): the controller backs
+    // off and re-drains later, so a stalled pick is a delayed issue — a
+    // retry in controller terms — not a lost request.
+    if (fault::FaultPlan *p = fault::plan(); p != nullptr) {
+        if (const Tick stall = p->dramStallTicks(); stall != 0) {
+            ++stalled_;
+            if (auto *ts = telemetry::sink()) {
+                ts->instantEvent(telemetry::kPidDram,
+                                 static_cast<int>(rank), "fault",
+                                 "dram_stall", now,
+                                 {{"stallNs", static_cast<double>(stall) /
+                                                  kTicksPerNs}});
+            }
+            eq.scheduleFn(now + stall, [this, rank] { drain(rank); });
+            return;
+        }
+    }
+
     const std::size_t pick = pickNext(queue, rank, now);
     if (pick == queue.requests.size()) {
         // Nothing has arrived yet; wake at the earliest arrival.
@@ -169,6 +188,8 @@ Controller::registerStats(StatGroup &group) const
     group.addCounter("issued", issued_, "requests issued to DRAM");
     group.addCounter("reordered", reordered_,
                      "issues that bypassed an older request");
+    group.addCounter("stalled", stalled_,
+                     "drain passes delayed by an injected command stall");
 }
 
 } // namespace fafnir::dram

@@ -67,6 +67,7 @@ class Controller
     /** @{ Statistics. */
     std::uint64_t issuedCount() const { return issued_.value(); }
     std::uint64_t reorderedCount() const { return reordered_.value(); }
+    std::uint64_t stalledCount() const { return stalled_.value(); }
     void registerStats(StatGroup &group) const;
     /** @} */
 
@@ -106,6 +107,7 @@ class Controller
 
     Counter issued_;
     Counter reordered_;
+    Counter stalled_;
 };
 
 } // namespace fafnir::dram

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "common/faultinject.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::dram
@@ -205,6 +206,52 @@ traceRead(const Coordinates &coords, const Geometry &geometry,
                         static_cast<double>(result.rowMisses)}});
 }
 
+/**
+ * Transient command stall before issuing a read (dram_stall hook).
+ * @return the possibly-delayed issue time.
+ */
+Tick
+injectCommandStall(Tick earliest)
+{
+    fault::FaultPlan *p = fault::plan();
+    if (p == nullptr)
+        return earliest;
+    const Tick stall = p->dramStallTicks();
+    if (stall == 0)
+        return earliest;
+    if (auto *ts = telemetry::sink()) {
+        ts->instantEvent(telemetry::kPidDram, 0, "fault", "dram_stall",
+                         earliest,
+                         {{"stallNs",
+                           static_cast<double>(stall) / kTicksPerNs}});
+    }
+    return earliest + stall;
+}
+
+/**
+ * Late data delivery on a completed read (dram_latency hook): the bus
+ * reservations already made stand; only the consumer sees the data
+ * arrive late, modelling ECC retries or thermal throttling on the DIMM.
+ * @return the possibly-extended completion time.
+ */
+Tick
+injectReadLatency(Tick earliest, Tick complete)
+{
+    fault::FaultPlan *p = fault::plan();
+    if (p == nullptr)
+        return complete;
+    const Tick extra = p->dramLatencyExtra(complete - earliest);
+    if (extra == 0)
+        return complete;
+    if (auto *ts = telemetry::sink()) {
+        ts->instantEvent(telemetry::kPidDram, 0, "fault", "dram_latency",
+                         complete + extra,
+                         {{"extraNs",
+                           static_cast<double>(extra) / kTicksPerNs}});
+    }
+    return complete + extra;
+}
+
 } // namespace
 
 AccessResult
@@ -212,6 +259,7 @@ MemorySystem::read(Addr addr, unsigned bytes, Tick earliest,
                    Destination dest)
 {
     FAFNIR_ASSERT(bytes > 0, "zero-length read");
+    earliest = injectCommandStall(earliest);
     const Geometry &g = mapper_.geometry();
 
     AccessResult result;
@@ -224,14 +272,14 @@ MemorySystem::read(Addr addr, unsigned bytes, Tick earliest,
         complete = std::max(complete,
                             accessBurst(coords, earliest, dest, result));
     }
-    result.complete = complete;
+    result.complete = injectReadLatency(earliest, complete);
 
     if (dest == Destination::Host)
         bytesToHost_ += bytes;
     else
         bytesToNdp_ += bytes;
-    readLatencyNs_.sample(static_cast<double>(complete - earliest) /
-                          kTicksPerNs);
+    readLatencyNs_.sample(
+        static_cast<double>(result.complete - earliest) / kTicksPerNs);
     traceRead(mapper_.decode(first), g, bytes, earliest, result);
     return result;
 }
@@ -255,6 +303,7 @@ MemorySystem::readAt(const Coordinates &coords, unsigned bytes,
                      Tick earliest, Destination dest)
 {
     FAFNIR_ASSERT(bytes > 0, "zero-length read");
+    earliest = injectCommandStall(earliest);
     const Geometry &g = mapper_.geometry();
 
     AccessResult result;
@@ -274,13 +323,13 @@ MemorySystem::readAt(const Coordinates &coords, unsigned bytes,
             FAFNIR_ASSERT(c.row < g.rowsPerBank, "readAt ran off the bank");
         }
     }
-    result.complete = complete;
+    result.complete = injectReadLatency(earliest, complete);
     if (dest == Destination::Host)
         bytesToHost_ += bytes;
     else
         bytesToNdp_ += bytes;
-    readLatencyNs_.sample(static_cast<double>(complete - earliest) /
-                          kTicksPerNs);
+    readLatencyNs_.sample(
+        static_cast<double>(result.complete - earliest) / kTicksPerNs);
     traceRead(coords, g, bytes, earliest, result);
     return result;
 }

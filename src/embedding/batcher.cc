@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 
 namespace fafnir::embedding
@@ -116,6 +117,73 @@ composeBatches(const std::vector<Query> &queries,
         emit(out, queries, std::move(picked));
     }
     return out;
+}
+
+std::size_t
+injectQueryFaults(Batch &batch, std::uint64_t index_limit)
+{
+    fault::FaultPlan *p = fault::plan();
+    if (p == nullptr)
+        return 0;
+
+    std::size_t corrupted = 0;
+    for (Query &q : batch.queries) {
+        bool touched = false;
+
+        if (p->shouldFire(fault::Hook::QueryMalformed)) {
+            // The corruption shape draws from the hook's own stream, so
+            // the schedule of *other* hooks is untouched.
+            Rng &rng = p->rngOf(fault::Hook::QueryMalformed);
+            switch (rng.nextBelow(3)) {
+              case 0: // lost payload
+                q.indices.clear();
+                break;
+              case 1: // reordered payload (unique indices, so a swap of
+                      // the ends of a 2+ element list breaks sortedness)
+                if (q.indices.size() >= 2)
+                    std::swap(q.indices.front(), q.indices.back());
+                else
+                    q.indices.clear();
+                break;
+              default: // index beyond the embedding space
+                q.indices.push_back(static_cast<IndexId>(
+                    index_limit + rng.nextBelow(1024)));
+                break;
+            }
+            touched = true;
+        }
+
+        if (p->shouldFire(fault::Hook::QueryOversized)) {
+            // Inflate to magnitude x the original width with valid,
+            // sorted, unique indices — well-formed but abusive.
+            const auto factor =
+                static_cast<std::size_t>(
+                    p->magnitude(fault::Hook::QueryOversized));
+            std::size_t width =
+                std::max<std::size_t>(q.indices.size() + 1,
+                                      q.indices.size() * factor);
+            if (index_limit != 0)
+                width = std::min<std::size_t>(width, index_limit);
+            q.indices.resize(width);
+            for (std::size_t i = 0; i < width; ++i)
+                q.indices[i] = static_cast<IndexId>(i);
+            touched = true;
+        }
+
+        if (p->shouldFire(fault::Hook::QueryDupIndex) &&
+            !q.indices.empty()) {
+            Rng &rng = p->rngOf(fault::Hook::QueryDupIndex);
+            const std::size_t at = rng.nextBelow(q.indices.size());
+            q.indices.insert(q.indices.begin() +
+                                 static_cast<std::ptrdiff_t>(at),
+                             q.indices[at]);
+            touched = true;
+        }
+
+        if (touched)
+            ++corrupted;
+    }
+    return corrupted;
 }
 
 } // namespace fafnir::embedding

@@ -61,6 +61,19 @@ struct ComposedBatches
 ComposedBatches composeBatches(const std::vector<Query> &queries,
                                const BatcherConfig &config);
 
+/**
+ * Apply the query-corruption hooks of the installed fault::FaultPlan to
+ * @p batch in place: query_malformed empties, unsorts, or injects an
+ * index at/beyond @p index_limit; query_oversized inflates a query's
+ * width by the hook magnitude (valid indices, just too many);
+ * query_dup_index duplicates an existing index. Models a buggy or
+ * hostile client ahead of the serving layer's admission checks.
+ *
+ * No-op (and free) when no plan is installed.
+ * @return the number of queries corrupted.
+ */
+std::size_t injectQueryFaults(Batch &batch, std::uint64_t index_limit);
+
 } // namespace fafnir::embedding
 
 #endif // FAFNIR_EMBEDDING_BATCHER_HH

@@ -20,6 +20,58 @@ Batch::uniqueIndices() const
     return seen.size();
 }
 
+const char *
+toString(QueryDefect defect)
+{
+    switch (defect) {
+      case QueryDefect::None:
+        return "none";
+      case QueryDefect::Empty:
+        return "empty";
+      case QueryDefect::Unsorted:
+        return "unsorted";
+      case QueryDefect::DuplicateIndex:
+        return "duplicate-index";
+      case QueryDefect::OutOfRange:
+        return "out-of-range";
+      case QueryDefect::Oversized:
+        return "oversized";
+      case QueryDefect::NonDenseId:
+        return "non-dense-id";
+    }
+    return "unknown";
+}
+
+std::vector<QueryIssue>
+Batch::validate(std::uint64_t index_limit,
+                std::size_t max_query_width) const
+{
+    std::vector<QueryIssue> issues;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        const Query &q = queries[i];
+        QueryDefect defect = QueryDefect::None;
+        if (q.id != i) {
+            defect = QueryDefect::NonDenseId;
+        } else if (q.indices.empty()) {
+            defect = QueryDefect::Empty;
+        } else if (!std::is_sorted(q.indices.begin(), q.indices.end())) {
+            defect = QueryDefect::Unsorted;
+        } else if (std::adjacent_find(q.indices.begin(),
+                                      q.indices.end()) !=
+                   q.indices.end()) {
+            defect = QueryDefect::DuplicateIndex;
+        } else if (index_limit != 0 && q.indices.back() >= index_limit) {
+            defect = QueryDefect::OutOfRange;
+        } else if (max_query_width != 0 &&
+                   q.indices.size() > max_query_width) {
+            defect = QueryDefect::Oversized;
+        }
+        if (defect != QueryDefect::None)
+            issues.push_back({i, defect});
+    }
+    return issues;
+}
+
 void
 Batch::check() const
 {

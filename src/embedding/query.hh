@@ -20,6 +20,35 @@
 namespace fafnir::embedding
 {
 
+/** Why a query failed admission checks (see Batch::validate). */
+enum class QueryDefect : std::uint8_t
+{
+    None,
+    /** The query carries no indices. */
+    Empty,
+    /** Indices are not in ascending order. */
+    Unsorted,
+    /** The same index appears more than once. */
+    DuplicateIndex,
+    /** An index is at or beyond the configured index limit. */
+    OutOfRange,
+    /** The query exceeds the configured maximum width. */
+    Oversized,
+    /** Query ids are not dense 0..n-1 in position order. */
+    NonDenseId,
+};
+
+/** Human-readable name of @p defect ("empty", "unsorted", ...). */
+const char *toString(QueryDefect defect);
+
+/** One admission-check failure: which query, and why. */
+struct QueryIssue
+{
+    /** Position of the offending query within the batch. */
+    std::size_t position = 0;
+    QueryDefect defect = QueryDefect::None;
+};
+
 /** One embedding lookup: gather these indices, reduce to one vector. */
 struct Query
 {
@@ -70,8 +99,19 @@ struct Batch
                   static_cast<double>(total);
     }
 
-    /** Validate: per-query indices sorted and unique; ids consecutive. */
+    /** Validate: per-query indices sorted and unique; ids consecutive.
+     *  Aborts on the first violation — for invariants, not input. */
     void check() const;
+
+    /**
+     * Non-aborting admission check for untrusted batches: every defect
+     * check() would abort on, plus optional range and width limits
+     * (0 = unchecked). Reports at most one defect per query, in batch
+     * position order, so callers can drop or degrade per query.
+     */
+    std::vector<QueryIssue>
+    validate(std::uint64_t index_limit = 0,
+             std::size_t max_query_width = 0) const;
 };
 
 } // namespace fafnir::embedding

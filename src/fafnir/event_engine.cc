@@ -10,6 +10,7 @@
 #include <ostream>
 #include <functional>
 
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "telemetry/trace_sink.hh"
 
@@ -41,11 +42,12 @@ struct PeRun
 
 EventDrivenEngine::EventDrivenEngine(dram::MemorySystem &memory,
                                      const embedding::VectorLayout &layout,
-                                     const EventEngineConfig &config)
+                                     const EventEngineConfig &config,
+                                     const embedding::EmbeddingStore *store)
     : memory_(memory), layout_(layout), config_(config),
       topology_(memory.geometry().totalRanks(),
                 config.base.ranksPerLeafPe),
-      host_(layout), tree_(topology_),
+      host_(layout, store), tree_(topology_),
       pePeriod_(periodFromMhz(config.base.peClockMhz)),
       peStats_(topology_.numPes() + 1)
 {
@@ -107,8 +109,8 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
 
     PreparedBatch prepared = host_.prepare(batch, config_.base.dedup);
     scheduleReads(prepared, config_.base.readOrder, memory_.mapper());
-    const TreeRun run = tree_.run(prepared, /*values=*/false,
-                                  /*keep_trace=*/true);
+    TreeRun run = tree_.run(prepared, config_.computeValues,
+                            /*keep_trace=*/true, config_.reduceOp);
 
     EventLookupTiming timing;
     timing.issued = start;
@@ -304,6 +306,23 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
             ++timing.fifoOverflows;
             at += config_.overflowPenalty * pePeriod_;
         }
+        // Injected backpressure (pe_backpressure hook): the arrival
+        // stalls as if the FIFO had no free slot, mirroring the organic
+        // overflow penalty above. Timing-only — values are untouched.
+        if (fault::FaultPlan *p = fault::plan(); p != nullptr) {
+            if (const Cycles extra = p->peBackpressureCycles();
+                extra != 0) {
+                ++timing.injectedBackpressure;
+                at += extra * pePeriod_;
+                if (ts) {
+                    ts->instantEvent(telemetry::kPidTree,
+                                     static_cast<int>(pe), "fault",
+                                     "pe_backpressure", at,
+                                     {{"cycles",
+                                       static_cast<double>(extra)}});
+                }
+            }
+        }
         FAFNIR_ASSERT(state.arrival[side][index] == MaxTick,
                       "duplicate delivery");
         state.arrival[side][index] = at;
@@ -392,6 +411,8 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
     }
     timing.complete = link_free + config_.base.hostReceiveOverhead;
     activeTicks_ += timing.complete - start;
+    if (config_.computeValues)
+        timing.results = std::move(run.results);
 
     if (config_.recordTimeline) {
         std::sort(timing.timeline.begin(), timing.timeline.end(),

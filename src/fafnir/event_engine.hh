@@ -43,6 +43,11 @@ struct EventEngineConfig
     Cycles overflowPenalty = 4;
     /** Record a per-PE timeline of deliveries and emissions. */
     bool recordTimeline = false;
+    /** Compute the reduced query vectors and return them in
+     *  EventLookupTiming::results (differential conformance checks). */
+    bool computeValues = false;
+    /** Reduce operator applied when computing values. */
+    embedding::ReduceOp reduceOp = embedding::ReduceOp::Sum;
 };
 
 /** One observable pipeline event (for timelines/debugging). */
@@ -63,8 +68,12 @@ struct EventLookupTiming : LookupTiming
     std::uint64_t fifoOverflows = 0;
     /** Outputs whose emission waited on the opposite side (forwards). */
     std::uint64_t forwardWaits = 0;
+    /** Deliveries stalled by the pe_backpressure fault hook. */
+    std::uint64_t injectedBackpressure = 0;
     /** Chronological pipeline events (when recordTimeline is set). */
     std::vector<TimelineEvent> timeline;
+    /** Reduced query vectors (when computeValues is set). */
+    std::vector<embedding::Vector> results;
 };
 
 /** Render a timeline as tab-separated text (tick, pe, kind, index). */
@@ -86,9 +95,14 @@ struct PeTelemetry
 class EventDrivenEngine
 {
   public:
+    /**
+     * @param store when non-null, leaf items carry real vector values so
+     *        computeValues runs can return the reduced query vectors.
+     */
     EventDrivenEngine(dram::MemorySystem &memory,
                       const embedding::VectorLayout &layout,
-                      const EventEngineConfig &config);
+                      const EventEngineConfig &config,
+                      const embedding::EmbeddingStore *store = nullptr);
 
     /** Run one batch starting at @p start. */
     EventLookupTiming lookup(const embedding::Batch &batch, Tick start);

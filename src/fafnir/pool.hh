@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/faultinject.hh"
 #include "embedding/table.hh"
 
 namespace fafnir::core
@@ -37,17 +38,31 @@ class VectorPool
         /** Acquires served from a recycled buffer (no allocation). */
         std::uint64_t reuses = 0;
         std::uint64_t releases = 0;
+        /** Acquires forced to allocate by the pool_exhaust fault hook. */
+        std::uint64_t exhaustions = 0;
     };
 
     /**
      * A vector of @p size elements with unspecified contents — callers
      * overwrite every element. Reuses a released buffer's capacity when
      * one is available.
+     *
+     * The pool_exhaust fault hook models a PE whose value-buffer SRAM is
+     * out of free lines: the acquire falls back to a fresh allocation
+     * (the simulator's stand-in for a spill). Contents are identical
+     * either way, so injected exhaustion never perturbs results — only
+     * the reuse/allocation accounting that capacity studies read.
      */
     embedding::Vector
     acquire(std::size_t size)
     {
         ++stats_.acquires;
+        if (fault::FaultPlan *p = fault::plan(); p != nullptr) {
+            if (p->shouldFire(fault::Hook::PoolExhaust)) {
+                ++stats_.exhaustions;
+                return embedding::Vector(size);
+            }
+        }
         if (free_.empty())
             return embedding::Vector(size);
         ++stats_.reuses;

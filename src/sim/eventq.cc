@@ -348,9 +348,33 @@ EventQueue::fireNext()
     return true;
 }
 
+/** Cold by design: only reached when a fault plan is installed, so the
+ *  RNG draws stay out of the inlined scheduleFn fast path. Sampling
+ *  order (drop, delay, dup) is part of the determinism contract; dup is
+ *  only drawn for copyable callables so move-only schedules leave the
+ *  dup stream untouched. */
+[[gnu::noinline]] EventQueue::OneShotFaults
+EventQueue::sampleOneShotFaults(Tick when, bool copyable)
+{
+    OneShotFaults f{false, false, when};
+    if (faultPlan_->shouldFire(fault::Hook::EventDrop)) {
+        f.drop = true;
+        return f;
+    }
+    f.when = when + faultPlan_->eventDelayTicks();
+    if (copyable)
+        f.dup = faultPlan_->shouldFire(fault::Hook::EventDup);
+    return f;
+}
+
 void
 EventQueue::schedule(Event &event, Tick when)
 {
+    // Registered events only take delivery jitter — dropping or
+    // duplicating them would corrupt the generation bookkeeping that
+    // makes cancel/reschedule O(1), so those hooks stay one-shot-only.
+    if (faultPlan_ != nullptr) [[unlikely]]
+        when += faultPlan_->eventDelayTicks();
     if (event.scheduled_) {
         --pendingCount_; // the stale queue entry becomes a no-op
         ++stale_;

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -130,6 +131,15 @@ class EventQueue
      * there is no handle and no way to cancel — use an Event for that.
      * The callable is stored inline in a pooled node (no allocation when
      * it fits the node's storage, as every callable in the repo does).
+     *
+     * Fault hooks (only with a fault::FaultPlan installed when the
+     * queue is built, otherwise one member test): event_drop discards
+     * the callback outright, event_dup files a second copy at the same
+     * tick (copyable callables only), event_delay adds delivery jitter.
+     * Drops and duplicates are restricted to one-shots so Event
+     * generation bookkeeping — and with it the (tick, priority,
+     * insertion-order) contract checked by the determinism tests —
+     * survives any injection schedule.
      */
     template <typename F>
     void
@@ -137,6 +147,49 @@ class EventQueue
     {
         static_assert(std::is_invocable_v<std::decay_t<F>>,
                       "scheduleFn callable must take no arguments");
+        using Fn = std::decay_t<F>;
+        if (faultPlan_ != nullptr) [[unlikely]] {
+            const OneShotFaults f = sampleOneShotFaults(
+                when, std::is_copy_constructible_v<Fn>);
+            if (f.drop)
+                return;
+            when = f.when;
+            if constexpr (std::is_copy_constructible_v<Fn>) {
+                if (f.dup)
+                    emplaceDup<Fn>(when, fn, priority);
+            }
+        }
+        emplaceOneShot(when, std::forward<F>(fn), priority);
+    }
+
+  private:
+    /** Fault verdict for one scheduleFn call. */
+    struct OneShotFaults
+    {
+        bool drop;
+        bool dup;
+        Tick when;
+    };
+
+    /** Draw the drop / delay / dup decisions for a one-shot. Cold and
+     *  out-of-line so the fault machinery (three RNG streams) never
+     *  bloats the inlined scheduleFn body. */
+    OneShotFaults sampleOneShotFaults(Tick when, bool copyable);
+
+    /** File the duplicate copy of a one-shot. Out-of-line so the
+     *  callable's copy constructor (std::function for chained events)
+     *  is not instantiated inside the hot scheduleFn body. */
+    template <typename Fn>
+    [[gnu::noinline]] void
+    emplaceDup(Tick when, const Fn &fn, int priority)
+    {
+        emplaceOneShot(when, Fn(fn), priority);
+    }
+    /** File one one-shot node for @p fn at @p when (no fault hooks). */
+    template <typename F>
+    void
+    emplaceOneShot(Tick when, F &&fn, int priority)
+    {
         using Fn = std::decay_t<F>;
         Node *const node = allocNode();
         node->event = nullptr;
@@ -165,6 +218,7 @@ class EventQueue
         insertNode(node, when, priority);
     }
 
+  public:
     /** True if no events are pending. */
     bool empty() const { return pendingCount_ == 0; }
 
@@ -308,6 +362,11 @@ class EventQueue
     telemetry::TraceSink *curSink_ = nullptr;
 
     Tick now_ = 0;
+    /** The fault plan installed when this queue was built (nullptr =
+     *  injection off). Sampled once at construction so the hot path
+     *  tests a member the schedule state keeps warm anyway — install
+     *  the plan before building the simulated system. */
+    fault::FaultPlan *faultPlan_ = fault::plan();
     std::uint64_t sequence_ = 0;
     std::uint64_t executed_ = 0;
     std::size_t pendingCount_ = 0;

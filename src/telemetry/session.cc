@@ -44,6 +44,11 @@ TelemetrySession::registerFlags(FlagParser &flags)
                     "write a Chrome trace (Perfetto) to this path");
     flags.addString("report", reportPath_,
                     "write a per-run report artifact to this path");
+    flags.addString("faults", faultSpec_,
+                    "install a fault plan, e.g. "
+                    "dram_latency:0.1,event_delay:0.05");
+    flags.addUint64("fault-seed", faultSeed_,
+                    "deterministic seed for the fault plan");
 }
 
 void
@@ -52,6 +57,13 @@ TelemetrySession::start()
     if (!tracePath_.empty()) {
         sink_.emplace();
         install_.emplace(&*sink_);
+    }
+    if (!faultSpec_.empty()) {
+        plan_.emplace(fault::FaultPlan::parse(faultSpec_, faultSeed_));
+        planInstall_.emplace(&*plan_);
+        plan_->registerStats(StatRegistry::instance().group("faults"));
+        report_.setConfig("faults", plan_->describe());
+        report_.setConfig("faultSeed", faultSeed_);
     }
 }
 
@@ -63,6 +75,12 @@ TelemetrySession::finish()
     finished_ = true;
 
     StatRegistry &registry = StatRegistry::instance();
+    if (plan_) {
+        report_.setMetric("faultsInjected",
+                          static_cast<double>(plan_->totalFired()));
+        report_.setMetric("faultsChecked",
+                          static_cast<double>(plan_->totalChecked()));
+    }
     bool ok = true;
     auto write_to = [&ok](const std::string &path, auto &&emit) {
         std::ofstream os(path);
@@ -102,6 +120,8 @@ TelemetrySession::finish()
 
     // Groups reference harness-scoped objects; drop them now.
     registry.clear();
+    planInstall_.reset();
+    plan_.reset();
     install_.reset();
     sink_.reset();
     return ok ? 0 : 1;

@@ -2,11 +2,15 @@
  * @file
  * One-object telemetry wiring for a CLI harness.
  *
- * A TelemetrySession bundles the four telemetry outputs every harness
+ * A TelemetrySession bundles the telemetry outputs every harness
  * offers — `--stats-json`, `--stats-csv`, `--trace`, `--report` — into
  * one object: it registers the flags, installs the process-global
  * TraceSink when tracing is requested, and writes whichever artifacts
- * were asked for in finish().
+ * were asked for in finish(). It also owns the run's fault plan:
+ * `--faults <spec> --fault-seed <n>` (see docs/ROBUSTNESS.md) parses
+ * and installs a process-global fault::FaultPlan for the run, registers
+ * its counters under the "faults" stat group, and lands injected/checked
+ * totals in the report's metrics.
  *
  * Harnesses without their own flags construct it from argv directly:
  *
@@ -33,9 +37,11 @@
 #ifndef FAFNIR_TELEMETRY_SESSION_HH
 #define FAFNIR_TELEMETRY_SESSION_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
+#include "common/faultinject.hh"
 #include "telemetry/report.hh"
 #include "telemetry/trace_sink.hh"
 
@@ -64,7 +70,8 @@ class TelemetrySession
     TelemetrySession(const TelemetrySession &) = delete;
     TelemetrySession &operator=(const TelemetrySession &) = delete;
 
-    /** Register --stats-json/--stats-csv/--trace/--report. */
+    /** Register --stats-json/--stats-csv/--trace/--report plus the
+     *  fault-injection pair --faults/--fault-seed. */
     void registerFlags(FlagParser &flags);
 
     /** Report path used when --report was not given (call after parse). */
@@ -85,6 +92,9 @@ class TelemetrySession
     /** The run's trace sink, or nullptr when tracing is off. */
     TraceSink *traceSink() { return sink_ ? &*sink_ : nullptr; }
 
+    /** The run's fault plan, or nullptr when --faults was not given. */
+    fault::FaultPlan *faultPlan() { return plan_ ? &*plan_ : nullptr; }
+
     /**
      * Write every requested artifact, embed the StatRegistry into the
      * report, then clear the registry and uninstall the sink.
@@ -98,8 +108,12 @@ class TelemetrySession
     std::string statsCsvPath_;
     std::string tracePath_;
     std::string reportPath_;
+    std::string faultSpec_;
+    std::uint64_t faultSeed_ = 1;
     std::optional<TraceSink> sink_;
     std::optional<ScopedSinkInstall> install_;
+    std::optional<fault::FaultPlan> plan_;
+    std::optional<fault::ScopedPlanInstall> planInstall_;
     RunReport report_;
     bool finished_ = false;
 };

@@ -133,3 +133,25 @@ TEST(Cli, RejectsBareWord)
     EXPECT_DEATH(parser.parse(args.argc(), args.data()),
                  "expected --flag");
 }
+
+TEST(Cli, RejectsDuplicateRegistration)
+{
+    // Registering the same flag twice must die loudly at registration
+    // time, not silently last-writer-win at parse time.
+    unsigned a = 0;
+    unsigned b = 0;
+    FlagParser parser("test");
+    parser.addUnsigned("ranks", a, "first owner");
+    EXPECT_DEATH(parser.addUnsigned("ranks", b, "second owner"),
+                 "duplicate flag");
+}
+
+TEST(Cli, RejectsDuplicateRegistrationAcrossTypes)
+{
+    unsigned a = 0;
+    std::string s;
+    FlagParser parser("test");
+    parser.addUnsigned("mode", a, "numeric owner");
+    EXPECT_DEATH(parser.addString("mode", s, "string owner"),
+                 "duplicate flag");
+}

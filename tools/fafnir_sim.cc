@@ -17,6 +17,12 @@
  *   --stats-csv=out.csv     the same stats flattened to CSV
  *   --trace=trace.json      Chrome trace of the run (Perfetto-viewable)
  *   --report=run.json       per-run report artifact (config + metrics)
+ *
+ * Fault injection (see docs/ROBUSTNESS.md):
+ *   --faults=dram_latency:0.1,event_delay:0.05   install a fault plan
+ *   --fault-seed=7          deterministic fault-schedule seed
+ * With a plan installed, lookup mode serves through the hardened
+ * ServiceGuard (--deadline-us, --max-attempts, --retry-backoff-ns).
  */
 
 #include <algorithm>
@@ -32,8 +38,10 @@
 #include "common/stats.hh"
 #include "dram/cmdlog.hh"
 #include "dram/memsystem.hh"
+#include "embedding/batcher.hh"
 #include "embedding/generator.hh"
 #include "embedding/layout.hh"
+#include "embedding/service.hh"
 #include "fafnir/engine.hh"
 #include "fafnir/event_engine.hh"
 #include "hwmodel/energy_report.hh"
@@ -62,6 +70,10 @@ struct Options
     bool interactive = false;
     bool hbm = false;
     std::uint64_t seed = 1;
+    // Guarded-serving knobs (active when --faults installs a plan).
+    double deadlineUs = 0.0;
+    unsigned maxAttempts = 3;
+    std::uint64_t retryBackoffNs = 200;
     // SpMV / SpTRSV knobs.
     std::string matrix = "web"; // web | road | banded | uniform
     unsigned nodes = 1u << 14;
@@ -73,6 +85,173 @@ embedding::TableConfig
 tableConfig()
 {
     return {32, 1u << 20, 512, 4};
+}
+
+/**
+ * Lookup serving under an installed fault plan: the batch stream is
+ * corrupted by whatever query hooks are armed, then served through a
+ * ServiceGuard so faults surface as retries, timeouts, and tagged
+ * partial results instead of wrong numbers (see docs/ROBUSTNESS.md).
+ */
+int
+runGuardedLookup(const Options &opt, telemetry::TelemetrySession &session)
+{
+    telemetry::RunReport &run = session.report();
+    EventQueue eq;
+    const dram::Geometry geometry = opt.hbm
+        ? dram::Geometry::hbm2()
+        : dram::Geometry::withTotalRanks(opt.ranks);
+    const dram::Timing timing =
+        opt.hbm ? dram::Timing::hbm2() : dram::Timing::ddr4_2400();
+    dram::MemorySystem memory(eq, geometry, timing,
+                              dram::Interleave::BlockRank, 512);
+    const embedding::TableConfig tables = tableConfig();
+    const embedding::VectorLayout layout(tables, memory.mapper());
+
+    embedding::WorkloadConfig wc;
+    wc.tables = tables;
+    wc.batchSize = opt.batch;
+    wc.querySize = opt.querySize;
+    wc.popularity = opt.skew > 0 ? embedding::Popularity::Zipfian
+                                 : embedding::Popularity::Uniform;
+    wc.zipfSkew = opt.skew;
+    wc.hotFraction = opt.hotFraction;
+    embedding::BatchGenerator gen(wc, opt.seed);
+    std::vector<embedding::Batch> batches;
+    for (unsigned i = 0; i < opt.batches; ++i)
+        batches.push_back(gen.next());
+
+    // Armed query hooks corrupt the stream before admission, modeling
+    // buggy or hostile clients.
+    std::size_t corrupted = 0;
+    for (auto &batch : batches)
+        corrupted +=
+            embedding::injectQueryFaults(batch, tables.totalVectors());
+
+    std::unique_ptr<core::FafnirEngine> analytic;
+    std::unique_ptr<core::EventDrivenEngine> event_engine;
+    std::unique_ptr<baselines::CpuEngine> cpu;
+    std::unique_ptr<baselines::RecNmpEngine> recnmp;
+    std::unique_ptr<baselines::TensorDimmEngine> tensordimm;
+    embedding::ServiceGuard::ServeFn serve;
+
+    auto sample_of = [](const auto &t) {
+        embedding::ServeSample s;
+        s.complete = t.complete;
+        s.queryComplete = t.queryComplete;
+        return s;
+    };
+
+    if (opt.engine == "analytic" || opt.engine == "event") {
+        core::EngineConfig cfg;
+        cfg.dedup = opt.dedup;
+        cfg.interactive = opt.interactive;
+        if (opt.engine == "event") {
+            core::EventEngineConfig ecfg;
+            ecfg.base = cfg;
+            event_engine = std::make_unique<core::EventDrivenEngine>(
+                memory, layout, ecfg);
+            serve = [&event_engine,
+                     sample_of](const embedding::Batch &b, Tick at) {
+                return sample_of(event_engine->lookup(b, at));
+            };
+        } else {
+            analytic = std::make_unique<core::FafnirEngine>(memory,
+                                                            layout, cfg);
+            serve = [&analytic,
+                     sample_of](const embedding::Batch &b, Tick at) {
+                return sample_of(analytic->lookup(b, at));
+            };
+        }
+    } else if (opt.engine == "cpu") {
+        cpu = std::make_unique<baselines::CpuEngine>(memory, layout);
+        serve = [&cpu, sample_of](const embedding::Batch &b, Tick at) {
+            return sample_of(cpu->lookup(b, at));
+        };
+    } else if (opt.engine == "recnmp") {
+        baselines::RecNmpConfig cfg;
+        cfg.cacheEnabled = true;
+        recnmp = std::make_unique<baselines::RecNmpEngine>(memory, layout,
+                                                           cfg);
+        serve = [&recnmp, sample_of](const embedding::Batch &b, Tick at) {
+            return sample_of(recnmp->lookup(b, at));
+        };
+    } else if (opt.engine == "tensordimm") {
+        tensordimm =
+            std::make_unique<baselines::TensorDimmEngine>(memory, tables);
+        serve = [&tensordimm,
+                 sample_of](const embedding::Batch &b, Tick at) {
+            return sample_of(tensordimm->lookup(b, at));
+        };
+    } else {
+        std::fprintf(stderr, "error: unknown --engine '%s'\n"
+                             "run with --help for usage\n",
+                     opt.engine.c_str());
+        return 2;
+    }
+
+    embedding::GuardConfig gc;
+    gc.queryDeadline = static_cast<Tick>(opt.deadlineUs * kTicksPerUs);
+    gc.maxAttempts = opt.maxAttempts;
+    gc.retryBackoff = opt.retryBackoffNs * kTicksPerNs;
+    gc.indexLimit = tables.totalVectors();
+    gc.maxQueryWidth = static_cast<std::size_t>(opt.querySize) * 4;
+    embedding::ServiceGuard guard(gc, serve);
+
+    run.setConfig("deadlineUs", opt.deadlineUs);
+    run.setConfig("maxAttempts",
+                  static_cast<std::uint64_t>(opt.maxAttempts));
+    run.setConfig("retryBackoffNs", opt.retryBackoffNs);
+
+    const embedding::GuardedReport served =
+        embedding::serveGuardedOpenLoop(batches, 0, guard);
+
+    Tick complete = 0;
+    for (const auto &r : served.requests)
+        complete = std::max(complete, r.completed);
+    const double us_total = static_cast<double>(complete) / kTicksPerUs;
+
+    const fault::FaultPlan &plan = *session.faultPlan();
+    std::printf("engine=%s ranks=%u batches=%u batch=%u q=%u "
+                "(guarded, faults=%s seed=%llu)\n",
+                opt.engine.c_str(), opt.ranks, opt.batches, opt.batch,
+                opt.querySize, plan.describe().c_str(),
+                static_cast<unsigned long long>(plan.seed()));
+    std::printf("time: %.2f us total\n", us_total);
+    std::printf("faults: %llu injected, %zu queries corrupted at the "
+                "client\n",
+                static_cast<unsigned long long>(plan.totalFired()),
+                corrupted);
+    std::printf("recovery: %llu retries, %llu timeouts, %llu rejected, "
+                "%llu expired, %llu suspect\n",
+                static_cast<unsigned long long>(guard.retryCount()),
+                static_cast<unsigned long long>(guard.timeoutCount()),
+                static_cast<unsigned long long>(guard.rejectedQueryCount()),
+                static_cast<unsigned long long>(guard.expiredQueryCount()),
+                static_cast<unsigned long long>(guard.suspectQueryCount()));
+    std::printf("served: %zu queries, %zu dropped, %zu partial requests\n",
+                served.servedQueries(), served.droppedQueries(),
+                served.partialRequests());
+
+    StatRegistry &registry = StatRegistry::instance();
+    memory.registerStats(registry.group("memory"));
+    if (event_engine)
+        event_engine->registerStats(registry.group("tree"));
+    guard.registerStats(registry.group("service.guard"));
+
+    run.setMetric("totalUs", us_total);
+    run.setMetric("corruptedQueries", static_cast<double>(corrupted));
+    run.setMetric("retries", static_cast<double>(guard.retryCount()));
+    run.setMetric("timeouts", static_cast<double>(guard.timeoutCount()));
+    run.setMetric("rejectedQueries",
+                  static_cast<double>(guard.rejectedQueryCount()));
+    run.setMetric("servedQueries",
+                  static_cast<double>(served.servedQueries()));
+    run.setMetric("droppedQueries",
+                  static_cast<double>(served.droppedQueries()));
+    run.setMetric("partialRequests",
+                  static_cast<double>(served.partialRequests()));
+    return session.finish();
 }
 
 int
@@ -367,6 +546,12 @@ main(int argc, char **argv)
     flags.addUnsigned("nodes", opt.nodes, "matrix dimension");
     flags.addUnsigned("reach", opt.reach, "sptrsv dependency reach");
     flags.addDouble("nnz-per-row", opt.nnzPerRow, "matrix density");
+    flags.addDouble("deadline-us", opt.deadlineUs,
+                    "guarded serving: per-query deadline (0 = none)");
+    flags.addUnsigned("max-attempts", opt.maxAttempts,
+                      "guarded serving: attempts per request");
+    flags.addUint64("retry-backoff-ns", opt.retryBackoffNs,
+                    "guarded serving: first retry backoff (doubles)");
     telemetry::TelemetrySession session("fafnir_sim");
     session.registerFlags(flags);
     flags.parse(argc, argv);
@@ -391,8 +576,13 @@ main(int argc, char **argv)
         report.setConfig("nnzPerRow", opt.nnzPerRow);
     }
 
-    if (opt.mode == "lookup")
+    if (opt.mode == "lookup") {
+        // With a fault plan installed, serving runs behind the guard so
+        // injected faults surface as recovery actions, not bad numbers.
+        if (session.faultPlan() != nullptr)
+            return runGuardedLookup(opt, session);
         return runLookup(opt, session);
+    }
     if (opt.mode == "spmv")
         return runSpmv(opt, session);
     if (opt.mode == "sptrsv")
