@@ -57,10 +57,7 @@ main(int argc, char **argv)
     session.registerFlags(flags);
     flags.parse(argc, argv);
     session.start();
-    if (telemetry::sink() != nullptr)
-        jobs = 1; // the process-global TraceSink is not thread-safe
-    if (fault::plan() != nullptr)
-        jobs = 1; // the fault plan's RNG streams are not thread-safe
+    jobs = sweepJobs(jobs);
 
     const unsigned kQueries = 512;
 

@@ -33,10 +33,7 @@ main(int argc, char **argv)
     session.registerFlags(flags);
     flags.parse(argc, argv);
     session.start();
-    if (telemetry::sink() != nullptr)
-        jobs = 1; // the process-global TraceSink is not thread-safe
-    if (fault::plan() != nullptr)
-        jobs = 1; // the fault plan's RNG streams are not thread-safe
+    jobs = sweepJobs(jobs);
 
     TextTable table("Ablation — query size q (B=16, 32 ranks, mean "
                     "serialized batch latency, us)");

@@ -10,18 +10,44 @@
 #ifndef FAFNIR_BENCH_BENCH_UTIL_HH
 #define FAFNIR_BENCH_BENCH_UTIL_HH
 
+#include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "common/faultinject.hh"
 #include "common/table.hh"
 #include "common/types.hh"
 #include "dram/memsystem.hh"
 #include "embedding/generator.hh"
 #include "embedding/layout.hh"
 #include "sim/eventq.hh"
+#include "telemetry/trace_sink.hh"
 
 namespace fafnir::bench
 {
+
+/**
+ * Effective sweep parallelism once process-global telemetry is in
+ * play: the TraceSink and the fault plan's RNG streams are not
+ * thread-safe, so either forces the sweep serial — with a warning, so
+ * a slow traced sweep is never a silent surprise.
+ */
+inline unsigned
+sweepJobs(unsigned requested)
+{
+    const char *why = nullptr;
+    if (telemetry::sink() != nullptr)
+        why = "--trace";
+    else if (fault::plan() != nullptr)
+        why = "--faults";
+    if (why == nullptr || requested <= 1)
+        return requested;
+    std::fprintf(stderr,
+                 "warning: %s forces --jobs=1 (process-global "
+                 "telemetry is not thread-safe); requested %u\n",
+                 why, requested);
+    return 1;
+}
 
 /** A complete memory + layout rig for one engine instance. */
 struct LookupRig

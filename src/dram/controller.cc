@@ -9,6 +9,7 @@
 
 #include "common/debug.hh"
 #include "common/faultinject.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::dram
@@ -30,6 +31,7 @@ Controller::enqueue(Addr addr, unsigned bytes, Tick when,
     RankQueue &queue = queues_[rank];
 
     queue.requests.push_back({addr, bytes, dest, when, sequence_++,
+                              memory_.eventq().currentFlow(),
                               std::move(on_complete)});
     ++pending_;
     if (auto *ts = telemetry::sink()) {
@@ -144,6 +146,9 @@ Controller::drain(unsigned rank)
                          static_cast<std::ptrdiff_t>(pick));
 
     const Tick issue_at = std::max(now, queue.nextIssue);
+    // Restore the enqueuer's flow so the read's trace span and the
+    // completion callback chain stay attributed to the right query.
+    eq.setCurrentFlow(picked.flow);
     const AccessResult result =
         memory_.read(picked.addr, picked.bytes, issue_at, picked.dest);
     FAFNIR_DPRINTF(Controller, "rank ", rank, " issued 0x", std::hex,
@@ -161,10 +166,14 @@ Controller::drain(unsigned rank)
                           result.complete - picked.arrival,
                           {{"queuedTicks",
                             static_cast<double>(issue_at -
-                                                picked.arrival)}});
+                                                picked.arrival)},
+                           {"flow",
+                            static_cast<double>(picked.flow)}});
         ts->counterEvent(telemetry::kPidDram, "ctrl.pending", now,
                          static_cast<double>(pending_));
     }
+    if (auto *attr = telemetry::attribution())
+        attr->recordCtrlResidency(issue_at - picked.arrival);
 
     if (picked.onComplete) {
         eq.scheduleFn(result.complete,
@@ -173,6 +182,7 @@ Controller::drain(unsigned rank)
                       },
                       Event::DramPriority);
     }
+    eq.setCurrentFlow(0);
 
     if (queue.requests.empty()) {
         queue.draining = false;

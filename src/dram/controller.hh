@@ -79,6 +79,8 @@ class Controller
         Destination dest = Destination::Ndp;
         Tick arrival = 0;
         std::uint64_t sequence = 0;
+        /** Causal flow tag captured from the event queue at enqueue. */
+        std::uint64_t flow = 0;
         Callback onComplete;
     };
 

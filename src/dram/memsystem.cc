@@ -189,7 +189,8 @@ namespace
 /** One span per read request on the owning rank's trace track. */
 void
 traceRead(const Coordinates &coords, const Geometry &geometry,
-          unsigned bytes, Tick earliest, const AccessResult &result)
+          unsigned bytes, Tick earliest, const AccessResult &result,
+          std::uint64_t flow)
 {
     auto *ts = telemetry::sink();
     if (ts == nullptr)
@@ -203,7 +204,8 @@ traceRead(const Coordinates &coords, const Geometry &geometry,
                       {{"bytes", static_cast<double>(bytes)},
                        {"rowHits", static_cast<double>(result.rowHits)},
                        {"rowMisses",
-                        static_cast<double>(result.rowMisses)}});
+                        static_cast<double>(result.rowMisses)},
+                       {"flow", static_cast<double>(flow)}});
 }
 
 /**
@@ -280,7 +282,8 @@ MemorySystem::read(Addr addr, unsigned bytes, Tick earliest,
         bytesToNdp_ += bytes;
     readLatencyNs_.sample(
         static_cast<double>(result.complete - earliest) / kTicksPerNs);
-    traceRead(mapper_.decode(first), g, bytes, earliest, result);
+    traceRead(mapper_.decode(first), g, bytes, earliest, result,
+              eventq_.currentFlow());
     return result;
 }
 
@@ -330,7 +333,8 @@ MemorySystem::readAt(const Coordinates &coords, unsigned bytes,
         bytesToNdp_ += bytes;
     readLatencyNs_.sample(
         static_cast<double>(result.complete - earliest) / kTicksPerNs);
-    traceRead(coords, g, bytes, earliest, result);
+    traceRead(coords, g, bytes, earliest, result,
+              eventq_.currentFlow());
     return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::embedding
@@ -62,7 +63,8 @@ serveOpenLoop(const std::vector<Batch> &batches, Tick inter_arrival,
                       "service went backwards");
         engine_free = request.completed;
         if (auto *ts = telemetry::sink()) {
-            // Queueing and service phases of each batch as stacked spans.
+            // Queueing and service phases of each batch as stacked spans,
+            // joined by a flow arrow when the batch actually queued.
             const std::string label = "batch " + std::to_string(i);
             if (request.queueTime() > 0) {
                 ts->completeEvent(telemetry::kPidService, 0,
@@ -72,7 +74,16 @@ serveOpenLoop(const std::vector<Batch> &batches, Tick inter_arrival,
             ts->completeEvent(telemetry::kPidService, 1, "service.serve",
                               label, request.started,
                               request.serviceTime());
+            if (request.queueTime() > 0) {
+                const std::uint64_t fid = ts->newFlowId();
+                ts->flowBegin(fid, telemetry::kPidService, 0,
+                              "service.flow", label, request.arrival);
+                ts->flowEnd(fid, telemetry::kPidService, 1,
+                            "service.flow", label, request.started);
+            }
         }
+        if (auto *attr = telemetry::attribution())
+            attr->recordBatchQueueWait(request.queueTime());
         report.requests.push_back(request);
     }
 

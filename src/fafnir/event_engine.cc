@@ -12,6 +12,7 @@
 
 #include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::core
@@ -33,10 +34,25 @@ struct PeRun
     /** Per-output emitted flag. */
     std::vector<bool> emitted;
     std::vector<bool> countedForwardWait;
+    /** Emission tick per output (attribution back-walk). */
+    std::vector<Tick> emitTick;
     std::size_t emittedCount = 0;
     /** Output-port availability (one emission per issue interval). */
     Tick pipeFree = 0;
 };
+
+/** One leaf input's originating DRAM read, per (pe, side, position). */
+struct LeafRead
+{
+    unsigned rank = 0;
+    Tick firstData = 0;
+    Tick complete = 0;
+    std::uint64_t flow = 0;
+};
+
+/** Service-track thread for per-query delivery spans (0..2 are the
+ *  open-loop queue/serve/guard rows). */
+constexpr int kServiceDeliveryTid = 3;
 
 } // namespace
 
@@ -138,6 +154,7 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
                 ++state.remainingUses[src.side][src.index];
         state.emitted.assign(trace.outputs.size(), false);
         state.countedForwardWait.assign(trace.outputs.size(), false);
+        state.emitTick.assign(trace.outputs.size(), MaxTick);
         state.pipeFree = start;
     }
 
@@ -145,6 +162,8 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
 
     // --- Timeline tracing (no-ops when no sink is installed). -----------
     telemetry::TraceSink *ts = telemetry::sink();
+    telemetry::Attribution *attr = telemetry::attribution();
+    const std::uint64_t batch_ordinal = attr ? attr->beginBatch() : 0;
     if (ts) {
         for (unsigned pe = 1; pe <= num_pes; ++pe) {
             ts->setThreadName(
@@ -257,6 +276,7 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
                 }
 
                 state.emitted[k] = true;
+                state.emitTick[k] = emit;
                 ++state.emittedCount;
                 progressed = true;
                 PeTelemetry &activity = peStats_[pe];
@@ -270,10 +290,20 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
                     config_.base.latency.issue * pePeriod_;
                 activity.busyTicks += issue_ticks;
                 if (ts) {
-                    ts->completeEvent(telemetry::kPidTree,
-                                      static_cast<int>(pe), "pe",
-                                      is_reduce ? "reduce" : "forward",
-                                      emit, issue_ticks);
+                    // Tagged with the item's originating query ids and
+                    // the causal flow of the arrival that unblocked it.
+                    const auto qids = out.item.queryIds();
+                    ts->completeEvent(
+                        telemetry::kPidTree, static_cast<int>(pe), "pe",
+                        is_reduce ? "reduce" : "forward", emit,
+                        issue_ticks,
+                        {{"queries",
+                          static_cast<double>(qids.size())},
+                         {"q0", qids.empty()
+                                    ? -1.0
+                                    : static_cast<double>(qids[0])},
+                         {"flow",
+                          static_cast<double>(eq.currentFlow())}});
                 }
                 if (config_.recordTimeline)
                     timing.timeline.push_back({emit, pe, "emit", k});
@@ -338,6 +368,11 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
     };
 
     // --- Issue the DRAM reads; completions drive the pipeline. ----------
+    // Each read starts a fresh causal flow: its completion one-shot and
+    // everything that one-shot schedules (the whole delivery chain up
+    // the tree) inherit the flow id through the event queue.
+    std::vector<std::array<std::vector<LeafRead>, 2>> leaf_reads(
+        num_pes + 1);
     timing.memFirst = MaxTick;
     timing.memLast = start;
     for (unsigned rank = 0; rank < topology_.numRanks(); ++rank) {
@@ -353,9 +388,11 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
                 base += prepared.rankReads[r].size();
             }
         }
+        auto &side_reads = leaf_reads[pe][side];
         for (std::size_t i = 0; i < prepared.rankReads[rank].size();
              ++i) {
             const auto &read = prepared.rankReads[rank][i];
+            const std::uint64_t flow = eq.beginFlow();
             const auto result = memory_.readAsync(
                 read.address, vector_bytes, start,
                 dram::Destination::Ndp,
@@ -363,10 +400,16 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
                     Tick, const dram::AccessResult &) {
                     deliver(pe, side, pos, 0);
                 });
+            const std::size_t pos = base + i;
+            if (side_reads.size() <= pos)
+                side_reads.resize(pos + 1);
+            side_reads[pos] =
+                LeafRead{rank, result.firstData, result.complete, flow};
             timing.memFirst = std::min(timing.memFirst, result.firstData);
             timing.memLast = std::max(timing.memLast, result.complete);
         }
     }
+    eq.setCurrentFlow(0);
     if (timing.memFirst == MaxTick)
         timing.memFirst = start;
 
@@ -383,6 +426,7 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
     const std::size_t num_queries = prepared.querySets.size();
     std::vector<std::pair<Tick, QueryId>> finish_order;
     finish_order.reserve(num_queries);
+    std::vector<Tick> query_ready(num_queries, start);
     for (QueryId q = 0; q < num_queries; ++q) {
         Tick tq = start;
         for (std::size_t k = 0; k < run.rootOutputs.size(); ++k) {
@@ -394,6 +438,7 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
         }
         tq += (run.rootItemsPerQuery[q] - 1) *
               config_.base.latency.reduceValue * pePeriod_;
+        query_ready[q] = tq;
         finish_order.emplace_back(tq, q);
     }
     std::sort(finish_order.begin(), finish_order.end());
@@ -403,13 +448,161 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
         1000.0);
     Tick link_free = 0;
     timing.queryComplete.assign(num_queries, 0);
+    std::vector<Tick> link_start(num_queries, 0);
     for (const auto &[ready, q] : finish_order) {
-        const Tick done = std::max(ready, link_free) + transfer_ticks;
+        link_start[q] = std::max(ready, link_free);
+        const Tick done = link_start[q] + transfer_ticks;
         timing.queryComplete[q] =
             done + config_.base.hostReceiveOverhead;
         link_free = done;
     }
     timing.complete = link_free + config_.base.hostReceiveOverhead;
+
+    // --- Causal attribution: walk each query's critical path. -----------
+    //
+    // The path runs backwards from the query's last root output through
+    // the maximum-arrival ("binding") source at every PE down to a leaf
+    // input, i.e. to one DRAM read. Each hop's interval [previous stage
+    // end, emission] splits exactly into pipeline compute and waiting,
+    // so the recorded components sum to the end-to-end latency by
+    // construction (pinned by tests/test_attribution.cc).
+    if (attr || ts) {
+        if (ts) {
+            ts->setThreadName(telemetry::kPidService,
+                              kServiceDeliveryTid, "delivery");
+        }
+        const PeLatency &lat = config_.base.latency;
+        struct Hop
+        {
+            unsigned pe;
+            std::size_t out;
+        };
+        std::vector<Hop> path;
+        for (QueryId q = 0; q < num_queries; ++q) {
+            // Root output of q that bounds its tree time.
+            std::size_t k_last = run.rootOutputs.size();
+            Tick t_last = 0;
+            for (std::size_t k = 0; k < run.rootOutputs.size(); ++k) {
+                if (run.rootOutputs[k].item.findQuery(q) &&
+                    (k_last == run.rootOutputs.size() ||
+                     root_times[k] > t_last)) {
+                    k_last = k;
+                    t_last = root_times[k];
+                }
+            }
+            if (k_last == run.rootOutputs.size())
+                continue; // nothing reached the root for this query
+
+            // Back-walk to the leaf, following binding arrivals.
+            path.clear();
+            unsigned pe = TreeTopology::rootPe();
+            std::size_t k = k_last;
+            unsigned leaf_side = 0;
+            std::size_t leaf_index = 0;
+            while (true) {
+                path.push_back({pe, k});
+                const PeOutput &out = run.trace[pe].outputs[k];
+                const Provenance *bind = nullptr;
+                Tick best = 0;
+                for (const Provenance &src : out.sources) {
+                    const Tick t = pes[pe].arrival[src.side][src.index];
+                    if (bind == nullptr || t > best) {
+                        bind = &src;
+                        best = t;
+                    }
+                }
+                FAFNIR_ASSERT(bind != nullptr, "output without sources");
+                if (topology_.heightOf(pe) == 0) {
+                    leaf_side = bind->side;
+                    leaf_index = bind->index;
+                    break;
+                }
+                pe = 2 * pe + bind->side;
+                k = bind->index;
+            }
+            const unsigned leaf_pe = path.back().pe;
+            const LeafRead &lr =
+                leaf_reads[leaf_pe][leaf_side][leaf_index];
+
+            // Memory interval: isolated service vs. contention.
+            const Tick mem_interval = lr.complete - start;
+            const Tick dram_service = std::min(
+                mem_interval, memory_.closedRowReadLatency());
+            const Tick ctrl_queue = mem_interval - dram_service;
+
+            // PE hops, leaf to root.
+            Tick pe_compute = 0;
+            Tick forward_wait = 0;
+            Tick prev = lr.complete;
+            for (auto it = path.rbegin(); it != path.rend(); ++it) {
+                const PeOutput &out = run.trace[it->pe].outputs[it->out];
+                const Cycles cycles =
+                    (out.action == PeAction::Reduce ? lat.reducePath()
+                                                    : lat.forwardPath()) +
+                    lat.merge + link_cycles(it->pe);
+                const Tick compute = cycles * pePeriod_;
+                const Tick emit = pes[it->pe].emitTick[it->out];
+                pe_compute += compute;
+                forward_wait += emit - prev - compute;
+                prev = emit;
+            }
+            // Serial root combines of this query count as compute.
+            pe_compute += query_ready[q] - t_last;
+
+            telemetry::QueryAttribution qa;
+            qa.batch = batch_ordinal;
+            qa.query = q;
+            qa.issued = start;
+            qa.complete = timing.queryComplete[q];
+            qa.dramService = dram_service;
+            qa.ctrlQueue = ctrl_queue;
+            qa.peCompute = pe_compute;
+            qa.forwardWait = forward_wait;
+            qa.serviceQueue = timing.queryComplete[q] - query_ready[q];
+            qa.criticalRank = lr.rank;
+            qa.hops = static_cast<unsigned>(path.size());
+            qa.flow = lr.flow;
+            if (attr)
+                attr->recordQuery(qa);
+
+            if (ts) {
+                // Perfetto arrows along the critical path: DRAM read
+                // span → each PE emission span → the delivery span.
+                const std::uint64_t fid = ts->newFlowId();
+                const std::string label = "q" + std::to_string(q);
+                ts->flowBegin(fid, telemetry::kPidDram,
+                              static_cast<int>(lr.rank), "attrib.flow",
+                              label, lr.firstData);
+                for (auto it = path.rbegin(); it != path.rend(); ++it) {
+                    ts->flowStep(fid, telemetry::kPidTree,
+                                 static_cast<int>(it->pe), "attrib.flow",
+                                 label, pes[it->pe].emitTick[it->out]);
+                }
+                ts->completeEvent(
+                    telemetry::kPidService, kServiceDeliveryTid,
+                    "service.delivery", label, link_start[q],
+                    timing.queryComplete[q] - link_start[q],
+                    {{"flow", static_cast<double>(lr.flow)}});
+                ts->flowEnd(fid, telemetry::kPidService,
+                            kServiceDeliveryTid, "attrib.flow", label,
+                            link_start[q]);
+            }
+        }
+
+        // Meeting-level histogram: one pairwise merge per reduce
+        // emission at that PE's height; the root's serial combines
+        // merge at the root level.
+        if (attr) {
+            for (unsigned p = 1; p <= num_pes; ++p) {
+                std::uint64_t reduces = 0;
+                for (const auto &out : run.trace[p].outputs)
+                    reduces += out.action == PeAction::Reduce;
+                attr->recordMeeting(topology_.heightOf(p), reduces);
+            }
+            attr->recordMeeting(topology_.numLevels() - 1,
+                                run.rootCombines);
+        }
+    }
     activeTicks_ += timing.complete - start;
     if (config_.computeValues)
         timing.results = std::move(run.results);

@@ -56,6 +56,16 @@ struct Item
      */
     embedding::Vector value;
 
+    /** Ids of the queries this item belongs to (attribution tags). */
+    SmallVec<QueryId, 2>
+    queryIds() const
+    {
+        SmallVec<QueryId, 2> ids;
+        for (const auto &r : queries)
+            ids.push_back(r.query);
+        return ids;
+    }
+
     /** Residual for @p query, or nullptr. */
     const QueryResidual *
     findQuery(QueryId query) const

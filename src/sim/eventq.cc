@@ -323,6 +323,7 @@ EventQueue::fireNext()
         event->scheduled_ = false;
         --pendingCount_;
         ++executed_;
+        currentFlow_ = 0; // registered events run untagged
         freeNode(node);
         if (curSink_ != nullptr) {
             curSink_->instantEvent(telemetry::kPidSim, 0, "sim.dispatch",
@@ -337,6 +338,12 @@ EventQueue::fireNext()
     now_ = cacheTick_;
     --pendingCount_;
     ++executed_;
+    // Re-establish the scheduler's flow so work scheduled by this
+    // callback inherits its cause (one-shots stash it in generation).
+    // Both dispatch paths write currentFlow_ before firing, so no reset
+    // is needed afterwards; out-of-dispatch scheduling that cares sets
+    // its own flow (beginFlow / setCurrentFlow).
+    currentFlow_ = node->generation;
     if (curSink_ != nullptr) {
         curSink_->counterEvent(telemetry::kPidSim, "eventq.pending", now_,
                                static_cast<double>(pendingCount_));

@@ -44,6 +44,9 @@ TelemetrySession::registerFlags(FlagParser &flags)
                     "write a Chrome trace (Perfetto) to this path");
     flags.addString("report", reportPath_,
                     "write a per-run report artifact to this path");
+    flags.addString("attrib", attribPath_,
+                    "write per-query critical-path latency attribution "
+                    "as JSON to this path");
     flags.addString("faults", faultSpec_,
                     "install a fault plan, e.g. "
                     "dram_latency:0.1,event_delay:0.05");
@@ -57,6 +60,12 @@ TelemetrySession::start()
     if (!tracePath_.empty()) {
         sink_.emplace();
         install_.emplace(&*sink_);
+    }
+    if (!attribPath_.empty()) {
+        attribution_.emplace();
+        attributionInstall_.emplace(&*attribution_);
+        attribution_->registerStats(
+            StatRegistry::instance().group("attrib"));
     }
     if (!faultSpec_.empty()) {
         plan_.emplace(fault::FaultPlan::parse(faultSpec_, faultSeed_));
@@ -103,6 +112,19 @@ TelemetrySession::finish()
                  [&](std::ostream &os) { registry.dumpCsv(os); });
         report_.noteArtifact("statsCsv", statsCsvPath_);
     }
+    if (attribution_ && !attribPath_.empty()) {
+        if (!attribution_->writeFile(attribPath_)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         attribPath_.c_str());
+            ok = false;
+        }
+        report_.noteArtifact("attrib", attribPath_);
+        report_.setMetric("attribQueries",
+                          static_cast<double>(
+                              attribution_->queries().size()));
+        report_.setMetric("attribCoverage",
+                          attribution_->componentCoverage());
+    }
     if (sink_ && !tracePath_.empty()) {
         if (!sink_->writeFile(tracePath_)) {
             std::fprintf(stderr, "error: cannot write %s\n",
@@ -122,6 +144,8 @@ TelemetrySession::finish()
     registry.clear();
     planInstall_.reset();
     plan_.reset();
+    attributionInstall_.reset();
+    attribution_.reset();
     install_.reset();
     sink_.reset();
     return ok ? 0 : 1;

@@ -42,6 +42,7 @@
 #include <string>
 
 #include "common/faultinject.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/report.hh"
 #include "telemetry/trace_sink.hh"
 
@@ -92,6 +93,12 @@ class TelemetrySession
     /** The run's trace sink, or nullptr when tracing is off. */
     TraceSink *traceSink() { return sink_ ? &*sink_ : nullptr; }
 
+    /** The run's attribution collector, or nullptr when off. */
+    Attribution *attribution()
+    {
+        return attribution_ ? &*attribution_ : nullptr;
+    }
+
     /** The run's fault plan, or nullptr when --faults was not given. */
     fault::FaultPlan *faultPlan() { return plan_ ? &*plan_ : nullptr; }
 
@@ -108,10 +115,13 @@ class TelemetrySession
     std::string statsCsvPath_;
     std::string tracePath_;
     std::string reportPath_;
+    std::string attribPath_;
     std::string faultSpec_;
     std::uint64_t faultSeed_ = 1;
     std::optional<TraceSink> sink_;
     std::optional<ScopedSinkInstall> install_;
+    std::optional<Attribution> attribution_;
+    std::optional<ScopedAttributionInstall> attributionInstall_;
     std::optional<fault::FaultPlan> plan_;
     std::optional<fault::ScopedPlanInstall> planInstall_;
     RunReport report_;

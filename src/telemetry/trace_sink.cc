@@ -79,6 +79,37 @@ TraceSink::counterEvent(int pid, std::string name, Tick at, double value)
 }
 
 void
+TraceSink::flowEvent(char phase, std::uint64_t id, int pid, int tid,
+                     const char *category, std::string name, Tick at)
+{
+    TraceEvent event{phase, pid, tid, at, 0, category, std::move(name),
+                     {}};
+    event.id = id;
+    events_.push_back(std::move(event));
+}
+
+void
+TraceSink::flowBegin(std::uint64_t id, int pid, int tid,
+                     const char *category, std::string name, Tick at)
+{
+    flowEvent('s', id, pid, tid, category, std::move(name), at);
+}
+
+void
+TraceSink::flowStep(std::uint64_t id, int pid, int tid,
+                    const char *category, std::string name, Tick at)
+{
+    flowEvent('t', id, pid, tid, category, std::move(name), at);
+}
+
+void
+TraceSink::flowEnd(std::uint64_t id, int pid, int tid,
+                   const char *category, std::string name, Tick at)
+{
+    flowEvent('f', id, pid, tid, category, std::move(name), at);
+}
+
+void
 TraceSink::setProcessName(int pid, std::string name)
 {
     processNames_[pid] = std::move(name);
@@ -136,6 +167,12 @@ TraceSink::write(std::ostream &os) const
             writeTimestamp(json, "dur", event.dur);
         if (event.phase == 'i')
             json.member("s", "t"); // thread-scoped instant
+        if (event.phase == 's' || event.phase == 't' ||
+            event.phase == 'f') {
+            json.member("id", event.id);
+            if (event.phase == 'f')
+                json.member("bp", "e"); // bind to the enclosing slice
+        }
         if (!event.args.empty()) {
             json.key("args");
             json.beginObject();

@@ -27,6 +27,7 @@
 #ifndef FAFNIR_TELEMETRY_TRACE_SINK_HH
 #define FAFNIR_TELEMETRY_TRACE_SINK_HH
 
+#include <cstdint>
 #include <initializer_list>
 #include <map>
 #include <ostream>
@@ -71,6 +72,29 @@ class TraceSink
     /** A counter-track sample, phase "C" (one series per name). */
     void counterEvent(int pid, std::string name, Tick at, double value);
 
+    /**
+     * @{ Flow events (Perfetto arrows). A flow is a chain of
+     * begin → step* → end events sharing one id; each binds to the slice
+     * enclosing @p at on track (pid, tid), so the viewer draws arrows
+     * connecting the spans of one causal chain (e.g. one query's route
+     * from a DRAM read through the tree to service delivery). The end
+     * event binds to its enclosing slice ("bp":"e"), matching how the
+     * begin/step events bind.
+     */
+    void flowBegin(std::uint64_t id, int pid, int tid,
+                   const char *category, std::string name, Tick at);
+    void flowStep(std::uint64_t id, int pid, int tid,
+                  const char *category, std::string name, Tick at);
+    void flowEnd(std::uint64_t id, int pid, int tid,
+                 const char *category, std::string name, Tick at);
+    /** @} */
+
+    /** Allocate a fresh flow id; strictly increasing from 1. */
+    std::uint64_t newFlowId() { return ++lastFlowId_; }
+
+    /** The most recently allocated flow id (0 = none yet). */
+    std::uint64_t lastFlowId() const { return lastFlowId_; }
+
     /** Label a process/thread in the viewer (idempotent). */
     void setProcessName(int pid, std::string name);
     void setThreadName(int pid, int tid, std::string name);
@@ -94,11 +118,17 @@ class TraceSink
         const char *category;
         std::string name;
         std::vector<std::pair<std::string, double>> args;
+        /** Flow binding id (phases 's'/'t'/'f' only). */
+        std::uint64_t id = 0;
     };
+
+    void flowEvent(char phase, std::uint64_t id, int pid, int tid,
+                   const char *category, std::string name, Tick at);
 
     std::vector<TraceEvent> events_;
     std::map<int, std::string> processNames_;
     std::map<std::pair<int, int>, std::string> threadNames_;
+    std::uint64_t lastFlowId_ = 0;
 };
 
 /** The installed process-global sink, or nullptr when tracing is off. */

@@ -10,7 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <sstream>
+
+#include "json_test_util.hh"
 
 #include "common/stats.hh"
 #include "embedding/generator.hh"
@@ -19,236 +22,11 @@
 #include "telemetry/trace_sink.hh"
 
 using namespace fafnir;
+using testutil::JsonValue;
+using testutil::parseJson;
 
 namespace
 {
-
-// --- A strict-enough JSON parser for validating emitted documents. ----
-
-struct JsonValue
-{
-    enum class Kind
-    {
-        Null,
-        Boolean,
-        Number,
-        String,
-        Array,
-        Object,
-    };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-
-    const JsonValue &
-    at(const std::string &key) const
-    {
-        const JsonValue *v = find(key);
-        EXPECT_NE(v, nullptr) << "missing key " << key;
-        static const JsonValue null;
-        return v != nullptr ? *v : null;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-    /** Parse the whole document; sets ok to false on any error. */
-    JsonValue
-    parse(bool &ok)
-    {
-        ok = true;
-        const JsonValue v = parseValue(ok);
-        skipSpace();
-        if (pos_ != text_.size())
-            ok = false;
-        return v;
-    }
-
-  private:
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-                text_[pos_] == '\t' || text_[pos_] == '\r')) {
-            ++pos_;
-        }
-    }
-
-    bool
-    consume(char c)
-    {
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const std::size_t n = std::string(word).size();
-        if (text_.compare(pos_, n, word) == 0) {
-            pos_ += n;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    parseValue(bool &ok)
-    {
-        skipSpace();
-        JsonValue v;
-        if (pos_ >= text_.size()) {
-            ok = false;
-            return v;
-        }
-        const char c = text_[pos_];
-        if (c == '{')
-            return parseObject(ok);
-        if (c == '[')
-            return parseArray(ok);
-        if (c == '"') {
-            v.kind = JsonValue::Kind::String;
-            v.text = parseString(ok);
-            return v;
-        }
-        if (literal("null"))
-            return v;
-        if (literal("true")) {
-            v.kind = JsonValue::Kind::Boolean;
-            v.boolean = true;
-            return v;
-        }
-        if (literal("false")) {
-            v.kind = JsonValue::Kind::Boolean;
-            return v;
-        }
-        // Number.
-        std::size_t end = pos_;
-        while (end < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
-                text_[end] == '-' || text_[end] == '+' ||
-                text_[end] == '.' || text_[end] == 'e' ||
-                text_[end] == 'E')) {
-            ++end;
-        }
-        if (end == pos_) {
-            ok = false;
-            return v;
-        }
-        v.kind = JsonValue::Kind::Number;
-        try {
-            v.number = std::stod(text_.substr(pos_, end - pos_));
-        } catch (const std::exception &) {
-            ok = false;
-        }
-        pos_ = end;
-        return v;
-    }
-
-    std::string
-    parseString(bool &ok)
-    {
-        std::string out;
-        if (!consume('"')) {
-            ok = false;
-            return out;
-        }
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\' && pos_ < text_.size()) {
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case 'n': c = '\n'; break;
-                  case 't': c = '\t'; break;
-                  case 'r': c = '\r'; break;
-                  case 'u':
-                    // Keep the raw escape; tests only compare ASCII.
-                    out += "\\u";
-                    continue;
-                  default: c = esc; break;
-                }
-            }
-            out += c;
-        }
-        if (!consume('"'))
-            ok = false;
-        return out;
-    }
-
-    JsonValue
-    parseObject(bool &ok)
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        consume('{');
-        skipSpace();
-        if (consume('}'))
-            return v;
-        do {
-            skipSpace();
-            std::string key = parseString(ok);
-            if (!consume(':')) {
-                ok = false;
-                return v;
-            }
-            v.object.emplace_back(std::move(key), parseValue(ok));
-        } while (ok && consume(','));
-        if (!consume('}'))
-            ok = false;
-        return v;
-    }
-
-    JsonValue
-    parseArray(bool &ok)
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        consume('[');
-        skipSpace();
-        if (consume(']'))
-            return v;
-        do {
-            v.array.push_back(parseValue(ok));
-        } while (ok && consume(','));
-        if (!consume(']'))
-            ok = false;
-        return v;
-    }
-
-    std::string text_;
-    std::size_t pos_ = 0;
-};
-
-JsonValue
-parseJson(const std::string &text)
-{
-    bool ok = true;
-    JsonParser parser(text);
-    const JsonValue v = parser.parse(ok);
-    EXPECT_TRUE(ok) << "invalid JSON: " << text.substr(0, 200);
-    return v;
-}
 
 /** An event-engine rig for exercising real instrumentation sites. */
 core::EventLookupTiming
@@ -502,6 +280,98 @@ TEST(TraceSink, EndToEndTraceOfALookupParses)
     }
     EXPECT_TRUE(tree_span);
     EXPECT_TRUE(named_process);
+}
+
+// --- Flow events (Perfetto arrows). -----------------------------------
+
+TEST(TraceSink, FlowEventsRoundTripWithSharedId)
+{
+    telemetry::TraceSink sink;
+    const std::uint64_t fid = sink.newFlowId();
+    sink.completeEvent(telemetry::kPidDram, 0, "dram.read", "rd",
+                       kTicksPerUs, kTicksPerUs);
+    sink.flowBegin(fid, telemetry::kPidDram, 0, "flow", "q0",
+                   kTicksPerUs);
+    sink.flowStep(fid, telemetry::kPidTree, 4, "flow", "q0",
+                  3 * kTicksPerUs);
+    sink.flowEnd(fid, telemetry::kPidService, 3, "flow", "q0",
+                 5 * kTicksPerUs);
+
+    std::ostringstream os;
+    sink.write(os);
+    const JsonValue root = parseJson(os.str());
+
+    bool begin = false, step = false, end = false;
+    for (const JsonValue &e : root.at("traceEvents").array) {
+        const std::string phase = e.at("ph").text;
+        if (phase != "s" && phase != "t" && phase != "f")
+            continue;
+        EXPECT_DOUBLE_EQ(e.at("id").number,
+                         static_cast<double>(fid));
+        EXPECT_EQ(e.at("cat").text, "flow");
+        if (phase == "s") {
+            begin = true;
+            EXPECT_DOUBLE_EQ(e.at("ts").number, 1.0);
+        }
+        if (phase == "t")
+            step = true;
+        if (phase == "f") {
+            end = true;
+            // Perfetto requires binding the arrowhead to the
+            // enclosing slice, not the next one.
+            EXPECT_EQ(e.at("bp").text, "e");
+        }
+    }
+    EXPECT_TRUE(begin);
+    EXPECT_TRUE(step);
+    EXPECT_TRUE(end);
+}
+
+TEST(TraceSink, FlowIdsAreMonotonic)
+{
+    telemetry::TraceSink sink;
+    const std::uint64_t first = sink.newFlowId();
+    const std::uint64_t second = sink.newFlowId();
+    EXPECT_GT(second, first);
+    EXPECT_EQ(sink.lastFlowId(), second);
+}
+
+TEST(TraceSink, LookupEmitsWellFormedFlowPairs)
+{
+    telemetry::TraceSink sink;
+    {
+        telemetry::ScopedSinkInstall install(&sink);
+        runOneLookup();
+    }
+    std::ostringstream os;
+    sink.write(os);
+    const JsonValue root = parseJson(os.str());
+
+    // Every flow terminator must share its id with exactly one start,
+    // and arrows must not point backwards in time.
+    std::map<double, double> begin_ts;
+    std::size_t terminators = 0;
+    for (const JsonValue &e : root.at("traceEvents").array) {
+        const std::string phase = e.at("ph").text;
+        if (phase == "s") {
+            const double id = e.at("id").number;
+            EXPECT_EQ(begin_ts.count(id), 0u)
+                << "duplicate flow start " << id;
+            begin_ts[id] = e.at("ts").number;
+        }
+    }
+    EXPECT_FALSE(begin_ts.empty());
+    for (const JsonValue &e : root.at("traceEvents").array) {
+        const std::string phase = e.at("ph").text;
+        if (phase != "t" && phase != "f")
+            continue;
+        ++terminators;
+        const double id = e.at("id").number;
+        ASSERT_EQ(begin_ts.count(id), 1u)
+            << "flow " << phase << " without start, id " << id;
+        EXPECT_GE(e.at("ts").number, begin_ts[id]);
+    }
+    EXPECT_GT(terminators, 0u);
 }
 
 // --- Run report. ------------------------------------------------------

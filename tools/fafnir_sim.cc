@@ -377,6 +377,32 @@ runLookup(const Options &opt, telemetry::TelemetrySession &session)
                 e.dramUj, e.ndpUj, e.hostIoUj, e.total(),
                 e.total() * 1000.0 / queries);
 
+    if (auto *attr = session.attribution();
+        attr != nullptr && !attr->queries().empty()) {
+        Tick dram = 0, ctrl = 0, compute = 0, wait = 0, service = 0,
+             total = 0;
+        for (const auto &q : attr->queries()) {
+            dram += q.dramService;
+            ctrl += q.ctrlQueue;
+            compute += q.peCompute;
+            wait += q.forwardWait;
+            service += q.serviceQueue;
+            total += q.total();
+        }
+        const double t = total != 0 ? static_cast<double>(total) : 1.0;
+        std::printf("attribution: %zu queries — dram %.1f%%, "
+                    "ctrl-queue %.1f%%, pe-compute %.1f%%, "
+                    "forward-wait %.1f%%, service %.1f%% "
+                    "(mean meeting height %.2f)\n",
+                    attr->queries().size(),
+                    100.0 * static_cast<double>(dram) / t,
+                    100.0 * static_cast<double>(ctrl) / t,
+                    100.0 * static_cast<double>(compute) / t,
+                    100.0 * static_cast<double>(wait) / t,
+                    100.0 * static_cast<double>(service) / t,
+                    attr->meanMeetingHeight());
+    }
+
     StatRegistry &registry = StatRegistry::instance();
     memory.registerStats(registry.group("memory"));
     if (event_engine)
