@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Serving-path microbenchmark: host prepare throughput and replica
+ * scaling.
+ *
+ * Two measurements back the pipelined-serving PR:
+ *
+ *  - Wall-clock batch-prepare throughput (references/sec) for the flat
+ *    open-addressing hash dedup against the ordered-map reference it
+ *    replaced. Best of ten runs, so a noisy neighbour on a shared box
+ *    cannot masquerade as a regression. `prepare_hash_speedup` is the
+ *    gated ratio (floor: 1.3x).
+ *
+ *  - Simulated offered-load capacity (batches/sec of simulated time)
+ *    of the pipelined front-end at 1, 2, and 4 engine replicas.
+ *    `replica_scaling_speedup` = capacity(4) / capacity(1) is the
+ *    gated ratio (floor: 2x).
+ *
+ * Emits BENCH_serving.json by default; tools/bench_diff gates it in CI
+ * against results/BENCH_serving_baseline.json.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+#include "dram/memsystem.hh"
+#include "embedding/generator.hh"
+#include "embedding/layout.hh"
+#include "embedding/table.hh"
+#include "fafnir/host.hh"
+#include "fafnir/serving.hh"
+#include "sim/eventq.hh"
+#include "telemetry/session.hh"
+
+using namespace fafnir;
+using namespace fafnir::core;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point begin, Clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/** Best rate out of @p reps runs (least-disturbed measurement). */
+template <typename F>
+double
+bestOf(unsigned reps, F &&run)
+{
+    double best = run();
+    for (unsigned r = 1; r < reps; ++r)
+        best = std::max(best, run());
+    return best;
+}
+
+embedding::TableConfig
+tableConfig()
+{
+    return {32, 1u << 18, 512, 4};
+}
+
+std::vector<embedding::Batch>
+makeBatches(unsigned count, unsigned batch_size, unsigned query_size,
+            std::uint64_t seed)
+{
+    embedding::WorkloadConfig wc;
+    wc.tables = tableConfig();
+    wc.batchSize = batch_size;
+    wc.querySize = query_size;
+    wc.popularity = embedding::Popularity::Zipfian;
+    wc.zipfSkew = 0.9;
+    wc.hotFraction = 0.01;
+    embedding::BatchGenerator gen(wc, seed);
+    std::vector<embedding::Batch> batches;
+    for (unsigned i = 0; i < count; ++i)
+        batches.push_back(gen.next());
+    return batches;
+}
+
+/**
+ * References prepared per wall-clock second with @p usingHash selecting
+ * the flat-hash fast path or the ordered-map reference. Headers only
+ * (pool == nullptr, values synthesized lazily elsewhere): prepare cost
+ * is dominated by the dedup structure, which is what we compare.
+ */
+double
+benchPrepare(const embedding::VectorLayout &layout,
+             const std::vector<embedding::Batch> &batches,
+             std::uint64_t iterations, bool usingHash)
+{
+    std::size_t references = 0;
+    for (const auto &b : batches)
+        references += b.totalIndices();
+
+    std::size_t reads = 0;
+    const auto begin = Clock::now();
+    for (std::uint64_t it = 0; it < iterations; ++it) {
+        for (const auto &b : batches) {
+            PreparedBatch p = usingHash
+                ? prepareBatch(layout, nullptr, b, true)
+                : prepareBatchReference(layout, nullptr, b, true);
+            for (const auto &rank : p.rankReads)
+                reads += rank.size();
+        }
+    }
+    const auto end = Clock::now();
+    FAFNIR_ASSERT(reads > 0, "prepare produced no reads");
+    return static_cast<double>(references) *
+           static_cast<double>(iterations) / seconds(begin, end);
+}
+
+/** Simulated capacity (batches per simulated second) at @p engines. */
+double
+benchCapacity(const std::vector<embedding::Batch> &batches,
+              unsigned engines)
+{
+    ReplicaMemoryConfig mem;
+    EventEngineConfig ecfg;
+    std::vector<EngineReplica> replicas =
+        makeEventReplicas(engines, mem, tableConfig(), ecfg, nullptr);
+
+    ServingConfig sc;
+    sc.engines = engines;
+    // Depth must scale with the replica count or the in-flight cap
+    // (depth batches) starves engines beyond the second.
+    sc.pipelineDepth = 2 * engines;
+    ServingPipeline pipeline(sc, replicas, nullptr);
+    const PipelineReport report = pipeline.serve(batches, 0);
+    return report.requestsPerSecond();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned batches = 24;
+    unsigned batch_size = 32;
+    unsigned query_size = 24;
+    std::uint64_t prepare_iters = 200;
+    unsigned capacity_batches = 48;
+    unsigned reps = 10;
+
+    FlagParser flags("serving microbenchmark: prepare throughput and "
+                     "replica scaling");
+    flags.addUnsigned("batches", batches,
+                      "batches in the prepare working set");
+    flags.addUnsigned("batch", batch_size, "queries per batch");
+    flags.addUnsigned("query-size", query_size, "indices per query");
+    flags.addUint64("prepare-iters", prepare_iters,
+                    "passes over the working set per prepare sample");
+    flags.addUnsigned("capacity-batches", capacity_batches,
+                      "batches per simulated capacity run");
+    flags.addUnsigned("reps", reps,
+                      "samples per measurement (best is kept)");
+    telemetry::TelemetrySession session("micro_serving");
+    session.registerFlags(flags);
+    flags.parse(argc, argv);
+    session.defaultReportPath("BENCH_serving.json");
+    session.start();
+
+    session.report().setConfig("batches", std::uint64_t(batches));
+    session.report().setConfig("batch", std::uint64_t(batch_size));
+    session.report().setConfig("querySize", std::uint64_t(query_size));
+    session.report().setConfig("prepareIters", prepare_iters);
+    session.report().setConfig("capacityBatches",
+                               std::uint64_t(capacity_batches));
+
+    EventQueue eq;
+    dram::MemorySystem memory(eq, dram::Geometry::withTotalRanks(32),
+                              dram::Timing::ddr4_2400(),
+                              dram::Interleave::BlockRank, 512);
+    const embedding::VectorLayout layout(tableConfig(), memory.mapper());
+    const auto prepare_set = makeBatches(batches, batch_size,
+                                         query_size, 7);
+
+    const double hash_rate = bestOf(reps, [&] {
+        return benchPrepare(layout, prepare_set, prepare_iters, true);
+    });
+    const double map_rate = bestOf(reps, [&] {
+        return benchPrepare(layout, prepare_set, prepare_iters, false);
+    });
+
+    const auto capacity_set = makeBatches(capacity_batches, 16, 24, 11);
+    const double cap1 = benchCapacity(capacity_set, 1);
+    const double cap2 = benchCapacity(capacity_set, 2);
+    const double cap4 = benchCapacity(capacity_set, 4);
+
+    struct Metric
+    {
+        const char *name;
+        double value;
+    };
+    const std::vector<Metric> metrics = {
+        {"prepare_hash_refs_per_sec", hash_rate},
+        {"prepare_map_refs_per_sec", map_rate},
+        {"prepare_hash_speedup", hash_rate / map_rate},
+        {"capacity_1_engine_batches_per_sec", cap1},
+        {"capacity_2_engines_batches_per_sec", cap2},
+        {"capacity_4_engines_batches_per_sec", cap4},
+        {"replica_scaling_speedup", cap4 / cap1},
+    };
+
+    TextTable table("Serving microbenchmark");
+    table.setHeader({"metric", "value"});
+    for (const Metric &m : metrics) {
+        session.report().setMetric(m.name, m.value);
+        table.row(m.name, TextTable::num(m.value, 2));
+    }
+    table.print(std::cout);
+
+    return session.finish();
+}

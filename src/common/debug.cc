@@ -42,9 +42,12 @@ DebugFlags::enableFromString(const std::string &list)
             enable(DebugFlag::Spmv);
         } else if (name == "controller") {
             enable(DebugFlag::Controller);
+        } else if (name == "serving") {
+            enable(DebugFlag::Serving);
         } else {
             FAFNIR_FATAL("unknown debug flag '", name,
-                         "' (known: dram, tree, host, spmv, controller)");
+                         "' (known: dram, tree, host, spmv, controller, "
+                         "serving)");
         }
     }
 }

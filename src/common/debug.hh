@@ -27,6 +27,7 @@ enum class DebugFlag : unsigned
     Host = 1u << 2,
     Spmv = 1u << 3,
     Controller = 1u << 4,
+    Serving = 1u << 5,
 };
 
 /** Runtime debug-flag registry. */

@@ -6,6 +6,7 @@
 #include "batcher.hh"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/faultinject.hh"
@@ -47,6 +48,24 @@ emit(ComposedBatches &out, const std::vector<Query> &queries,
     out.originalIndex.push_back(std::move(origin));
 }
 
+/** FIFO: arrival order, chunks of batchSize. */
+ComposedBatches
+composeFifo(const std::vector<Query> &queries,
+            const BatcherConfig &config)
+{
+    ComposedBatches out;
+    for (std::size_t first = 0; first < queries.size();
+         first += config.batchSize) {
+        const std::size_t last = std::min(
+            queries.size(), first + config.batchSize);
+        std::vector<std::size_t> picked;
+        for (std::size_t i = first; i < last; ++i)
+            picked.push_back(i);
+        emit(out, queries, std::move(picked));
+    }
+    return out;
+}
+
 } // namespace
 
 ComposedBatches
@@ -57,24 +76,96 @@ composeBatches(const std::vector<Query> &queries,
     ComposedBatches out;
     if (queries.empty())
         return out;
-
-    if (config.policy == BatchPolicy::Fifo) {
-        for (std::size_t first = 0; first < queries.size();
-             first += config.batchSize) {
-            const std::size_t last = std::min(
-                queries.size(), first + config.batchSize);
-            std::vector<std::size_t> picked;
-            for (std::size_t i = first; i < last; ++i)
-                picked.push_back(i);
-            emit(out, queries, std::move(picked));
-        }
-        return out;
-    }
+    if (config.policy == BatchPolicy::Fifo)
+        return composeFifo(queries, config);
 
     // Similarity: within a sliding window, seed each batch with the
     // oldest pending query (bounding its delay), then greedily add the
     // window query with the largest index overlap against the batch's
-    // accumulated index set.
+    // accumulated index set. Overlap scores are maintained
+    // incrementally: an inverted index (table index -> window
+    // candidates containing it) lets each index that newly enters the
+    // batch set bump only the candidates it appears in, so a pick
+    // costs one O(window) argmax scan instead of rescanning every
+    // candidate against the whole set.
+    std::vector<bool> used(queries.size(), false);
+    std::size_t oldest = 0;
+    std::size_t remaining = queries.size();
+    while (remaining > 0) {
+        while (oldest < queries.size() && used[oldest])
+            ++oldest;
+        const std::size_t window_end =
+            std::min(queries.size(), oldest + config.windowSize);
+
+        std::vector<std::size_t> picked{oldest};
+        used[oldest] = true;
+        --remaining;
+
+        // Window-local candidate table. Entry c covers query index
+        // oldest + 1 + c; scores track overlap with batch_set.
+        const std::size_t candidates =
+            window_end > oldest + 1 ? window_end - oldest - 1 : 0;
+        std::vector<std::size_t> score(candidates, 0);
+        std::unordered_map<IndexId, std::vector<std::size_t>> inverted;
+        for (std::size_t c = 0; c < candidates; ++c) {
+            if (used[oldest + 1 + c])
+                continue;
+            for (IndexId index : queries[oldest + 1 + c].indices)
+                inverted[index].push_back(c);
+        }
+
+        std::unordered_set<IndexId> batch_set;
+        auto cover = [&](const Query &q) {
+            // Bump only candidates containing each index that is new
+            // to the batch's set; repeats across queries cost nothing.
+            for (IndexId index : q.indices) {
+                if (!batch_set.insert(index).second)
+                    continue;
+                const auto it = inverted.find(index);
+                if (it == inverted.end())
+                    continue;
+                for (std::size_t c : it->second)
+                    ++score[c];
+            }
+        };
+        cover(queries[oldest]);
+
+        while (picked.size() < config.batchSize && remaining > 0) {
+            // Same tie-break as the reference: the first unused
+            // candidate wins; later ones must be strictly better.
+            std::size_t best = queries.size();
+            std::size_t best_overlap = 0;
+            for (std::size_t c = 0; c < candidates; ++c) {
+                if (used[oldest + 1 + c])
+                    continue;
+                if (best == queries.size() || score[c] > best_overlap) {
+                    best = oldest + 1 + c;
+                    best_overlap = score[c];
+                }
+            }
+            if (best == queries.size())
+                break; // window exhausted
+            used[best] = true;
+            --remaining;
+            picked.push_back(best);
+            cover(queries[best]);
+        }
+        emit(out, queries, std::move(picked));
+    }
+    return out;
+}
+
+ComposedBatches
+composeBatchesReference(const std::vector<Query> &queries,
+                        const BatcherConfig &config)
+{
+    FAFNIR_ASSERT(config.batchSize > 0, "batch size must be positive");
+    ComposedBatches out;
+    if (queries.empty())
+        return out;
+    if (config.policy == BatchPolicy::Fifo)
+        return composeFifo(queries, config);
+
     std::vector<bool> used(queries.size(), false);
     std::size_t oldest = 0;
     std::size_t remaining = queries.size();

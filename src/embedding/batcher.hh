@@ -58,8 +58,27 @@ struct ComposedBatches
     double meanUniqueFraction() const;
 };
 
+/**
+ * The hot-path composer. Under Similarity the greedy pick maintains
+ * per-candidate overlap scores incrementally (an inverted index over
+ * the window's queries; when an index newly enters the batch's set,
+ * only the candidates containing it are bumped) instead of rescanning
+ * every candidate against the full batch set on every pick — same
+ * O(window) argmax scan per pick, but the per-index work drops from
+ * O(window x querySize) per pick to O(containing candidates) per newly
+ * covered index. Output is bit-identical to composeBatchesReference.
+ */
 ComposedBatches composeBatches(const std::vector<Query> &queries,
                                const BatcherConfig &config);
+
+/**
+ * Reference composer: recomputes each candidate's overlap against the
+ * accumulated batch set on every pick (O(window^2) per batch). Kept for
+ * differential testing in test_batcher; composeBatches must match it
+ * batch-for-batch and query-for-query.
+ */
+ComposedBatches composeBatchesReference(const std::vector<Query> &queries,
+                                        const BatcherConfig &config);
 
 /**
  * Apply the query-corruption hooks of the installed fault::FaultPlan to

@@ -51,8 +51,22 @@ struct ServedRequest
 struct ServiceReport
 {
     std::vector<ServedRequest> requests;
-    /** True when the backlog grew monotonically (offered load beyond
-     *  capacity). */
+    /**
+     * True when the backlog grew through the run, i.e. offered load
+     * exceeded engine capacity. The heuristic compares the mean
+     * queueing delay of the last quarter of requests against the first
+     * quarter and trips when
+     *
+     *     tail > 2.0 * head + 1000 ticks
+     *
+     * The 2x factor demands sustained growth (a stable queue's head and
+     * tail means agree; an unstable one grows linearly, so the tail
+     * quarter sits far above the head quarter), and the 1000-tick (1 ns)
+     * offset keeps a zero-queue run — head == tail == 0 — and other
+     * sub-nanosecond jitter from tripping the gate. Runs shorter than 8
+     * requests never report saturation: the quarters are too small to
+     * distinguish trend from noise.
+     */
     bool saturated = false;
 
     Tick percentileTotal(double p) const;

@@ -32,7 +32,7 @@ FafnirEngine::lookup(const embedding::Batch &batch, Tick start)
     if (batch.size() <= capacity) {
         PreparedBatch prepared = host_.prepare(batch, config_.dedup);
         scheduleReads(prepared, config_.readOrder, memory_.mapper());
-        return lookupPrepared(prepared, start, 0);
+        return runPrepared(prepared, start, 0);
     }
 
     // Serve the software batch as hardware sub-batches: sub-batch i+1's
@@ -58,7 +58,7 @@ FafnirEngine::lookup(const embedding::Batch &batch, Tick start)
         PreparedBatch sub_prepared = host_.prepare(sub, config_.dedup);
         scheduleReads(sub_prepared, config_.readOrder, memory_.mapper());
         LookupTiming t =
-            lookupPrepared(sub_prepared, sub_start, min_complete);
+            runPrepared(sub_prepared, sub_start, min_complete);
         for (std::size_t i = first; i < last; ++i)
             merged.queryComplete[i] = t.queryComplete[i - first];
         merged.memFirst = std::min(merged.memFirst, t.memFirst);
@@ -88,7 +88,7 @@ FafnirEngine::lookupMany(const std::vector<embedding::Batch> &batches,
     for (const auto &batch : batches) {
         PreparedBatch prepared = host_.prepare(batch, config_.dedup);
         scheduleReads(prepared, config_.readOrder, memory_.mapper());
-        LookupTiming t = lookupPrepared(prepared, start, min_complete);
+        LookupTiming t = runPrepared(prepared, start, min_complete);
         min_complete = t.complete;
         timings.push_back(std::move(t));
     }
@@ -96,8 +96,15 @@ FafnirEngine::lookupMany(const std::vector<embedding::Batch> &batches,
 }
 
 LookupTiming
-FafnirEngine::lookupPrepared(const PreparedBatch &prepared, Tick start,
-                             Tick min_complete)
+FafnirEngine::lookupPrepared(PreparedBatch &prepared, Tick start)
+{
+    scheduleReads(prepared, config_.readOrder, memory_.mapper());
+    return runPrepared(prepared, start, 0);
+}
+
+LookupTiming
+FafnirEngine::runPrepared(const PreparedBatch &prepared, Tick start,
+                          Tick min_complete)
 {
     const unsigned vector_bytes = layout_.tables().vectorBytes;
     const unsigned num_pes = topology_.numPes();

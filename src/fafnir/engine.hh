@@ -110,6 +110,14 @@ class FafnirEngine
     LookupTiming lookup(const embedding::Batch &batch, Tick start);
 
     /**
+     * Run one pre-compiled batch starting at @p start (serving-pipeline
+     * entry; prepare happened upstream). By reference: read scheduling
+     * reorders the per-rank lists in place (idempotently); the caller
+     * keeps ownership of the value buffers.
+     */
+    LookupTiming lookupPrepared(PreparedBatch &prepared, Tick start);
+
+    /**
      * Run @p batches back to back (memory-pipelined: a batch's reads are
      * admitted as soon as the memory system can take them, and root
      * deliveries stay ordered). Returns the per-batch timings.
@@ -130,8 +138,8 @@ class FafnirEngine
     /** @} */
 
   private:
-    LookupTiming lookupPrepared(const PreparedBatch &prepared, Tick start,
-                                Tick min_complete);
+    LookupTiming runPrepared(const PreparedBatch &prepared, Tick start,
+                             Tick min_complete);
 
     dram::MemorySystem &memory_;
     const embedding::VectorLayout &layout_;

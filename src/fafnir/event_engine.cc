@@ -116,6 +116,13 @@ EventDrivenEngine::lookupMany(const std::vector<embedding::Batch> &batches,
 EventLookupTiming
 EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
 {
+    PreparedBatch prepared = host_.prepare(batch, config_.base.dedup);
+    return lookupPrepared(prepared, start);
+}
+
+EventLookupTiming
+EventDrivenEngine::lookupPrepared(PreparedBatch &prepared, Tick start)
+{
     const unsigned vector_bytes = layout_.tables().vectorBytes;
     const unsigned num_pes = topology_.numPes();
     EventQueue &eq = memory_.eventq();
@@ -123,7 +130,6 @@ EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
     // schedule completions in the past.
     start = std::max(start, eq.now());
 
-    PreparedBatch prepared = host_.prepare(batch, config_.base.dedup);
     scheduleReads(prepared, config_.base.readOrder, memory_.mapper());
     TreeRun run = tree_.run(prepared, config_.computeValues,
                             /*keep_trace=*/true, config_.reduceOp);

@@ -107,6 +107,16 @@ class EventDrivenEngine
     /** Run one batch starting at @p start. */
     EventLookupTiming lookup(const embedding::Batch &batch, Tick start);
 
+    /**
+     * Run one pre-compiled batch starting at @p start — the serving
+     * pipeline's entry, where host prepare happened upstream (possibly
+     * overlapped with an earlier batch's execution on this engine).
+     * Takes the batch by reference: read scheduling reorders per-rank
+     * lists in place (idempotently), and the caller keeps ownership of
+     * the value buffers (the pipeline's per-slot arenas).
+     */
+    EventLookupTiming lookupPrepared(PreparedBatch &prepared, Tick start);
+
     /** Run batches back to back, admitting each batch's reads once the
      *  previous batch's memory traffic drains. */
     std::vector<EventLookupTiming>

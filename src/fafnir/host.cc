@@ -6,6 +6,8 @@
 #include "host.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <map>
 
 #include "common/debug.hh"
@@ -33,64 +35,241 @@ PreparedBatch::loadImbalance() const
     return static_cast<double>(maxReadsPerRank()) / mean;
 }
 
-PreparedBatch
-Host::prepare(const embedding::Batch &batch, bool dedup) const
+namespace
 {
-    batch.check();
 
+/** Shared skeleton: everything but the dedup scan itself. */
+struct PrepareContext
+{
+    const embedding::VectorLayout &layout;
+    const embedding::EmbeddingStore *store;
+    VectorPool *pool;
     PreparedBatch prepared;
-    prepared.rankReads.resize(layout_.mapper().geometry().totalRanks());
-    prepared.totalReferences = batch.totalIndices();
-    prepared.querySets.reserve(batch.size());
-    for (const auto &q : batch.queries)
-        prepared.querySets.emplace_back(q.indices);
 
-    auto make_read = [&](IndexId index,
-                         SmallVec<QueryResidual, 2> queries) {
+    PrepareContext(const embedding::VectorLayout &lay,
+                   const embedding::EmbeddingStore *st,
+                   const embedding::Batch &batch, VectorPool *pl)
+        : layout(lay), store(st), pool(pl)
+    {
+        batch.check();
+        prepared.rankReads.resize(lay.mapper().geometry().totalRanks());
+        prepared.totalReferences = batch.totalIndices();
+        prepared.querySets.reserve(batch.size());
+        for (const auto &q : batch.queries)
+            prepared.querySets.emplace_back(q.indices);
+    }
+
+    void
+    makeRead(IndexId index, SmallVec<QueryResidual, 2> queries)
+    {
         RankRead read;
         read.index = index;
-        read.address = layout_.addressOf(index);
+        read.address = layout.addressOf(index);
         read.item.indices = IndexSet::single(index);
         read.item.queries = std::move(queries);
-        if (store_)
-            read.item.value = store_->vector(index);
-        const unsigned rank = layout_.rankOf(index);
+        if (store) {
+            if (pool) {
+                const unsigned dim = store->config().dim();
+                read.item.value = pool->acquire(dim);
+                for (unsigned e = 0; e < dim; ++e)
+                    read.item.value[e] = store->element(index, e);
+            } else {
+                read.item.value = store->vector(index);
+            }
+        }
+        const unsigned rank = layout.rankOf(index);
         prepared.rankReads[rank].push_back(std::move(read));
         ++prepared.accessCount;
-    };
+    }
 
-    // Distinct indices, and which queries reference each (ordered map for
-    // deterministic read issue order).
-    std::map<IndexId, std::vector<QueryId>> users;
-    for (const auto &q : batch.queries)
-        for (IndexId index : q.indices)
-            users[index].push_back(q.id);
-    prepared.uniqueCount = users.size();
-
-    if (dedup) {
-        for (const auto &[index, queries] : users) {
-            SmallVec<QueryResidual, 2> residuals;
-            residuals.reserve(queries.size());
-            const IndexSet self = IndexSet::single(index);
-            for (QueryId q : queries)
-                residuals.push_back({q, prepared.querySets[q].minus(self)});
-            make_read(index, std::move(residuals));
+    void
+    emitDedupRead(IndexId index, const QueryId *users, std::size_t count)
+    {
+        SmallVec<QueryResidual, 2> residuals;
+        residuals.reserve(count);
+        const IndexSet self = IndexSet::single(index);
+        for (std::size_t i = 0; i < count; ++i) {
+            const QueryId q = users[i];
+            residuals.push_back({q, prepared.querySets[q].minus(self)});
         }
-    } else {
+        makeRead(index, std::move(residuals));
+    }
+
+    void
+    emitNoDedup(const embedding::Batch &batch)
+    {
+        // uniqueCount is still reported in no-dedup mode (it is the
+        // denominator of the Figure 13/15 comparisons).
+        std::vector<IndexId> distinct;
+        distinct.reserve(prepared.totalReferences);
+        for (const auto &q : batch.queries)
+            distinct.insert(distinct.end(), q.indices.begin(),
+                            q.indices.end());
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                       distinct.end());
+        prepared.uniqueCount = distinct.size();
+
         for (const auto &q : batch.queries) {
             for (IndexId index : q.indices) {
                 const IndexSet self = IndexSet::single(index);
-                make_read(index,
-                          {{q.id, prepared.querySets[q.id].minus(self)}});
+                makeRead(index,
+                         {{q.id, prepared.querySets[q.id].minus(self)}});
             }
         }
     }
+};
+
+constexpr std::uint32_t kEmpty = std::numeric_limits<std::uint32_t>::max();
+
+std::size_t
+hashCapacityFor(std::size_t references)
+{
+    // Load factor <= 0.5: capacity = next pow2 >= 2 * references.
+    std::size_t cap = 16;
+    while (cap < references * 2)
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+PreparedBatch
+prepareBatch(const embedding::VectorLayout &layout,
+             const embedding::EmbeddingStore *store,
+             const embedding::Batch &batch, bool dedup, VectorPool *pool)
+{
+    PrepareContext ctx(layout, store, batch, pool);
+    if (!dedup) {
+        ctx.emitNoDedup(batch);
+        FAFNIR_DPRINTF(Host, "compiled batch of ", batch.size(),
+                       " queries: ", ctx.prepared.accessCount, " reads for ",
+                       ctx.prepared.totalReferences,
+                       " references (dedup=false, imbalance=",
+                       ctx.prepared.loadImbalance(), ")");
+        return std::move(ctx.prepared);
+    }
+
+    // Flat open-addressing dedup, sized from the batch's reference count
+    // (Batch::totalIndices upper-bounds the unique count). Per-index
+    // query lists are kept as a chain through `links` so insertion never
+    // allocates; a final sort of the entry table restores the
+    // index-ascending issue order of the ordered-map reference.
+    struct Entry
+    {
+        IndexId index;
+        std::uint32_t head;
+        std::uint32_t tail;
+        std::uint32_t count;
+    };
+    struct Link
+    {
+        QueryId query;
+        std::uint32_t next;
+    };
+
+    const std::size_t refs = ctx.prepared.totalReferences;
+    const std::size_t capacity = hashCapacityFor(refs);
+    const std::size_t mask = capacity - 1;
+    std::vector<std::uint32_t> slots(capacity, kEmpty);
+    std::vector<Entry> entries;
+    entries.reserve(refs);
+    std::vector<Link> links;
+    links.reserve(refs);
+
+    for (const auto &q : batch.queries) {
+        for (IndexId index : q.indices) {
+            // Fibonacci hashing spreads consecutive ids across the table.
+            std::size_t slot =
+                (static_cast<std::uint64_t>(index) *
+                 UINT64_C(0x9E3779B97F4A7C15) >> 32) & mask;
+            std::uint32_t entry_id;
+            while (true) {
+                const std::uint32_t occupant = slots[slot];
+                if (occupant == kEmpty) {
+                    entry_id = static_cast<std::uint32_t>(entries.size());
+                    slots[slot] = entry_id;
+                    entries.push_back({index, kEmpty, kEmpty, 0});
+                    break;
+                }
+                if (entries[occupant].index == index) {
+                    entry_id = occupant;
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+            Entry &entry = entries[entry_id];
+            const auto link_id = static_cast<std::uint32_t>(links.size());
+            links.push_back({q.id, kEmpty});
+            if (entry.tail == kEmpty)
+                entry.head = link_id;
+            else
+                links[entry.tail].next = link_id;
+            entry.tail = link_id;
+            ++entry.count;
+        }
+    }
+
+    ctx.prepared.uniqueCount = entries.size();
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) { return a.index < b.index; });
+
+    std::vector<QueryId> users;
+    for (const Entry &entry : entries) {
+        users.clear();
+        users.reserve(entry.count);
+        for (std::uint32_t link = entry.head; link != kEmpty;
+             link = links[link].next)
+            users.push_back(links[link].query);
+        ctx.emitDedupRead(entry.index, users.data(), users.size());
+    }
 
     FAFNIR_DPRINTF(Host, "compiled batch of ", batch.size(),
-                   " queries: ", prepared.accessCount, " reads for ",
-                   prepared.totalReferences, " references (dedup=",
-                   dedup, ", imbalance=", prepared.loadImbalance(), ")");
-    return prepared;
+                   " queries: ", ctx.prepared.accessCount, " reads for ",
+                   ctx.prepared.totalReferences,
+                   " references (dedup=true, imbalance=",
+                   ctx.prepared.loadImbalance(), ")");
+    return std::move(ctx.prepared);
+}
+
+PreparedBatch
+prepareBatchReference(const embedding::VectorLayout &layout,
+                      const embedding::EmbeddingStore *store,
+                      const embedding::Batch &batch, bool dedup,
+                      VectorPool *pool)
+{
+    PrepareContext ctx(layout, store, batch, pool);
+    if (!dedup) {
+        ctx.emitNoDedup(batch);
+        return std::move(ctx.prepared);
+    }
+
+    // Distinct indices, and which queries reference each (ordered map for
+    // deterministic index-ascending read issue order).
+    std::map<IndexId, std::vector<QueryId>> map_users;
+    for (const auto &q : batch.queries)
+        for (IndexId index : q.indices)
+            map_users[index].push_back(q.id);
+    ctx.prepared.uniqueCount = map_users.size();
+
+    for (const auto &[index, queries] : map_users)
+        ctx.emitDedupRead(index, queries.data(), queries.size());
+    return std::move(ctx.prepared);
+}
+
+void
+releasePrepared(PreparedBatch &prepared, VectorPool &pool)
+{
+    for (auto &reads : prepared.rankReads)
+        for (auto &read : reads)
+            pool.release(std::move(read.item.value));
+    prepared.rankReads.clear();
+}
+
+PreparedBatch
+Host::prepare(const embedding::Batch &batch, bool dedup) const
+{
+    return prepareBatch(layout_, store_, batch, dedup);
 }
 
 } // namespace fafnir::core

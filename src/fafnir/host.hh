@@ -21,6 +21,7 @@
 #include "embedding/query.hh"
 #include "embedding/table.hh"
 #include "fafnir/item.hh"
+#include "fafnir/pool.hh"
 
 namespace fafnir::core
 {
@@ -68,6 +69,37 @@ struct PreparedBatch
      */
     double loadImbalance() const;
 };
+
+/**
+ * Compile @p batch into per-rank read lists.
+ *
+ * The hot-path entry: dedup uses a flat open-addressing hash sized from
+ * the batch's reference count, then sorts the unique indices so the read
+ * issue order (index-ascending, per-index query order = encounter order)
+ * is bit-identical to the ordered-map reference below.
+ *
+ * @param pool when non-null, item value buffers are drawn from this
+ *        arena instead of fresh allocations (the serving pipeline keeps
+ *        one pool per pipeline slot and recycles the previous
+ *        occupant's buffers). Contents are identical either way.
+ */
+PreparedBatch prepareBatch(const embedding::VectorLayout &layout,
+                           const embedding::EmbeddingStore *store,
+                           const embedding::Batch &batch, bool dedup,
+                           VectorPool *pool = nullptr);
+
+/**
+ * Reference implementation of prepareBatch using an ordered map for the
+ * dedup scan. Kept for differential testing and the micro_serving
+ * prepare-throughput comparison; output is bit-identical to prepareBatch.
+ */
+PreparedBatch prepareBatchReference(const embedding::VectorLayout &layout,
+                                    const embedding::EmbeddingStore *store,
+                                    const embedding::Batch &batch,
+                                    bool dedup, VectorPool *pool = nullptr);
+
+/** Recycle @p prepared's item value buffers into @p pool. */
+void releasePrepared(PreparedBatch &prepared, VectorPool &pool);
 
 /** Compiles batches for the tree. */
 class Host

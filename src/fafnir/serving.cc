@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Implementation of the pipelined multi-engine serving front-end.
+ */
+
+#include "serving.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/debug.hh"
+#include "common/logging.hh"
+#include "telemetry/attribution.hh"
+#include "telemetry/trace_sink.hh"
+
+namespace fafnir::core
+{
+
+namespace
+{
+
+/** Service-track threads for the pipeline stages (0..3 are taken by the
+ *  open-loop queue/serve/guard/delivery rows). */
+constexpr int kPrepareTid = 6;
+constexpr int kDispatchTid = 7;
+constexpr int kWritebackTid = 8;
+constexpr int kEngineTidBase = 10;
+
+} // namespace
+
+std::vector<EngineReplica>
+makeEventReplicas(unsigned count, const ReplicaMemoryConfig &mem,
+                  const embedding::TableConfig &tables,
+                  const EventEngineConfig &config,
+                  const embedding::EmbeddingStore *store)
+{
+    std::vector<EngineReplica> replicas;
+    replicas.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        EngineReplica r;
+        r.eventq = std::make_unique<EventQueue>();
+        r.memory = std::make_unique<dram::MemorySystem>(
+            *r.eventq, mem.geometry, mem.timing, mem.interleave,
+            mem.blockBytes);
+        r.layout = std::make_unique<embedding::VectorLayout>(
+            tables, r.memory->mapper());
+        r.engine = std::make_unique<EventDrivenEngine>(
+            *r.memory, *r.layout, config, store);
+        replicas.push_back(std::move(r));
+    }
+    return replicas;
+}
+
+ServingPipeline::ServingPipeline(const ServingConfig &config,
+                                 std::vector<EngineReplica> &replicas,
+                                 const embedding::EmbeddingStore *store)
+    : config_(config), replicas_(replicas), store_(store)
+{
+    FAFNIR_ASSERT(config_.engines >= 1, "pipeline needs >= 1 engine");
+    FAFNIR_ASSERT(replicas_.size() >= config_.engines,
+                  "pipeline configured for ", config_.engines,
+                  " engines but only ", replicas_.size(),
+                  " replicas were built");
+    if (config_.pipelineDepth == 0)
+        config_.pipelineDepth = 1;
+    slotPools_.resize(config_.pipelineDepth);
+    perEngineBatches_.reserve(config_.engines);
+    for (unsigned e = 0; e < config_.engines; ++e)
+        perEngineBatches_.push_back(std::make_unique<Counter>());
+}
+
+unsigned
+ServingPipeline::pickEngine(std::size_t batchOrdinal,
+                            const std::vector<Tick> &engineFree) const
+{
+    if (config_.dispatch == DispatchPolicy::RoundRobin)
+        return static_cast<unsigned>(batchOrdinal % engineFree.size());
+    unsigned best = 0;
+    for (unsigned e = 1; e < engineFree.size(); ++e)
+        if (engineFree[e] < engineFree[best])
+            best = e;
+    return best;
+}
+
+Tick
+ServingPipeline::serviceP(double pct) const
+{
+    if (serviceHistory_.empty())
+        return 0;
+    std::vector<Tick> sorted = serviceHistory_;
+    std::sort(sorted.begin(), sorted.end());
+    const double frac = std::min(std::max(pct, 0.0), 100.0) / 100.0;
+    auto rank = static_cast<std::size_t>(
+        std::ceil(frac * static_cast<double>(sorted.size())));
+    if (rank > 0)
+        --rank;
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+PipelineReport
+ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
+                       Tick arrivalGap, Tick start)
+{
+    const unsigned engines = config_.engines;
+    const unsigned depth = config_.pipelineDepth;
+    const embedding::VectorLayout &layout = *replicas_[0].layout;
+
+    PipelineReport report;
+    report.batches.reserve(batches.size());
+    report.batchesPerEngine.assign(engines, 0);
+
+    // Stage availability, all in simulated ticks: the host prepare is
+    // serial, each engine replica serves one batch at a time, results
+    // drain through one writeback port, and at most `depth` prepared
+    // batches exist at once (slot s is reusable once its previous
+    // occupant has fully retired).
+    std::vector<Tick> engineFree(engines, start);
+    Tick prepareFree = start;
+    Tick writebackFree = start;
+    std::vector<Tick> slotRetire(depth, 0);
+    std::vector<PreparedBatch> slots(depth);
+
+    telemetry::TraceSink *ts = telemetry::sink();
+    if (ts) {
+        ts->setThreadName(telemetry::kPidService, kPrepareTid,
+                          "pipeline prepare");
+        ts->setThreadName(telemetry::kPidService, kDispatchTid,
+                          "pipeline dispatch");
+        ts->setThreadName(telemetry::kPidService, kWritebackTid,
+                          "pipeline writeback");
+        for (unsigned e = 0; e < engines; ++e)
+            ts->setThreadName(telemetry::kPidService,
+                              kEngineTidBase + static_cast<int>(e),
+                              "engine " + std::to_string(e));
+    }
+
+    Tick lastDone = start;
+    for (std::size_t k = 0; k < batches.size(); ++k) {
+        const embedding::Batch &batch = batches[k];
+        const Tick arrival = start + arrivalGap * k;
+        const unsigned s = static_cast<unsigned>(k % depth);
+
+        // --- Prepare stage (overlaps execution of earlier batches). ----
+        const Tick prepare_start =
+            std::max({arrival, prepareFree, slotRetire[s]});
+        const Tick prepare_cost =
+            config_.prepareFixed +
+            config_.preparePerReference * batch.totalIndices();
+        const Tick prepare_done = prepare_start + prepare_cost;
+        prepareFree = prepare_done;
+        prepareTicks_ += prepare_cost;
+
+        releasePrepared(slots[s], slotPools_[s]);
+        slots[s] = prepareBatch(layout, store_, batch, config_.dedup,
+                                &slotPools_[s]);
+
+        // --- Dispatch + execute on the chosen replica. ------------------
+        const unsigned primary = pickEngine(k, engineFree);
+        const Tick dispatch_ready = std::max(prepare_done,
+                                             engineFree[primary]);
+        telemetry::Attribution *attr = telemetry::attribution();
+        EventLookupTiming timing =
+            replicas_[primary].engine->lookupPrepared(slots[s],
+                                                      dispatch_ready);
+        const std::uint64_t ordinal = attr ? attr->currentBatch() : 0;
+        engineFree[primary] = timing.complete;
+        const Tick service = timing.complete - timing.issued;
+
+        // --- Hedge a straggler onto a second replica. -------------------
+        unsigned winner = primary;
+        bool hedged = false;
+        bool hedge_won = false;
+        EventLookupTiming win_timing = timing;
+        if (config_.hedgePct > 0.0 && engines >= 2 &&
+            serviceHistory_.size() >= config_.hedgeWarmup) {
+            const Tick p = serviceP(config_.hedgePct);
+            if (service > p) {
+                hedged = true;
+                ++report.hedgesIssued;
+                ++hedgesIssued_;
+                // Backup goes to the replica (other than the primary)
+                // that frees up earliest, issued the moment the primary
+                // crossed the percentile.
+                unsigned backup = primary == 0 ? 1 : 0;
+                for (unsigned e = 0; e < engines; ++e)
+                    if (e != primary && engineFree[e] < engineFree[backup])
+                        backup = e;
+                const Tick backup_start =
+                    std::max(timing.issued + p, engineFree[backup]);
+                EventLookupTiming backup_timing;
+                {
+                    // The backup replays the same prepared batch; keep
+                    // attribution single-sourced on the primary run.
+                    telemetry::ScopedAttributionInstall off(nullptr);
+                    backup_timing =
+                        replicas_[backup].engine->lookupPrepared(
+                            slots[s], backup_start);
+                }
+                engineFree[backup] = backup_timing.complete;
+                if (backup_timing.complete < timing.complete) {
+                    hedge_won = true;
+                    ++report.hedgesWon;
+                    ++hedgesWon_;
+                    winner = backup;
+                    win_timing = std::move(backup_timing);
+                }
+            }
+        }
+        serviceHistory_.push_back(service);
+
+        // --- Writeback (results land host-side, in arrival order). ------
+        const Tick complete = win_timing.complete;
+        const Tick wb_start = std::max(complete, writebackFree);
+        const Tick wb_done =
+            wb_start + config_.writebackPerQuery * batch.size();
+        writebackFree = wb_done;
+        slotRetire[s] = wb_done;
+        lastDone = std::max(lastDone, wb_done);
+
+        // --- Telemetry: stage spans + latency-split back-annotation. ----
+        const Tick dispatch_wait = timing.issued - prepare_done;
+        dispatchWaitTicks_ += dispatch_wait;
+        ++servedBatches_;
+        servedQueries_ += batch.size();
+        ++(*perEngineBatches_[winner]);
+        ++report.batchesPerEngine[winner];
+        if (attr) {
+            attr->annotateBatchStages(ordinal, prepare_done - arrival,
+                                      dispatch_wait);
+        }
+        if (ts) {
+            const double batch_arg = static_cast<double>(k);
+            ts->completeEvent(telemetry::kPidService, kPrepareTid,
+                              "serving.prepare", "prepare", prepare_start,
+                              prepare_cost, {{"batch", batch_arg}});
+            if (dispatch_wait > 0) {
+                ts->completeEvent(telemetry::kPidService, kDispatchTid,
+                                  "serving.dispatchQueue", "dispatch wait",
+                                  prepare_done, dispatch_wait,
+                                  {{"batch", batch_arg},
+                                   {"engine",
+                                    static_cast<double>(primary)}});
+            }
+            ts->completeEvent(
+                telemetry::kPidService,
+                kEngineTidBase + static_cast<int>(winner),
+                "serving.execute", "execute", win_timing.issued,
+                win_timing.complete - win_timing.issued,
+                {{"batch", batch_arg},
+                 {"hedged", hedged ? 1.0 : 0.0}});
+            ts->completeEvent(telemetry::kPidService, kWritebackTid,
+                              "serving.writeback", "writeback", wb_start,
+                              wb_done - wb_start, {{"batch", batch_arg}});
+        }
+
+        ServedBatchTrace trace;
+        trace.batch = k;
+        trace.engine = winner;
+        trace.hedged = hedged;
+        trace.hedgeWon = hedge_won;
+        trace.arrival = arrival;
+        trace.prepareStart = prepare_start;
+        trace.prepareDone = prepare_done;
+        trace.started = win_timing.issued;
+        trace.complete = complete;
+        trace.done = wb_done;
+        trace.timing = std::move(win_timing);
+        report.batches.push_back(std::move(trace));
+    }
+
+    report.makespan = lastDone > start ? lastDone - start : 0;
+    FAFNIR_DPRINTF(Serving, "served ", batches.size(), " batches on ",
+                   engines, " engines (depth ", depth, "): ",
+                   report.requestsPerSecond(), " req/s, hedges ",
+                   report.hedgesIssued, "/", report.hedgesWon);
+    return report;
+}
+
+void
+ServingPipeline::registerStats(StatGroup &group)
+{
+    group.addCounter("batches", servedBatches_,
+                     "batches served through the pipeline");
+    group.addCounter("queries", servedQueries_, "queries served");
+    group.addCounter("hedgesIssued", hedgesIssued_,
+                     "straggler batches hedged onto a second engine");
+    group.addCounter("hedgesWon", hedgesWon_,
+                     "hedged batches whose backup finished first");
+    group.addCounter("prepareTicks", prepareTicks_,
+                     "modeled host prepare time (dedup + headers)");
+    group.addCounter("dispatchWaitTicks", dispatchWaitTicks_,
+                     "prepared batches waiting for a free engine");
+    for (unsigned e = 0; e < config_.engines; ++e) {
+        group.addCounter("engine" + std::to_string(e) + ".batches",
+                         *perEngineBatches_[e],
+                         "batches served by engine " + std::to_string(e));
+    }
+}
+
+} // namespace fafnir::core

@@ -42,6 +42,8 @@ Attribution::recordQuery(const QueryAttribution &q)
 {
     queries_.push_back(q);
     ++recorded_;
+    batchPrepareTicks_ += q.batchPrepare;
+    dispatchQueueTicks_ += q.dispatchQueue;
     dramServiceTicks_ += q.dramService;
     ctrlQueueTicks_ += q.ctrlQueue;
     peComputeTicks_ += q.peCompute;
@@ -67,6 +69,28 @@ Attribution::recordBatchQueueWait(Tick wait)
 {
     batchWaits_.push_back({currentBatch(), wait});
     batchQueueTicks_ += wait;
+}
+
+void
+Attribution::annotateBatchStages(std::uint64_t batch, Tick prepare,
+                                 Tick dispatch)
+{
+    if (prepare == 0 && dispatch == 0)
+        return;
+    // A batch's queries are recorded contiguously; scan from the back
+    // (the pipeline annotates a batch right after its engine run).
+    for (auto it = queries_.rbegin(); it != queries_.rend(); ++it) {
+        if (it->batch != batch) {
+            if (it->batch < batch)
+                break;
+            continue;
+        }
+        it->issued -= prepare + dispatch;
+        it->batchPrepare += prepare;
+        it->dispatchQueue += dispatch;
+        batchPrepareTicks_ += prepare;
+        dispatchQueueTicks_ += dispatch;
+    }
 }
 
 double
@@ -102,6 +126,11 @@ Attribution::registerStats(StatGroup &group)
 {
     group.addCounter("queries", recorded_,
                      "queries with a critical-path breakdown");
+    group.addCounter("batchPrepareTicks", batchPrepareTicks_,
+                     "serving-pipeline host prepare (dedup + headers) "
+                     "ahead of engine issue");
+    group.addCounter("dispatchQueueTicks", dispatchQueueTicks_,
+                     "serving-pipeline wait for a free engine replica");
     group.addCounter("dramServiceTicks", dramServiceTicks_,
                      "critical-path isolated DRAM service time");
     group.addCounter("ctrlQueueTicks", ctrlQueueTicks_,
@@ -146,6 +175,8 @@ Attribution::write(std::ostream &os) const
         json.member("query", static_cast<std::uint64_t>(q.query));
         json.member("issuedNs", ticksToNs(q.issued));
         json.member("totalNs", ticksToNs(q.total()));
+        json.member("batchPrepareNs", ticksToNs(q.batchPrepare));
+        json.member("dispatchQueueNs", ticksToNs(q.dispatchQueue));
         json.member("dramServiceNs", ticksToNs(q.dramService));
         json.member("ctrlQueueNs", ticksToNs(q.ctrlQueue));
         json.member("peComputeNs", ticksToNs(q.peCompute));
@@ -187,6 +218,8 @@ Attribution::write(std::ostream &os) const
     json.member("meanLatencyNs", queryLatencyNs_.mean());
     json.member("p99LatencyNs",
                 queryLatencyNs_.count() ? queryLatencyNs_.p99() : 0.0);
+    json.member("batchPrepareTicks", batchPrepareTicks_.value());
+    json.member("dispatchQueueTicks", dispatchQueueTicks_.value());
     json.member("dramServiceTicks", dramServiceTicks_.value());
     json.member("ctrlQueueTicks", ctrlQueueTicks_.value());
     json.member("peComputeTicks", peComputeTicks_.value());

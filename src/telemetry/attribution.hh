@@ -23,9 +23,18 @@
  *   serviceQueue root-link serialization, the transfer itself, and the
  *                host receive overhead
  *
- * The five components sum to `complete - issued` exactly, by
- * construction (each is a disjoint interval of the critical path); the
- * tests pin this. Alongside the per-query breakdown the module keeps
+ * When the serving pipeline is in front of the engine, two pre-issue
+ * stages join the split (back-annotated per batch, see
+ * annotateBatchStages):
+ *
+ *   batchPrepare  host-side compile of the batch (dedup + flit headers),
+ *                 including the wait for a free pipeline slot
+ *   dispatchQueue wait in the bounded dispatch queue for an engine
+ *                 replica to come free
+ *
+ * The components sum to `complete - issued` exactly, by construction
+ * (each is a disjoint interval of the critical path); the tests pin
+ * this. Alongside the per-query breakdown the module keeps
  * the paper's Figure-3-style locality story measurable per workload: a
  * "meeting-level histogram" counting at which tree height each pair of
  * partial sums merged.
@@ -60,7 +69,11 @@ struct QueryAttribution
     /** Engine issue and host-delivery ticks (absolute). */
     Tick issued = 0;
     Tick complete = 0;
-    /** The five disjoint components (see file header). */
+    /** The disjoint components (see file header). The first two are
+     *  pre-issue pipeline stages back-annotated by the serving layer
+     *  (annotateBatchStages); standalone engine runs leave them 0. */
+    Tick batchPrepare = 0;
+    Tick dispatchQueue = 0;
     Tick dramService = 0;
     Tick ctrlQueue = 0;
     Tick peCompute = 0;
@@ -78,8 +91,8 @@ struct QueryAttribution
     Tick
     componentSum() const
     {
-        return dramService + ctrlQueue + peCompute + forwardWait +
-               serviceQueue;
+        return batchPrepare + dispatchQueue + dramService + ctrlQueue +
+               peCompute + forwardWait + serviceQueue;
     }
 };
 
@@ -120,6 +133,17 @@ class Attribution
     /** Open-loop service wait of the current batch (serveOpenLoop). */
     void recordBatchQueueWait(Tick wait);
 
+    /**
+     * Back-annotate the serving pipeline stages of batch @p batch:
+     * extend each of its queries' spans back to the request's arrival
+     * (issued -= prepare + dispatch) and attribute the host-prepare and
+     * dispatch-queue intervals, keeping the telescoping sum exact. The
+     * engine records queries against the ordinal it drew via
+     * beginBatch(); the pipeline calls this once per served batch.
+     */
+    void annotateBatchStages(std::uint64_t batch, Tick prepare,
+                             Tick dispatch);
+
     const std::vector<QueryAttribution> &queries() const
     {
         return queries_;
@@ -158,6 +182,8 @@ class Attribution
     std::uint64_t batchCounter_ = 0;
 
     Counter recorded_;
+    Counter batchPrepareTicks_;
+    Counter dispatchQueueTicks_;
     Counter dramServiceTicks_;
     Counter ctrlQueueTicks_;
     Counter peComputeTicks_;

@@ -52,6 +52,17 @@ TelemetrySession::registerFlags(FlagParser &flags)
                     "dram_latency:0.1,event_delay:0.05");
     flags.addUint64("fault-seed", faultSeed_,
                     "deterministic seed for the fault plan");
+    flags.addUnsigned("serve-engines", serving_.engines,
+                      "engine replicas for the pipelined serving path "
+                      "(0 = serial single-engine)");
+    flags.addUnsigned("pipeline-depth", serving_.pipelineDepth,
+                      "prepared batches in flight (1 = serial rhythm)");
+    flags.addString("dispatch", serving_.dispatch,
+                    "replica dispatch policy: least-loaded or "
+                    "round-robin");
+    flags.addDouble("hedge-pct", serving_.hedgePct,
+                    "hedge a straggling batch onto a second engine past "
+                    "this running service-time percentile (0 = off)");
 }
 
 void

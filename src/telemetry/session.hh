@@ -54,6 +54,27 @@ class FlagParser;
 namespace fafnir::telemetry
 {
 
+/**
+ * Serving-pipeline knobs every serving-capable harness shares
+ * (--serve-engines, --pipeline-depth, --dispatch, --hedge-pct). Kept as
+ * plain strings/numbers here — the harness maps them onto
+ * fafnir::core::ServingConfig so the telemetry layer stays independent
+ * of the engine stack.
+ */
+struct ServingOptions
+{
+    /** Engine replicas; 0 keeps the serial single-engine path. */
+    unsigned engines = 0;
+    /** Prepared batches in flight (1 = serial rhythm). */
+    unsigned pipelineDepth = 2;
+    /** "least-loaded" or "round-robin". */
+    std::string dispatch = "least-loaded";
+    /** Hedge percentile in (0, 100]; 0 disables hedged requests. */
+    double hedgePct = 0.0;
+
+    bool enabled() const { return engines > 0; }
+};
+
 /** Flag parsing + sink installation + artifact writing for one run. */
 class TelemetrySession
 {
@@ -102,6 +123,9 @@ class TelemetrySession
     /** The run's fault plan, or nullptr when --faults was not given. */
     fault::FaultPlan *faultPlan() { return plan_ ? &*plan_ : nullptr; }
 
+    /** Parsed serving-pipeline flags (engines == 0 -> serial path). */
+    const ServingOptions &serving() const { return serving_; }
+
     /**
      * Write every requested artifact, embed the StatRegistry into the
      * report, then clear the registry and uninstall the sink.
@@ -118,6 +142,7 @@ class TelemetrySession
     std::string attribPath_;
     std::string faultSpec_;
     std::uint64_t faultSeed_ = 1;
+    ServingOptions serving_;
     std::optional<TraceSink> sink_;
     std::optional<ScopedSinkInstall> install_;
     std::optional<Attribution> attribution_;

@@ -2,12 +2,15 @@
  * @file
  * Per-query causal attribution tests.
  *
- * The central contract: for every served query the five breakdown
- * components (DRAM service, controller/contention queueing, PE
- * compute, forward wait, service queue) sum to the query's end-to-end
- * latency — within 1%, though the construction is exact. Also pins the
- * meeting-level histogram, the JSON artifact shape, installation
- * semantics, and that the collector is inert when not installed.
+ * The central contract: for every served query the seven breakdown
+ * components (batch prepare, dispatch queue, DRAM service,
+ * controller/contention queueing, PE compute, forward wait, service
+ * queue) sum to the query's end-to-end latency — within 1%, though the
+ * construction is exact. The first two are zero for standalone engine
+ * runs and back-annotated by the serving pipeline via
+ * annotateBatchStages. Also pins the meeting-level histogram, the JSON
+ * artifact shape, installation semantics, and that the collector is
+ * inert when not installed.
  */
 
 #include <gtest/gtest.h>
@@ -144,6 +147,47 @@ TEST(Attribution, ScopedInstallRestoresPrevious)
     EXPECT_EQ(telemetry::attribution(), &outer);
 }
 
+TEST(Attribution, BatchStageAnnotationKeepsSumExact)
+{
+    // The serving pipeline back-annotates host prepare and dispatch
+    // wait onto a batch's queries after the engine run: spans extend
+    // backwards (issued moves earlier), so the telescoping sum stays
+    // exact with the two new components included.
+    telemetry::Attribution attr;
+    Rig rig;
+    {
+        telemetry::ScopedAttributionInstall install(&attr);
+        rig.lookup(8, 16, 21, 0);
+        rig.lookup(8, 16, 22, 50 * kTicksPerUs);
+    }
+    ASSERT_EQ(attr.queries().size(), 16u);
+
+    const Tick prepare = 300 * kTicksPerNs;
+    const Tick dispatch = 120 * kTicksPerNs;
+    attr.annotateBatchStages(1, prepare, dispatch);
+
+    for (const auto &q : attr.queries()) {
+        if (q.batch == 0) {
+            EXPECT_EQ(q.batchPrepare, 0u);
+            EXPECT_EQ(q.dispatchQueue, 0u);
+        } else {
+            EXPECT_EQ(q.batchPrepare, prepare);
+            EXPECT_EQ(q.dispatchQueue, dispatch);
+        }
+        const double total = static_cast<double>(q.total());
+        EXPECT_NEAR(static_cast<double>(q.componentSum()), total,
+                    total * 0.01)
+            << "batch " << q.batch << " query " << q.query;
+    }
+    EXPECT_DOUBLE_EQ(attr.componentCoverage(), 1.0);
+
+    // Zero-cost stages are a no-op (no span shifting, counters still).
+    const auto before = attr.queries().front().issued;
+    attr.annotateBatchStages(0, 0, 0);
+    EXPECT_EQ(attr.queries().front().issued, before);
+    EXPECT_EQ(attr.queries().front().batchPrepare, 0u);
+}
+
 TEST(Attribution, JsonArtifactRoundTrips)
 {
     telemetry::Attribution attr;
@@ -161,7 +205,9 @@ TEST(Attribution, JsonArtifactRoundTrips)
     ASSERT_EQ(queries.array.size(), attr.queries().size());
     for (const JsonValue &q : queries.array) {
         const double total = q.at("totalNs").number;
-        const double sum = q.at("dramServiceNs").number +
+        const double sum = q.at("batchPrepareNs").number +
+                           q.at("dispatchQueueNs").number +
+                           q.at("dramServiceNs").number +
                            q.at("ctrlQueueNs").number +
                            q.at("peComputeNs").number +
                            q.at("forwardWaitNs").number +

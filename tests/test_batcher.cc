@@ -149,6 +149,49 @@ TEST(Batcher, OldestQuerySeedsEachBatch)
     }
 }
 
+TEST(Batcher, IncrementalScoringMatchesReferenceExactly)
+{
+    // The incremental-overlap fast path must reproduce the O(window^2)
+    // reference batch-for-batch: same membership, same pick order, same
+    // original positions. Sweep traffic shapes and window/batch ratios,
+    // including windows larger than the stream and remainder batches.
+    struct Shape
+    {
+        double skew;
+        double hot;
+        unsigned batch;
+        unsigned window;
+    };
+    const std::vector<Shape> shapes = {
+        {1.05, 0.00002, 16, 64},  {0.9, 0.001, 32, 256},
+        {0.0, 1.0, 8, 24},        {1.05, 0.00002, 32, 20},
+        {1.2, 0.0001, 7, 1000},
+    };
+    for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+        const auto stream = queryStream(150, 1.05, 0.0001, seed);
+        for (const Shape &s : shapes) {
+            BatcherConfig cfg;
+            cfg.batchSize = s.batch;
+            cfg.windowSize = s.window;
+            const auto fast = composeBatches(stream, cfg);
+            const auto ref = composeBatchesReference(stream, cfg);
+            ASSERT_EQ(fast.batches.size(), ref.batches.size());
+            ASSERT_EQ(fast.originalIndex, ref.originalIndex)
+                << "seed " << seed << " batch " << s.batch << " window "
+                << s.window;
+            for (std::size_t b = 0; b < fast.batches.size(); ++b) {
+                ASSERT_EQ(fast.batches[b].size(), ref.batches[b].size());
+                for (std::size_t q = 0; q < fast.batches[b].size(); ++q) {
+                    EXPECT_EQ(fast.batches[b].queries[q].id,
+                              ref.batches[b].queries[q].id);
+                    EXPECT_EQ(fast.batches[b].queries[q].indices,
+                              ref.batches[b].queries[q].indices);
+                }
+            }
+        }
+    }
+}
+
 TEST(Batcher, SimilarityReducesEngineReads)
 {
     const auto stream = queryStream(256, 1.05, 0.00002, 7);

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the bench_diff comparison machinery
+ * (tools/bench_diff_util.hh): override parsing with both separators,
+ * metric-direction inference, and per-metric tolerance gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tools/bench_diff_util.hh"
+
+namespace
+{
+
+using namespace benchdiff;
+
+JsonValue
+report(const std::map<std::string, double> &metrics)
+{
+    std::string text = "{\"tool\":\"test\",\"metrics\":{";
+    bool first = true;
+    for (const auto &[name, value] : metrics) {
+        if (!first)
+            text += ",";
+        first = false;
+        text += "\"" + name + "\":" + std::to_string(value);
+    }
+    text += "}}";
+    return JsonReader(text).parse();
+}
+
+TEST(ParseOverrides, AcceptsColonSeparator)
+{
+    const auto out = parseOverrides("burst_per_sec:0.02");
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_DOUBLE_EQ(out.at("burst_per_sec"), 0.02);
+}
+
+TEST(ParseOverrides, AcceptsEqualsSeparator)
+{
+    const auto out =
+        parseOverrides("burst_per_sec=0.02,lookup_totalUs=0.25");
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out.at("burst_per_sec"), 0.02);
+    EXPECT_DOUBLE_EQ(out.at("lookup_totalUs"), 0.25);
+}
+
+TEST(ParseOverrides, MixedSeparatorsInOneSpec)
+{
+    const auto out = parseOverrides("a:0.1,b=0.2,c:0.3");
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_DOUBLE_EQ(out.at("a"), 0.1);
+    EXPECT_DOUBLE_EQ(out.at("b"), 0.2);
+    EXPECT_DOUBLE_EQ(out.at("c"), 0.3);
+}
+
+TEST(ParseOverrides, EmptySpecYieldsNoOverrides)
+{
+    EXPECT_TRUE(parseOverrides("").empty());
+}
+
+TEST(ParseOverrides, RejectsMissingSeparator)
+{
+    EXPECT_THROW(parseOverrides("just_a_name"), std::runtime_error);
+}
+
+TEST(ParseOverrides, RejectsEmptyName)
+{
+    EXPECT_THROW(parseOverrides("=0.1"), std::runtime_error);
+}
+
+TEST(ParseOverrides, RejectsNonNumericTolerance)
+{
+    EXPECT_THROW(parseOverrides("name=loose"), std::runtime_error);
+}
+
+TEST(DirectionOf, ThroughputLatencyAndInfo)
+{
+    EXPECT_EQ(directionOf("eventq_burst_events_per_sec"),
+              Direction::HigherBetter);
+    EXPECT_EQ(directionOf("replica_scaling_speedup"),
+              Direction::HigherBetter);
+    EXPECT_EQ(directionOf("totalUs"), Direction::LowerBetter);
+    EXPECT_EQ(directionOf("batchPrepareNs"), Direction::LowerBetter);
+    EXPECT_EQ(directionOf("hedgesIssued"), Direction::Informational);
+}
+
+TEST(CompareReports, DefaultToleranceGates)
+{
+    std::vector<Comparison> results;
+    compareReports("r", report({{"rate_per_sec", 100.0}}),
+                   report({{"rate_per_sec", 90.0}}), 0.05, {}, 0.0,
+                   results);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].regressed);
+    EXPECT_NEAR(results[0].improvement(), -0.10, 1e-9);
+}
+
+TEST(CompareReports, PerMetricOverrideLoosens)
+{
+    std::vector<Comparison> results;
+    compareReports("r", report({{"rate_per_sec", 100.0}}),
+                   report({{"rate_per_sec", 90.0}}), 0.05,
+                   parseOverrides("rate_per_sec=0.15"), 0.0, results);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].regressed);
+    EXPECT_DOUBLE_EQ(results[0].tolerance, 0.15);
+}
+
+TEST(CompareReports, PerMetricOverrideTightens)
+{
+    // A 3% drop passes the default 5% gate but trips a 1% override —
+    // the CI pattern: steady wall-clock-free metrics (burst) gate
+    // tighter than noisy wall-clock ones.
+    std::vector<Comparison> results;
+    compareReports("r",
+                   report({{"burst_per_sec", 100.0},
+                           {"wall_per_sec", 100.0}}),
+                   report({{"burst_per_sec", 97.0},
+                           {"wall_per_sec", 97.0}}),
+                   0.05, parseOverrides("burst_per_sec=0.01"), 0.0,
+                   results);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].regressed);  // burst: 3% > 1% override
+    EXPECT_FALSE(results[1].regressed); // wall: 3% < 5% default
+}
+
+TEST(CompareReports, LatencyDirectionGatesOnGrowth)
+{
+    std::vector<Comparison> results;
+    compareReports("r", report({{"totalUs", 100.0}}),
+                   report({{"totalUs", 110.0}}), 0.05, {}, 0.0,
+                   results);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].regressed);
+}
+
+TEST(CompareReports, InformationalNeverGates)
+{
+    std::vector<Comparison> results;
+    compareReports("r", report({{"hedgesIssued", 2.0}}),
+                   report({{"hedgesIssued", 50.0}}), 0.0, {}, 0.0,
+                   results);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].regressed);
+}
+
+TEST(CompareReports, InjectedSlowdownTripsGate)
+{
+    std::vector<Comparison> results;
+    compareReports("r", report({{"rate_per_sec", 100.0}}),
+                   report({{"rate_per_sec", 100.0}}), 0.05, {}, 0.10,
+                   results);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].regressed);
+}
+
+TEST(CompareReports, MissingCurrentMetricSkipped)
+{
+    std::vector<Comparison> results;
+    compareReports("r", report({{"gone_per_sec", 100.0}}),
+                   report({{"other_per_sec", 100.0}}), 0.05, {}, 0.0,
+                   results);
+    EXPECT_TRUE(results.empty());
+}
+
+} // namespace

@@ -26,6 +26,7 @@
 #include "fafnir/event_engine.hh"
 #include "fafnir/functional.hh"
 #include "fafnir/host.hh"
+#include "fafnir/serving.hh"
 
 using namespace fafnir;
 using namespace fafnir::embedding;
@@ -249,6 +250,112 @@ TEST(Conformance, FaultedTimingIsSeedDeterministic)
     EXPECT_EQ(a.first, b.first);
     EXPECT_EQ(a.second, b.second);
     EXPECT_GT(a.second, 0u);
+}
+
+namespace
+{
+
+/** Replicas + pipeline over the rig's geometry, values computed. */
+core::PipelineReport
+servePipelined(const std::vector<Batch> &batches, ReduceOp op,
+               unsigned engines, unsigned depth, double hedge_pct,
+               const EmbeddingStore &store)
+{
+    core::ReplicaMemoryConfig mem; // matches ConformanceRig's system
+    core::EventEngineConfig ecfg;
+    ecfg.computeValues = true;
+    ecfg.reduceOp = op;
+    std::vector<core::EngineReplica> replicas = core::makeEventReplicas(
+        engines, mem, TableConfig{32, 4096, 512, 4}, ecfg, &store);
+
+    core::ServingConfig sc;
+    sc.engines = engines;
+    sc.pipelineDepth = depth;
+    sc.hedgePct = hedge_pct;
+    sc.hedgeWarmup = 4;
+    core::ServingPipeline pipeline(sc, replicas, &store);
+    return pipeline.serve(batches, 0);
+}
+
+} // namespace
+
+TEST(Conformance, PipelinedServingMatchesReferenceAllShapes)
+{
+    // Served values must be bit-identical to the store reference (and
+    // hence the serial single-engine path) at every replica count and
+    // pipeline depth — sharding and overlap change timing only.
+    ConformanceRig rig;
+    std::vector<Batch> batches;
+    for (unsigned i = 0; i < 6; ++i)
+        batches.push_back(rig.makeBatch(8, 12, 300 + i));
+
+    for (ReduceOp op : kAllOps) {
+        std::vector<std::vector<Vector>> want;
+        for (const auto &batch : batches)
+            want.push_back(rig.store.reduceBatch(batch, op));
+        for (unsigned engines : {1u, 2u, 4u}) {
+            for (unsigned depth : {1u, 2u}) {
+                const auto report = servePipelined(
+                    batches, op, engines, depth, 0.0, rig.store);
+                ASSERT_EQ(report.batches.size(), batches.size());
+                for (std::size_t b = 0; b < batches.size(); ++b) {
+                    expectAllBitIdentical(
+                        report.batches[b].timing.results, want[b],
+                        "pipelined", op);
+                }
+            }
+        }
+    }
+}
+
+TEST(Conformance, PipelinedServingDeterministicUnderFaultsWithHedging)
+{
+    // One run exercises the full stack: a fault plan warping timing,
+    // two replicas, depth-2 overlap, and hedged requests — values must
+    // still match the fault-free reference, hedges must actually fire,
+    // and a second identical run must reproduce every completion tick.
+    ConformanceRig shape_rig;
+    std::vector<Batch> batches;
+    for (unsigned i = 0; i < 12; ++i)
+        batches.push_back(shape_rig.makeBatch(4, 8, 400 + i));
+    for (unsigned i = 0; i < 4; ++i)
+        batches.push_back(shape_rig.makeBatch(24, 24, 420 + i));
+
+    auto run_once = [&batches] {
+        fault::FaultPlan plan = fault::FaultPlan::parse(
+            "dram_latency:0.2,event_delay:0.2,pool_exhaust:0.3", 23);
+        fault::ScopedPlanInstall install(&plan);
+        ConformanceRig rig;
+        return servePipelined(batches, ReduceOp::Sum, 2, 2, 50.0,
+                              rig.store);
+    };
+
+    const auto want = [&] {
+        ConformanceRig rig;
+        std::vector<std::vector<Vector>> refs;
+        for (const auto &batch : batches)
+            refs.push_back(rig.store.reduceBatch(batch, ReduceOp::Sum));
+        return refs;
+    }();
+
+    const auto first = run_once();
+    ASSERT_EQ(first.batches.size(), batches.size());
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        expectAllBitIdentical(first.batches[b].timing.results, want[b],
+                              "pipelined-faulted", ReduceOp::Sum);
+    }
+    EXPECT_GT(first.hedgesIssued, 0u);
+
+    const auto second = run_once();
+    ASSERT_EQ(second.batches.size(), first.batches.size());
+    for (std::size_t b = 0; b < first.batches.size(); ++b) {
+        EXPECT_EQ(second.batches[b].complete, first.batches[b].complete)
+            << "batch " << b;
+        EXPECT_EQ(second.batches[b].engine, first.batches[b].engine);
+        EXPECT_EQ(second.batches[b].hedged, first.batches[b].hedged);
+    }
+    EXPECT_EQ(second.hedgesIssued, first.hedgesIssued);
+    EXPECT_EQ(second.hedgesWon, first.hedgesWon);
 }
 
 TEST(Conformance, GuardServesOrTagsUnderFaults)

@@ -108,3 +108,54 @@ TEST(Service, SaturationDetectionIgnoresShortRuns)
     // Too few requests to call saturation.
     EXPECT_FALSE(report.saturated);
 }
+
+// The saturated heuristic (tail-quarter mean queue > 2 x head-quarter
+// mean + 1000 ticks, see ServiceReport::saturated) pinned at loads just
+// either side of capacity.
+
+TEST(Service, JustBelowCapacityIsNotSaturated)
+{
+    const auto stream = makeStream(64);
+    // Service 100 ns, arrivals every 101 ns: 99% utilization. Any
+    // backlog drains before the next arrival, so the tail quarter's
+    // queueing matches the head quarter's and the verdict stays false.
+    const auto report = serveOpenLoop(stream, 101 * kTicksPerNs,
+                                      fixedService(100 * kTicksPerNs));
+    EXPECT_FALSE(report.saturated);
+}
+
+TEST(Service, ExactlyAtCapacityIsNotSaturated)
+{
+    const auto stream = makeStream(64);
+    // Arrivals equal to service time: the queue neither grows nor
+    // drains; head == tail == 0, kept false by the 1000-tick offset.
+    const auto report = serveOpenLoop(stream, 100 * kTicksPerNs,
+                                      fixedService(100 * kTicksPerNs));
+    EXPECT_FALSE(report.saturated);
+    for (const auto &r : report.requests)
+        EXPECT_EQ(r.queueTime(), 0u);
+}
+
+TEST(Service, JustAboveCapacityIsSaturated)
+{
+    const auto stream = makeStream(64);
+    // Service 100 ns, arrivals every 99 ns: 1 ns of backlog per
+    // request. Tail-quarter mean queue (~55.5 ns) clears twice the
+    // head-quarter mean (~7.5 ns) plus the offset, so the linear-growth
+    // signature trips the verdict even at 1% overload.
+    const auto report = serveOpenLoop(stream, 99 * kTicksPerNs,
+                                      fixedService(100 * kTicksPerNs));
+    EXPECT_TRUE(report.saturated);
+}
+
+TEST(Service, SubNanosecondGrowthStaysBelowTheOffset)
+{
+    const auto stream = makeStream(32);
+    // 10 ticks (0.01 ns) of growth per request: real but negligible.
+    // The tail mean (~275 ticks) stays inside 2 x head + 1000 ticks, so
+    // the offset keeps sub-ns jitter from reading as saturation.
+    const auto report = serveOpenLoop(
+        stream, 100 * kTicksPerNs - 10,
+        fixedService(100 * kTicksPerNs));
+    EXPECT_FALSE(report.saturated);
+}

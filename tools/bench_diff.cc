@@ -3,409 +3,41 @@
  * Perf-regression gate over benchmark report artifacts.
  *
  * Compares the "metrics" object of a fresh report (micro_hotpath's
- * BENCH_hotpath.json, fafnir_sim run reports, ablation sweeps) against
- * a committed baseline and fails — non-zero exit — when any metric
- * regressed beyond tolerance. The improvement direction is inferred
- * from the metric name: throughput-style names (per_sec, PerSec,
- * speedup, GBs, throughput) must not drop; latency-style names (Us,
- * Ns, latency, Time) must not grow; anything else is reported but
- * never gates.
+ * BENCH_hotpath.json, micro_serving's BENCH_serving.json, fafnir_sim
+ * run reports, ablation sweeps) against a committed baseline and fails
+ * — non-zero exit — when any metric regressed beyond tolerance. The
+ * improvement direction is inferred from the metric name:
+ * throughput-style names (per_sec, PerSec, speedup, GBs, throughput)
+ * must not drop; latency-style names (Us, Ns, latency, Time) must not
+ * grow; anything else is reported but never gates.
  *
  *   bench_diff --baseline=results/BENCH_hotpath.json \
  *              --current=build/BENCH_hotpath.json --tolerance=0.05
  *
- * Per-metric overrides tighten or loosen individual gates:
- * `--metrics=eventq_burst_events_per_sec:0.02,reduced_elements_per_sec:0.10`.
+ * Per-metric overrides tighten or loosen individual gates; `:` and `=`
+ * are both accepted as the separator:
+ * `--metrics=eventq_burst_events_per_sec=0.02,reduced_elements_per_sec:0.10`.
  * Directory mode compares every *.json present in both trees.
  * `--inject-slowdown=0.1` degrades the current side by 10% before
  * comparing — the self-test the CI gate runs to prove the gate can
  * fail. Exit codes: 0 ok, 1 regression, 2 usage or I/O error.
+ *
+ * The comparison machinery lives in bench_diff_util.hh so the unit
+ * suite can test it directly.
  */
 
 #include <algorithm>
-#include <cctype>
-#include <cstdint>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/cli.hh"
+#include "tools/bench_diff_util.hh"
 
-namespace
-{
-
-// --- A minimal JSON reader: just enough for report artifacts. ---------
-// The repo's JsonWriter only emits objects/arrays/strings/numbers/bools,
-// so that is all this accepts. Throws std::runtime_error on malformed
-// input.
-
-struct JsonValue
-{
-    enum class Kind
-    {
-        Null,
-        Boolean,
-        Number,
-        String,
-        Array,
-        Object,
-    };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-};
-
-class JsonReader
-{
-  public:
-    explicit JsonReader(std::string text) : text_(std::move(text)) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = parseValue();
-        skipSpace();
-        if (pos_ != text_.size())
-            fail("trailing characters");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &why) const
-    {
-        throw std::runtime_error("JSON error at byte " +
-                                 std::to_string(pos_) + ": " + why);
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-            ++pos_;
-        }
-    }
-
-    bool
-    consume(char c)
-    {
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const std::size_t n = std::char_traits<char>::length(word);
-        if (text_.compare(pos_, n, word) == 0) {
-            pos_ += n;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        skipSpace();
-        JsonValue v;
-        if (pos_ >= text_.size())
-            fail("unexpected end of input");
-        const char c = text_[pos_];
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
-        if (c == '"') {
-            v.kind = JsonValue::Kind::String;
-            v.text = parseString();
-            return v;
-        }
-        if (literal("null"))
-            return v;
-        if (literal("true")) {
-            v.kind = JsonValue::Kind::Boolean;
-            v.boolean = true;
-            return v;
-        }
-        if (literal("false")) {
-            v.kind = JsonValue::Kind::Boolean;
-            return v;
-        }
-        std::size_t end = pos_;
-        while (end < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
-                text_[end] == '-' || text_[end] == '+' ||
-                text_[end] == '.' || text_[end] == 'e' ||
-                text_[end] == 'E')) {
-            ++end;
-        }
-        if (end == pos_)
-            fail("expected a value");
-        v.kind = JsonValue::Kind::Number;
-        try {
-            v.number = std::stod(text_.substr(pos_, end - pos_));
-        } catch (const std::exception &) {
-            fail("bad number");
-        }
-        pos_ = end;
-        return v;
-    }
-
-    std::string
-    parseString()
-    {
-        std::string out;
-        if (!consume('"'))
-            fail("expected a string");
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c == '\\' && pos_ < text_.size()) {
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case 'n': c = '\n'; break;
-                  case 't': c = '\t'; break;
-                  case 'r': c = '\r'; break;
-                  case 'u':
-                    out += "\\u";
-                    continue;
-                  default: c = esc; break;
-                }
-            }
-            out += c;
-        }
-        if (!consume('"'))
-            fail("unterminated string");
-        return out;
-    }
-
-    JsonValue
-    parseObject()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        consume('{');
-        skipSpace();
-        if (consume('}'))
-            return v;
-        do {
-            skipSpace();
-            std::string key = parseString();
-            if (!consume(':'))
-                fail("expected ':'");
-            v.object.emplace_back(std::move(key), parseValue());
-        } while (consume(','));
-        if (!consume('}'))
-            fail("expected '}'");
-        return v;
-    }
-
-    JsonValue
-    parseArray()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        consume('[');
-        skipSpace();
-        if (consume(']'))
-            return v;
-        do {
-            v.array.push_back(parseValue());
-        } while (consume(','));
-        if (!consume(']'))
-            fail("expected ']'");
-        return v;
-    }
-
-    std::string text_;
-    std::size_t pos_ = 0;
-};
-
-// --- Metric direction and comparison. ---------------------------------
-
-enum class Direction
-{
-    HigherBetter,
-    LowerBetter,
-    Informational,
-};
-
-bool
-containsWord(const std::string &name, const char *word)
-{
-    return name.find(word) != std::string::npos;
-}
-
-/** Infer which way a metric should move from its name. */
-Direction
-directionOf(const std::string &name)
-{
-    if (containsWord(name, "per_sec") || containsWord(name, "PerSec") ||
-        containsWord(name, "speedup") || containsWord(name, "GBs") ||
-        containsWord(name, "throughput") ||
-        containsWord(name, "Utilization") ||
-        containsWord(name, "saved")) {
-        return Direction::HigherBetter;
-    }
-    if (containsWord(name, "Us") || containsWord(name, "Ns") ||
-        containsWord(name, "latency") || containsWord(name, "Latency") ||
-        containsWord(name, "Time") || containsWord(name, "Seconds")) {
-        return Direction::LowerBetter;
-    }
-    return Direction::Informational;
-}
-
-const char *
-toString(Direction d)
-{
-    switch (d) {
-      case Direction::HigherBetter: return "higher";
-      case Direction::LowerBetter: return "lower";
-      case Direction::Informational: return "info";
-    }
-    return "?";
-}
-
-struct Comparison
-{
-    std::string file;
-    std::string name;
-    double baseline = 0.0;
-    double current = 0.0;
-    Direction direction = Direction::Informational;
-    double tolerance = 0.0;
-    bool regressed = false;
-
-    /** Signed relative change; positive means "got better". */
-    double
-    improvement() const
-    {
-        if (baseline == 0.0)
-            return 0.0;
-        const double delta = (current - baseline) / baseline;
-        return direction == Direction::LowerBetter ? -delta : delta;
-    }
-};
-
-/** Flatten the "metrics" object of one report (missing → empty). */
-std::map<std::string, double>
-metricsOf(const JsonValue &root)
-{
-    std::map<std::string, double> out;
-    const JsonValue *metrics = root.find("metrics");
-    if (metrics == nullptr || metrics->kind != JsonValue::Kind::Object)
-        return out;
-    for (const auto &[name, v] : metrics->object) {
-        if (v.kind == JsonValue::Kind::Number)
-            out[name] = v.number;
-    }
-    return out;
-}
-
-JsonValue
-loadJson(const std::string &path)
-{
-    std::ifstream is(path);
-    if (!is)
-        throw std::runtime_error("cannot read " + path);
-    std::ostringstream os;
-    os << is.rdbuf();
-    return JsonReader(os.str()).parse();
-}
-
-/** Parse --metrics=name:tol,name:tol overrides. */
-std::map<std::string, double>
-parseOverrides(const std::string &spec)
-{
-    std::map<std::string, double> out;
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-        const std::size_t comma = spec.find(',', pos);
-        const std::string entry =
-            spec.substr(pos, comma == std::string::npos ? std::string::npos
-                                                        : comma - pos);
-        const std::size_t colon = entry.find(':');
-        if (colon == std::string::npos || colon == 0) {
-            throw std::runtime_error("bad --metrics entry '" + entry +
-                                     "' (want name:tolerance)");
-        }
-        out[entry.substr(0, colon)] =
-            std::stod(entry.substr(colon + 1));
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
-    return out;
-}
-
-/** Compare one baseline/current report pair into @p results. */
-void
-compareReports(const std::string &label, const JsonValue &baseline,
-               const JsonValue &current, double tolerance,
-               const std::map<std::string, double> &overrides,
-               double inject_slowdown, std::vector<Comparison> &results)
-{
-    const auto base = metricsOf(baseline);
-    auto cur = metricsOf(current);
-
-    if (inject_slowdown > 0.0) {
-        // Self-test: degrade the current side so the gate must trip.
-        for (auto &[name, value] : cur) {
-            switch (directionOf(name)) {
-              case Direction::HigherBetter:
-                value *= 1.0 - inject_slowdown;
-                break;
-              case Direction::LowerBetter:
-                value *= 1.0 + inject_slowdown;
-                break;
-              case Direction::Informational:
-                break;
-            }
-        }
-    }
-
-    for (const auto &[name, base_value] : base) {
-        const auto it = cur.find(name);
-        if (it == cur.end())
-            continue; // dropped metrics are a schema change, not perf
-        Comparison c;
-        c.file = label;
-        c.name = name;
-        c.baseline = base_value;
-        c.current = it->second;
-        c.direction = directionOf(name);
-        const auto ov = overrides.find(name);
-        c.tolerance = ov != overrides.end() ? ov->second : tolerance;
-        c.regressed = c.direction != Direction::Informational &&
-                      c.improvement() < -c.tolerance;
-        results.push_back(c);
-    }
-}
-
-} // namespace
+using namespace benchdiff;
 
 int
 main(int argc, char **argv)
@@ -425,7 +57,8 @@ main(int argc, char **argv)
     flags.addDouble("tolerance", tolerance,
                     "allowed relative regression per metric (0.05 = 5%)");
     flags.addString("metrics", metric_spec,
-                    "per-metric tolerance overrides, name:tol[,name:tol]");
+                    "per-metric tolerance overrides, "
+                    "name:tol[,name=tol]");
     flags.addDouble("inject-slowdown", inject_slowdown,
                     "self-test: degrade current metrics by this fraction");
     flags.parse(argc, argv);

@@ -44,6 +44,7 @@
 #include "embedding/service.hh"
 #include "fafnir/engine.hh"
 #include "fafnir/event_engine.hh"
+#include "fafnir/serving.hh"
 #include "hwmodel/energy_report.hh"
 #include "sparse/fafnir_spmv.hh"
 #include "sparse/matgen.hh"
@@ -251,6 +252,108 @@ runGuardedLookup(const Options &opt, telemetry::TelemetrySession &session)
                   static_cast<double>(served.droppedQueries()));
     run.setMetric("partialRequests",
                   static_cast<double>(served.partialRequests()));
+    return session.finish();
+}
+
+/**
+ * Pipelined multi-engine serving (--serve-engines > 0): batches flow
+ * through prepare -> dispatch -> engine replicas -> writeback with
+ * prepare/execute overlap (see docs/PERFORMANCE.md, "Pipelined
+ * serving"). Event-engine only — the replicas are event-driven trees.
+ */
+int
+runPipelinedLookup(const Options &opt,
+                   telemetry::TelemetrySession &session)
+{
+    if (opt.engine != "event") {
+        std::fprintf(stderr,
+                     "error: --serve-engines requires --engine=event\n");
+        return 2;
+    }
+    const telemetry::ServingOptions &so = session.serving();
+
+    core::ServingConfig sc;
+    sc.engines = so.engines;
+    sc.pipelineDepth = so.pipelineDepth;
+    sc.hedgePct = so.hedgePct;
+    sc.dedup = opt.dedup;
+    if (so.dispatch == "least-loaded")
+        sc.dispatch = core::DispatchPolicy::LeastLoaded;
+    else if (so.dispatch == "round-robin")
+        sc.dispatch = core::DispatchPolicy::RoundRobin;
+    else
+        FAFNIR_FATAL("unknown --dispatch '", so.dispatch,
+                     "' (expected least-loaded or round-robin)");
+
+    telemetry::RunReport &run = session.report();
+    run.setConfig("serveEngines",
+                  static_cast<std::uint64_t>(so.engines));
+    run.setConfig("pipelineDepth",
+                  static_cast<std::uint64_t>(so.pipelineDepth));
+    run.setConfig("dispatch", so.dispatch);
+    run.setConfig("hedgePct", so.hedgePct);
+
+    core::ReplicaMemoryConfig mem;
+    mem.geometry = opt.hbm ? dram::Geometry::hbm2()
+                           : dram::Geometry::withTotalRanks(opt.ranks);
+    mem.timing = opt.hbm ? dram::Timing::hbm2()
+                         : dram::Timing::ddr4_2400();
+    const embedding::TableConfig tables = tableConfig();
+
+    core::EventEngineConfig ecfg;
+    ecfg.base.dedup = opt.dedup;
+    ecfg.base.interactive = opt.interactive;
+    std::vector<core::EngineReplica> replicas =
+        core::makeEventReplicas(so.engines, mem, tables, ecfg, nullptr);
+
+    embedding::WorkloadConfig wc;
+    wc.tables = tables;
+    wc.batchSize = opt.batch;
+    wc.querySize = opt.querySize;
+    wc.popularity = opt.skew > 0 ? embedding::Popularity::Zipfian
+                                 : embedding::Popularity::Uniform;
+    wc.zipfSkew = opt.skew;
+    wc.hotFraction = opt.hotFraction;
+    embedding::BatchGenerator gen(wc, opt.seed);
+    std::vector<embedding::Batch> batches;
+    for (unsigned i = 0; i < opt.batches; ++i)
+        batches.push_back(gen.next());
+
+    core::ServingPipeline pipeline(sc, replicas, nullptr);
+    const core::PipelineReport served = pipeline.serve(batches, 0);
+
+    const double us_total =
+        static_cast<double>(served.makespan) / kTicksPerUs;
+    const auto queries = static_cast<double>(opt.batches) * opt.batch;
+    std::printf("engine=event serving: %u replicas, depth %u, %s "
+                "dispatch, hedge %.0f%%\n",
+                so.engines, sc.pipelineDepth, so.dispatch.c_str(),
+                so.hedgePct);
+    std::printf("time: %.2f us makespan, %.1f ns/query, "
+                "%.0f batches/s\n",
+                us_total, us_total * 1000.0 / queries,
+                served.requestsPerSecond());
+    std::printf("hedging: %llu issued, %llu won\n",
+                static_cast<unsigned long long>(served.hedgesIssued),
+                static_cast<unsigned long long>(served.hedgesWon));
+    std::ostringstream shards;
+    for (std::size_t e = 0; e < served.batchesPerEngine.size(); ++e)
+        shards << (e == 0 ? "" : " ") << served.batchesPerEngine[e];
+    std::printf("shards: [%s] batches per engine\n",
+                shards.str().c_str());
+
+    StatRegistry &registry = StatRegistry::instance();
+    pipeline.registerStats(registry.group("serving"));
+    for (std::size_t e = 0; e < replicas.size(); ++e)
+        replicas[e].engine->registerStats(
+            registry.group("tree.engine" + std::to_string(e)));
+
+    run.setMetric("totalUs", us_total);
+    run.setMetric("nsPerQuery", us_total * 1000.0 / queries);
+    run.setMetric("batchesPerSec", served.requestsPerSecond());
+    run.setMetric("hedgesIssued",
+                  static_cast<double>(served.hedgesIssued));
+    run.setMetric("hedgesWon", static_cast<double>(served.hedgesWon));
     return session.finish();
 }
 
@@ -607,6 +710,8 @@ main(int argc, char **argv)
         // injected faults surface as recovery actions, not bad numbers.
         if (session.faultPlan() != nullptr)
             return runGuardedLookup(opt, session);
+        if (session.serving().enabled())
+            return runPipelinedLookup(opt, session);
         return runLookup(opt, session);
     }
     if (opt.mode == "spmv")
