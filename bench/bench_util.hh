@@ -21,6 +21,7 @@
 #include "embedding/generator.hh"
 #include "embedding/layout.hh"
 #include "sim/eventq.hh"
+#include "telemetry/timeseries.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::bench
@@ -28,9 +29,10 @@ namespace fafnir::bench
 
 /**
  * Effective sweep parallelism once process-global telemetry is in
- * play: the TraceSink and the fault plan's RNG streams are not
- * thread-safe, so either forces the sweep serial — with a warning, so
- * a slow traced sweep is never a silent surprise.
+ * play: the TraceSink, the fault plan's RNG streams, and the windowed
+ * TimeSeries rings are not thread-safe, so any of them forces the
+ * sweep serial — with a warning, so a slow traced sweep is never a
+ * silent surprise.
  */
 inline unsigned
 sweepJobs(unsigned requested)
@@ -40,6 +42,8 @@ sweepJobs(unsigned requested)
         why = "--trace";
     else if (fault::plan() != nullptr)
         why = "--faults";
+    else if (telemetry::timeseries() != nullptr)
+        why = "--timeline/--slo";
     if (why == nullptr || requested <= 1)
         return requested;
     std::fprintf(stderr,

@@ -16,6 +16,15 @@
  *    `replica_scaling_speedup` = capacity(4) / capacity(1) is the
  *    gated ratio (floor: 2x).
  *
+ *  - A modulated-load run (--arrivals=steady|burst|ramp) through two
+ *    replicas with windowed telemetry and an SLO monitor installed:
+ *    the burst phase deliberately exceeds capacity so the latency
+ *    objective fires and then clears once the queue drains.
+ *    `burst_windowed_p99_latency_us` (worst 50us-window p99) and
+ *    `burst_goodput_qps` (queries meeting the latency SLO per second)
+ *    are the gated metrics; `slo_alert_fires`/`slo_alert_clears` pin
+ *    the deterministic alert sequence.
+ *
  * Emits BENCH_serving.json by default; tools/bench_diff gates it in CI
  * against results/BENCH_serving_baseline.json.
  */
@@ -24,6 +33,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +49,8 @@
 #include "fafnir/serving.hh"
 #include "sim/eventq.hh"
 #include "telemetry/session.hh"
+#include "telemetry/slo.hh"
+#include "telemetry/timeseries.hh"
 
 using namespace fafnir;
 using namespace fafnir::core;
@@ -141,6 +153,40 @@ benchCapacity(const std::vector<embedding::Batch> &batches,
     return report.requestsPerSecond();
 }
 
+/**
+ * Deterministic arrival schedule for the modulated-load run. All three
+ * patterns are pure functions of (count, gaps), so the same flags give
+ * the same tick sequence on every host:
+ *  - steady: every batch @p steady_gap apart.
+ *  - burst: the middle third arrives at @p burst_gap (far above
+ *    capacity), the rest at the steady gap.
+ *  - ramp: the gap shrinks linearly from steady to burst.
+ */
+std::vector<Tick>
+makeArrivals(const std::string &pattern, std::size_t count,
+             Tick steady_gap, Tick burst_gap)
+{
+    std::vector<Tick> arrivals(count, 0);
+    Tick at = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        arrivals[i] = at;
+        Tick gap = steady_gap;
+        if (pattern == "burst") {
+            if (i >= count / 3 && i < 2 * count / 3)
+                gap = burst_gap;
+        } else if (pattern == "ramp") {
+            gap = steady_gap - (steady_gap - burst_gap) *
+                                   static_cast<Tick>(i) /
+                                   static_cast<Tick>(count);
+        } else if (pattern != "steady") {
+            FAFNIR_FATAL("unknown --arrivals '", pattern,
+                         "' (expected steady, burst, or ramp)");
+        }
+        at += gap;
+    }
+    return arrivals;
+}
+
 } // namespace
 
 int
@@ -152,6 +198,8 @@ main(int argc, char **argv)
     std::uint64_t prepare_iters = 200;
     unsigned capacity_batches = 48;
     unsigned reps = 10;
+    std::string arrivals_pattern = "burst";
+    unsigned load_batches = 96;
 
     FlagParser flags("serving microbenchmark: prepare throughput and "
                      "replica scaling");
@@ -165,6 +213,11 @@ main(int argc, char **argv)
                       "batches per simulated capacity run");
     flags.addUnsigned("reps", reps,
                       "samples per measurement (best is kept)");
+    flags.addString("arrivals", arrivals_pattern,
+                    "modulated-load arrival pattern: steady | burst | "
+                    "ramp");
+    flags.addUnsigned("load-batches", load_batches,
+                      "batches in the modulated-load run");
     telemetry::TelemetrySession session("micro_serving");
     session.registerFlags(flags);
     flags.parse(argc, argv);
@@ -194,9 +247,91 @@ main(int argc, char **argv)
     });
 
     const auto capacity_set = makeBatches(capacity_batches, 16, 24, 11);
-    const double cap1 = benchCapacity(capacity_set, 1);
-    const double cap2 = benchCapacity(capacity_set, 2);
-    const double cap4 = benchCapacity(capacity_set, 4);
+    double cap1, cap2, cap4;
+    {
+        // Keep the steady capacity sweeps out of any installed windowed
+        // series / SLO monitor: only the modulated run below should
+        // land in the timeline.
+        telemetry::ScopedTimeSeriesInstall series_off(nullptr);
+        telemetry::ScopedSloMonitorInstall monitor_off(nullptr);
+        cap1 = benchCapacity(capacity_set, 1);
+        cap2 = benchCapacity(capacity_set, 2);
+        cap4 = benchCapacity(capacity_set, 4);
+    }
+
+    // Modulated-load run: two replicas, windowed telemetry + SLO
+    // monitor installed (the session's when --timeline/--slo was given,
+    // otherwise a local pair with the default 50us windows). The burst
+    // gap is ~8x over two-replica capacity (cap2 ~ 1.2M batches/s), so
+    // the latency objective deterministically fires mid-burst and
+    // clears after the queue drains back into the steady phase.
+    const Tick steady_gap = 3 * kTicksPerUs;
+    const Tick burst_gap = 100 * kTicksPerNs;
+    const double latency_slo_us = 20.0;
+    std::optional<telemetry::TimeSeries> local_series;
+    std::optional<telemetry::ScopedTimeSeriesInstall> series_install;
+    std::optional<telemetry::SloMonitor> local_monitor;
+    std::optional<telemetry::ScopedSloMonitorInstall> monitor_install;
+    telemetry::TimeSeries *series = telemetry::timeseries();
+    telemetry::SloMonitor *monitor = telemetry::sloMonitor();
+    if (series == nullptr) {
+        local_series.emplace(telemetry::TimeSeriesConfig{});
+        series_install.emplace(&*local_series);
+        series = &*local_series;
+    }
+    if (monitor == nullptr) {
+        local_monitor.emplace(
+            telemetry::SloMonitor::parseSpec(
+                "p99_latency_us<20;availability>=0.99"),
+            telemetry::BurnConfig{});
+        monitor_install.emplace(&*local_monitor);
+        monitor = &*local_monitor;
+    }
+
+    const auto load_set = makeBatches(load_batches, 16, 24, 13);
+    const auto arrivals =
+        makeArrivals(arrivals_pattern, load_set.size(), steady_gap,
+                     burst_gap);
+    ReplicaMemoryConfig load_mem;
+    EventEngineConfig load_ecfg;
+    std::vector<EngineReplica> load_replicas =
+        makeEventReplicas(2, load_mem, tableConfig(), load_ecfg,
+                          nullptr);
+    ServingConfig load_sc;
+    load_sc.engines = 2;
+    load_sc.pipelineDepth = 4;
+    ServingPipeline load_pipeline(load_sc, load_replicas, nullptr);
+    const PipelineReport load_report =
+        load_pipeline.serve(load_set, arrivals);
+
+    double good_queries = 0.0, total_queries = 0.0;
+    for (const auto &trace : load_report.batches) {
+        const double q =
+            static_cast<double>(load_set[trace.batch].queries.size());
+        total_queries += q;
+        const double latency_us =
+            static_cast<double>(trace.done - trace.arrival) /
+            static_cast<double>(kTicksPerUs);
+        if (latency_us < latency_slo_us)
+            good_queries += q;
+    }
+    const double makespan_sec =
+        static_cast<double>(load_report.makespan) /
+        static_cast<double>(kTicksPerSec);
+    const double span_sec =
+        static_cast<double>(arrivals.back() + steady_gap) /
+        static_cast<double>(kTicksPerSec);
+    const telemetry::WindowedHistogram *load_latency =
+        series->findHistogram("serving.latency_us");
+    const double burst_p99 = load_latency != nullptr
+        ? load_latency->peakWindowPercentile(99.0)
+        : 0.0;
+
+    load_pipeline.printHealthScoreboard(std::cout, load_report);
+
+    session.report().setConfig("arrivals", arrivals_pattern);
+    session.report().setConfig("loadBatches",
+                               std::uint64_t(load_batches));
 
     struct Metric
     {
@@ -211,6 +346,13 @@ main(int argc, char **argv)
         {"capacity_2_engines_batches_per_sec", cap2},
         {"capacity_4_engines_batches_per_sec", cap4},
         {"replica_scaling_speedup", cap4 / cap1},
+        {"burst_windowed_p99_latency_us", burst_p99},
+        {"burst_goodput_qps", good_queries / makespan_sec},
+        {"burst_offered_load_qps", total_queries / span_sec},
+        {"slo_alert_fires",
+         static_cast<double>(monitor->totalFires())},
+        {"slo_alert_clears",
+         static_cast<double>(monitor->totalClears())},
     };
 
     TextTable table("Serving microbenchmark");

@@ -223,6 +223,25 @@ class FaultPlan
     std::uint64_t totalChecked() const;
 
     /**
+     * Record that armed @p hook could not be applied to the registered
+     * (non-one-shot) Event named @p what — registered events only take
+     * delay-only treatment, since dropping or duplicating them would
+     * corrupt the queue's generation bookkeeping. Warns once per hook
+     * per run and counts the skip, so a lossy-plan run cannot silently
+     * misreport its coverage. No-op while the hook is unarmed.
+     */
+    void noteSkippedApplication(Hook hook, const char *what);
+
+    std::uint64_t
+    skippedCount(Hook hook) const
+    {
+        return state(hook).skipped.value();
+    }
+
+    /** Total skipped applications across every hook. */
+    std::uint64_t totalSkipped() const;
+
+    /**
      * While suspended, armed hooks never fire (and draw nothing), but
      * their checked counters still advance. Used to calibrate fault-free
      * baselines without perturbing the schedule: streams do not advance
@@ -246,6 +265,10 @@ class FaultPlan
         double magnitude = 0.0;
         Counter checked;
         Counter fired;
+        /** Applications skipped because the site only supports
+         *  delay-only treatment (registered events). */
+        Counter skipped;
+        bool warnedSkip = false;
         Rng rng;
     };
 

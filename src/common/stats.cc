@@ -44,6 +44,13 @@ Distribution::sample(double v)
 }
 
 double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_)
+                  : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
 Distribution::min() const
 {
     return count_ ? min_ : std::numeric_limits<double>::quiet_NaN();

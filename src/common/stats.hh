@@ -50,6 +50,21 @@ class Counter
  * within the reservoir (8192 entries) and an unbiased deterministic
  * reservoir approximation beyond it, which keeps memory bounded for
  * multi-million-sample runs while staying reproducible.
+ *
+ * Reservoir vs. log buckets: this reservoir keeps exact sample values,
+ * so small-count percentiles are exact and a single-sample window
+ * reports that sample identically at every percentile — but two
+ * reservoirs cannot be merged (the sampled subsets are not composable)
+ * and accuracy decays stochastically past 8192 samples. The windowed
+ * telemetry engine (telemetry/timeseries.hh LogHistogram) makes the
+ * opposite trade: log-bucketed counts with a bounded 6.25% quantile
+ * overestimate, mergeable bit-identically across windows and replicas.
+ * Use a Distribution for whole-run summaries, log buckets wherever
+ * windows or replica streams must compose.
+ *
+ * Empty distributions report NaN mean/min/max/percentiles — serialized
+ * as JSON null and an empty CSV cell — so "no samples" is
+ * distinguishable from "samples averaging zero" in every export format.
  */
 class Distribution
 {
@@ -57,7 +72,8 @@ class Distribution
     void sample(double v);
 
     std::uint64_t count() const { return count_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    /** NaN when no samples have been recorded. */
+    double mean() const;
     /** NaN when no samples have been recorded. */
     double min() const;
     /** NaN when no samples have been recorded. */

@@ -10,6 +10,8 @@
 #include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "telemetry/attribution.hh"
+#include "telemetry/slo.hh"
+#include "telemetry/timeseries.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::embedding
@@ -181,7 +183,21 @@ ServiceGuard::serve(const Batch &batch, Tick arrival)
     unsigned attempt = 0;
     bool fault_persisted = false;
 
-    while (!pending.empty() && attempt < config_.maxAttempts) {
+    // SLO-driven load shed: while a burn-rate alert is active, serve
+    // with a single attempt so the queue drains instead of compounding
+    // the overload with retries. The decision is taken once, at
+    // admission, so one request sees one consistent policy.
+    unsigned allowed_attempts = config_.maxAttempts;
+    if (config_.sloLoadShed) {
+        telemetry::SloMonitor *monitor = telemetry::sloMonitor();
+        if (monitor != nullptr && monitor->anyActive()) {
+            allowed_attempts = 1;
+            ++shedRequests_;
+            traceGuard("shed", arrival, 1.0);
+        }
+    }
+
+    while (!pending.empty() && attempt < allowed_attempts) {
         ++attempt;
 
         // The engine contract (Batch::check) wants dense ids, so each
@@ -205,7 +221,7 @@ ServiceGuard::serve(const Batch &batch, Tick arrival)
         const bool faulted = config_.retryOnFault && plan != nullptr &&
                              plan->totalFired() > fired_before;
 
-        if (faulted && attempt < config_.maxAttempts) {
+        if (faulted && attempt < allowed_attempts) {
             // Transient faults detected: the whole attempt is suspect.
             // Discard it and retry everything still pending, after an
             // exponentially growing backoff.
@@ -216,6 +232,8 @@ ServiceGuard::serve(const Batch &batch, Tick arrival)
             backoff *= 2;
             continue;
         }
+        if (faulted && attempt < config_.maxAttempts)
+            ++shedRetries_; // a retry the active shed suppressed
         fault_persisted = faulted;
 
         // Accept completions, collecting per-query deadline misses.
@@ -239,7 +257,7 @@ ServiceGuard::serve(const Batch &batch, Tick arrival)
             pending.clear();
         else
             pending.swap(missed);
-        if (!pending.empty() && attempt < config_.maxAttempts) {
+        if (!pending.empty() && attempt < allowed_attempts) {
             // Deadline misses are retried alone: met queries keep their
             // results, the stragglers get a fresh (smaller) attempt.
             ++retries_;
@@ -247,6 +265,8 @@ ServiceGuard::serve(const Batch &batch, Tick arrival)
                        static_cast<double>(attempt));
             at = last_complete + backoff;
             backoff *= 2;
+        } else if (!pending.empty() && attempt < config_.maxAttempts) {
+            ++shedRetries_;
         }
     }
 
@@ -284,6 +304,63 @@ ServiceGuard::serve(const Batch &batch, Tick arrival)
     request.attempts = attempt;
     request.completed = last_complete;
     engineFree_ = std::max(engineFree_, request.completed);
+
+    // Feed the windowed telemetry engine and SLO monitor (when
+    // installed): per-query latency and availability SLIs, sorted by
+    // completion tick so burn-rate windows close in order.
+    telemetry::TimeSeries *series = telemetry::timeseries();
+    telemetry::SloMonitor *monitor = telemetry::sloMonitor();
+    if (series != nullptr || monitor != nullptr) {
+        struct SliRow
+        {
+            Tick tick;
+            double latencyUs;
+            bool served;
+            bool clean;
+        };
+        std::vector<SliRow> rows;
+        rows.reserve(request.outcomes.size());
+        for (const QueryOutcome &o : request.outcomes) {
+            const Tick tick = o.served() ? o.completed : last_complete;
+            const double latencyUs =
+                o.served() ? static_cast<double>(o.completed - arrival) /
+                                 static_cast<double>(kTicksPerUs)
+                           : 0.0;
+            rows.push_back({tick, latencyUs, o.served(),
+                            o.reason == DegradeReason::None});
+        }
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const SliRow &a, const SliRow &b) {
+                             return a.tick < b.tick;
+                         });
+        telemetry::WindowedHistogram *winLatency =
+            series != nullptr
+                ? &series->histogram("guard.latency_us",
+                                     "arrival-to-completion per served "
+                                     "query")
+                : nullptr;
+        telemetry::WindowedCounter *winServed =
+            series != nullptr ? &series->counter("guard.served") : nullptr;
+        telemetry::WindowedCounter *winDropped =
+            series != nullptr ? &series->counter("guard.dropped")
+                              : nullptr;
+        for (const SliRow &row : rows) {
+            if (series != nullptr) {
+                if (row.served) {
+                    winLatency->record(row.tick, row.latencyUs);
+                    winServed->record(row.tick);
+                } else {
+                    winDropped->record(row.tick);
+                }
+            }
+            if (monitor != nullptr) {
+                if (row.served)
+                    monitor->recordLatency(row.tick, row.latencyUs);
+                monitor->recordOutcome(row.tick,
+                                       row.served && row.clean);
+            }
+        }
+    }
     return request;
 }
 
@@ -305,6 +382,11 @@ ServiceGuard::registerStats(StatGroup &group) const
                      "queries served to completion");
     group.addCounter("partialRequests", partial_,
                      "requests answered with partial results");
+    group.addCounter("shedRequests", shedRequests_,
+                     "requests served single-attempt under an active "
+                     "SLO alert");
+    group.addCounter("shedRetries", shedRetries_,
+                     "retries suppressed by SLO load shed");
 }
 
 std::size_t

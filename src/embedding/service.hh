@@ -145,6 +145,14 @@ struct GuardConfig
     /** Admission limits for Batch::validate (0 = unchecked). */
     std::uint64_t indexLimit = 0;
     std::size_t maxQueryWidth = 0;
+    /**
+     * Degrade under SLO pressure: while the installed
+     * telemetry::sloMonitor() has any burn-rate alert active, requests
+     * are served with a single attempt (retries shed), trading
+     * recovery effort for queue drain until the alert clears. No-op
+     * when no monitor is installed.
+     */
+    bool sloLoadShed = false;
 };
 
 /** What one serving attempt reports back to the guard. */
@@ -185,6 +193,10 @@ class ServiceGuard
     std::uint64_t suspectQueryCount() const { return suspect_.value(); }
     std::uint64_t servedQueryCount() const { return served_.value(); }
     std::uint64_t partialRequestCount() const { return partial_.value(); }
+    /** Requests admitted while an SLO alert forced single-attempt
+     *  service, and the retries that shed suppressed. */
+    std::uint64_t shedRequestCount() const { return shedRequests_.value(); }
+    std::uint64_t shedRetryCount() const { return shedRetries_.value(); }
     /** @} */
 
     /** Register the recovery counters into @p group. */
@@ -204,6 +216,8 @@ class ServiceGuard
     Counter suspect_;
     Counter served_;
     Counter partial_;
+    Counter shedRequests_;
+    Counter shedRetries_;
 };
 
 /** Aggregate of a guarded open-loop run. */

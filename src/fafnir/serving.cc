@@ -9,8 +9,12 @@
 #include <cmath>
 
 #include "common/debug.hh"
+#include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "common/table.hh"
 #include "telemetry/attribution.hh"
+#include "telemetry/slo.hh"
+#include "telemetry/timeseries.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::core
@@ -65,8 +69,11 @@ ServingPipeline::ServingPipeline(const ServingConfig &config,
         config_.pipelineDepth = 1;
     slotPools_.resize(config_.pipelineDepth);
     perEngineBatches_.reserve(config_.engines);
-    for (unsigned e = 0; e < config_.engines; ++e)
+    perEngineBusyTicks_.reserve(config_.engines);
+    for (unsigned e = 0; e < config_.engines; ++e) {
         perEngineBatches_.push_back(std::make_unique<Counter>());
+        perEngineBusyTicks_.push_back(std::make_unique<Counter>());
+    }
 }
 
 unsigned
@@ -101,6 +108,22 @@ PipelineReport
 ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
                        Tick arrivalGap, Tick start)
 {
+    std::vector<Tick> arrivals;
+    arrivals.reserve(batches.size());
+    for (std::size_t k = 0; k < batches.size(); ++k)
+        arrivals.push_back(start + arrivalGap * k);
+    return serve(batches, arrivals);
+}
+
+PipelineReport
+ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
+                       const std::vector<Tick> &arrivals)
+{
+    FAFNIR_ASSERT(arrivals.size() == batches.size(),
+                  "serve() wants one arrival tick per batch (",
+                  arrivals.size(), " arrivals for ", batches.size(),
+                  " batches)");
+    const Tick start = arrivals.empty() ? 0 : arrivals.front();
     const unsigned engines = config_.engines;
     const unsigned depth = config_.pipelineDepth;
     const embedding::VectorLayout &layout = *replicas_[0].layout;
@@ -108,6 +131,7 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
     PipelineReport report;
     report.batches.reserve(batches.size());
     report.batchesPerEngine.assign(engines, 0);
+    report.busyTicksPerEngine.assign(engines, 0);
 
     // Stage availability, all in simulated ticks: the host prepare is
     // serial, each engine replica serves one batch at a time, results
@@ -134,21 +158,61 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
                               "engine " + std::to_string(e));
     }
 
+    // Windowed telemetry and SLO feeds: one load + branch when neither
+    // is installed, mirroring the trace-sink pattern.
+    telemetry::TimeSeries *series = telemetry::timeseries();
+    telemetry::SloMonitor *slo = telemetry::sloMonitor();
+    telemetry::WindowedHistogram *winLatency = nullptr;
+    telemetry::WindowedHistogram *winQueueWait = nullptr;
+    telemetry::WindowedHistogram *winOccupancy = nullptr;
+    telemetry::WindowedCounter *winBatches = nullptr;
+    telemetry::WindowedCounter *winQueries = nullptr;
+    telemetry::WindowedCounter *winHedges = nullptr;
+    std::vector<telemetry::WindowedCounter *> winEngineBatches;
+    std::vector<telemetry::WindowedHistogram *> winEngineService;
+    if (series) {
+        winLatency = &series->histogram(
+            "serving.latency_us", "arrival-to-writeback per query");
+        winQueueWait = &series->histogram(
+            "serving.queue_wait_us", "dispatch-queue wait per batch");
+        winOccupancy = &series->histogram(
+            "serving.slot_occupancy",
+            "prepared slots still retiring at prepare start");
+        winBatches = &series->counter("serving.batches");
+        winQueries = &series->counter("serving.queries");
+        winHedges = &series->counter("serving.hedges");
+        for (unsigned e = 0; e < engines; ++e) {
+            const std::string prefix =
+                "serving.engine" + std::to_string(e);
+            winEngineBatches.push_back(
+                &series->counter(prefix + ".batches"));
+            winEngineService.push_back(&series->histogram(
+                prefix + ".service_us", "execute time per batch"));
+        }
+    }
+
     Tick lastDone = start;
     for (std::size_t k = 0; k < batches.size(); ++k) {
         const embedding::Batch &batch = batches[k];
-        const Tick arrival = start + arrivalGap * k;
+        const Tick arrival = arrivals[k];
         const unsigned s = static_cast<unsigned>(k % depth);
 
         // --- Prepare stage (overlaps execution of earlier batches). ----
         const Tick prepare_start =
             std::max({arrival, prepareFree, slotRetire[s]});
+        if (winOccupancy) {
+            unsigned occupied = 0;
+            for (const Tick retire : slotRetire)
+                occupied += retire > prepare_start;
+            winOccupancy->record(prepare_start, occupied);
+        }
         const Tick prepare_cost =
             config_.prepareFixed +
             config_.preparePerReference * batch.totalIndices();
         const Tick prepare_done = prepare_start + prepare_cost;
         prepareFree = prepare_done;
         prepareTicks_ += prepare_cost;
+        report.prepareBusy += prepare_cost;
 
         releasePrepared(slots[s], slotPools_[s]);
         slots[s] = prepareBatch(layout, store_, batch, config_.dedup,
@@ -165,6 +229,8 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
         const std::uint64_t ordinal = attr ? attr->currentBatch() : 0;
         engineFree[primary] = timing.complete;
         const Tick service = timing.complete - timing.issued;
+        report.busyTicksPerEngine[primary] += service;
+        *perEngineBusyTicks_[primary] += service;
 
         // --- Hedge a straggler onto a second replica. -------------------
         unsigned winner = primary;
@@ -197,6 +263,12 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
                             slots[s], backup_start);
                 }
                 engineFree[backup] = backup_timing.complete;
+                const Tick backup_service =
+                    backup_timing.complete - backup_timing.issued;
+                report.busyTicksPerEngine[backup] += backup_service;
+                *perEngineBusyTicks_[backup] += backup_service;
+                if (winHedges)
+                    winHedges->record(backup_start);
                 if (backup_timing.complete < timing.complete) {
                     hedge_won = true;
                     ++report.hedgesWon;
@@ -220,10 +292,39 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
         // --- Telemetry: stage spans + latency-split back-annotation. ----
         const Tick dispatch_wait = timing.issued - prepare_done;
         dispatchWaitTicks_ += dispatch_wait;
+        report.dispatchWait += dispatch_wait;
+        report.writebackBusy += wb_done - wb_start;
         ++servedBatches_;
         servedQueries_ += batch.size();
         ++(*perEngineBatches_[winner]);
         ++report.batchesPerEngine[winner];
+
+        // --- Windowed telemetry + SLO feed (per query, at writeback). ---
+        if (series) {
+            constexpr double us = static_cast<double>(kTicksPerUs);
+            winBatches->record(wb_done);
+            winQueries->record(wb_done, batch.size());
+            winQueueWait->record(timing.issued,
+                                 static_cast<double>(dispatch_wait) / us);
+            winEngineBatches[winner]->record(complete);
+            winEngineService[winner]->record(
+                complete,
+                static_cast<double>(win_timing.complete -
+                                    win_timing.issued) / us);
+            const double latencyUs =
+                static_cast<double>(wb_done - arrival) / us;
+            for (std::size_t q = 0; q < batch.size(); ++q)
+                winLatency->record(wb_done, latencyUs);
+        }
+        if (slo) {
+            const double latencyUs =
+                static_cast<double>(wb_done - arrival) /
+                static_cast<double>(kTicksPerUs);
+            for (std::size_t q = 0; q < batch.size(); ++q) {
+                slo->recordLatency(wb_done, latencyUs);
+                slo->recordOutcome(wb_done, true);
+            }
+        }
         if (attr) {
             attr->annotateBatchStages(ordinal, prepare_done - arrival,
                                       dispatch_wait);
@@ -269,6 +370,10 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
     }
 
     report.makespan = lastDone > start ? lastDone - start : 0;
+    if (series)
+        series->flush(lastDone);
+    if (slo)
+        slo->flush(lastDone);
     FAFNIR_DPRINTF(Serving, "served ", batches.size(), " batches on ",
                    engines, " engines (depth ", depth, "): ",
                    report.requestsPerSecond(), " req/s, hedges ",
@@ -294,7 +399,82 @@ ServingPipeline::registerStats(StatGroup &group)
         group.addCounter("engine" + std::to_string(e) + ".batches",
                          *perEngineBatches_[e],
                          "batches served by engine " + std::to_string(e));
+        group.addCounter("engine" + std::to_string(e) + ".busyTicks",
+                         *perEngineBusyTicks_[e],
+                         "execute ticks on engine " + std::to_string(e) +
+                             " (including losing hedge backups)");
     }
+}
+
+void
+ServingPipeline::printHealthScoreboard(std::ostream &os,
+                                       const PipelineReport &report) const
+{
+    const double makespan = static_cast<double>(report.makespan);
+    const auto pct = [&](Tick busy) {
+        return makespan > 0.0 ? TextTable::num(
+                                    100.0 * static_cast<double>(busy) /
+                                        makespan, 1) + "%"
+                              : "-";
+    };
+    const telemetry::TimeSeries *series = telemetry::timeseries();
+    // Windowed columns read the installed engine; "-" when absent or
+    // when the metric has no samples.
+    const auto winP99 = [&](const std::string &metric) -> std::string {
+        if (series == nullptr)
+            return "-";
+        const telemetry::WindowedHistogram *h =
+            series->findHistogram(metric);
+        if (h == nullptr || h->total() == 0)
+            return "-";
+        return TextTable::num(h->peakWindowPercentile(99.0), 1);
+    };
+    const auto winRate = [&](const std::string &metric) -> std::string {
+        if (series == nullptr)
+            return "-";
+        const telemetry::WindowedCounter *c = series->findCounter(metric);
+        if (c == nullptr || c->total() == 0)
+            return "-";
+        return TextTable::num(c->rollingRatePerSec(c->windowCount()), 0);
+    };
+
+    TextTable table("serving health scoreboard");
+    table.setHeader({"stage", "batches", "util%", "peakWinP99us",
+                     "winRate/s", "notes"});
+    const std::size_t n = report.batches.size();
+    table.row("prepare", n, pct(report.prepareBusy),
+              winP99("serving.slot_occupancy"), winRate("serving.batches"),
+              "p99 col = prepared-slot occupancy");
+    table.row("dispatch", n, pct(report.dispatchWait),
+              winP99("serving.queue_wait_us"), "-",
+              "util% = share of time a batch waited");
+    for (unsigned e = 0; e < config_.engines; ++e) {
+        const std::string prefix = "serving.engine" + std::to_string(e);
+        std::uint64_t hedgeWins = 0;
+        for (const ServedBatchTrace &t : report.batches)
+            hedgeWins += t.hedgeWon && t.engine == e;
+        table.row("engine" + std::to_string(e),
+                  report.batchesPerEngine[e],
+                  pct(report.busyTicksPerEngine[e]),
+                  winP99(prefix + ".service_us"),
+                  winRate(prefix + ".batches"),
+                  "hedgeWins=" + std::to_string(hedgeWins));
+    }
+    table.row("writeback", n, pct(report.writebackBusy),
+              winP99("serving.latency_us"), winRate("serving.queries"),
+              "p99 col = end-to-end query latency");
+    if (const fault::FaultPlan *plan = fault::plan()) {
+        table.row("faults", plan->totalFired(), "-", "-", "-",
+                  "skippedOnRegisteredEvents=" +
+                      std::to_string(plan->totalSkipped()));
+    }
+    if (const telemetry::SloMonitor *slo = telemetry::sloMonitor()) {
+        table.row("slo", slo->totalFires(), "-", "-", "-",
+                  "fires/clears=" + std::to_string(slo->totalFires()) +
+                      "/" + std::to_string(slo->totalClears()) +
+                      (slo->anyActive() ? " [ACTIVE]" : ""));
+    }
+    table.print(os);
 }
 
 } // namespace fafnir::core

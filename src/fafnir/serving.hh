@@ -126,6 +126,12 @@ struct PipelineReport
     /** First arrival to last writeback. */
     Tick makespan = 0;
     std::vector<std::uint64_t> batchesPerEngine;
+    /** Execute ticks per engine, including losing hedge backups. */
+    std::vector<Tick> busyTicksPerEngine;
+    /** Stage busy totals for the health scoreboard. */
+    Tick prepareBusy = 0;
+    Tick dispatchWait = 0;
+    Tick writebackBusy = 0;
 
     double
     requestsPerSecond() const
@@ -188,8 +194,28 @@ class ServingPipeline
     PipelineReport serve(const std::vector<embedding::Batch> &batches,
                          Tick arrivalGap, Tick start = 0);
 
+    /**
+     * Serve @p batches at explicit arrival ticks (non-decreasing; one
+     * per batch) — the open-loop generator for time-varying load
+     * (steady/burst/ramp phases). When a windowed telemetry engine or
+     * SLO monitor is installed, every batch feeds per-stage windowed
+     * metrics and per-query latency/availability SLIs.
+     */
+    PipelineReport serve(const std::vector<embedding::Batch> &batches,
+                         const std::vector<Tick> &arrivals);
+
     /** Register pipeline + per-engine counters into @p group. */
     void registerStats(StatGroup &group);
+
+    /**
+     * Per-stage / per-replica health scoreboard over one run: windowed
+     * queue wait, utilization, hedge rate, prepared-slot occupancy, and
+     * fault/SLO context when the corresponding globals are installed.
+     * Windowed columns read the installed telemetry::timeseries() and
+     * print "-" when none is installed.
+     */
+    void printHealthScoreboard(std::ostream &os,
+                               const PipelineReport &report) const;
 
     const ServingConfig &config() const { return config_; }
 
@@ -225,6 +251,7 @@ class ServingPipeline
     Counter prepareTicks_;
     Counter dispatchWaitTicks_;
     std::vector<std::unique_ptr<Counter>> perEngineBatches_;
+    std::vector<std::unique_ptr<Counter>> perEngineBusyTicks_;
 };
 
 } // namespace fafnir::core

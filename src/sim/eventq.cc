@@ -380,8 +380,15 @@ EventQueue::schedule(Event &event, Tick when)
     // Registered events only take delivery jitter — dropping or
     // duplicating them would corrupt the generation bookkeeping that
     // makes cancel/reschedule O(1), so those hooks stay one-shot-only.
-    if (faultPlan_ != nullptr) [[unlikely]]
+    // Surface the gap instead of hiding it: armed lossy hooks warn once
+    // and count every skipped application.
+    if (faultPlan_ != nullptr) [[unlikely]] {
+        faultPlan_->noteSkippedApplication(fault::Hook::EventDrop,
+                                           event.name());
+        faultPlan_->noteSkippedApplication(fault::Hook::EventDup,
+                                           event.name());
         when += faultPlan_->eventDelayTicks();
+    }
     if (event.scheduled_) {
         --pendingCount_; // the stale queue entry becomes a no-op
         ++stale_;

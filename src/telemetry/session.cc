@@ -5,10 +5,13 @@
 
 #include "session.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 
 namespace fafnir::telemetry
@@ -52,6 +55,16 @@ TelemetrySession::registerFlags(FlagParser &flags)
                     "dram_latency:0.1,event_delay:0.05");
     flags.addUint64("fault-seed", faultSeed_,
                     "deterministic seed for the fault plan");
+    flags.addString("slo", sloSpec_,
+                    "monitor SLO objectives with burn-rate alerting, "
+                    "e.g. \"p99_latency_us<500;availability>=0.999\"");
+    flags.addString("timeline", timelinePath_,
+                    "write the windowed-metrics + SLO-alert JSON-lines "
+                    "timeline to this path (composes with --trace and "
+                    "--attrib)");
+    flags.addDouble("window-us", windowUs_,
+                    "tumbling-window width for --timeline/--slo in "
+                    "simulated microseconds");
     flags.addUnsigned("serve-engines", serving_.engines,
                       "engine replicas for the pipelined serving path "
                       "(0 = serial single-engine)");
@@ -85,6 +98,29 @@ TelemetrySession::start()
         report_.setConfig("faults", plan_->describe());
         report_.setConfig("faultSeed", faultSeed_);
     }
+    if (!sloSpec_.empty() || !timelinePath_.empty()) {
+        if (!(windowUs_ > 0.0))
+            FAFNIR_FATAL("--window-us must be positive, got ", windowUs_);
+        TimeSeriesConfig config;
+        config.windowTicks = static_cast<Tick>(
+            windowUs_ * static_cast<double>(kTicksPerUs));
+        series_.emplace(config);
+        seriesInstall_.emplace(&*series_);
+        series_->registerStats(StatRegistry::instance().group("windows"));
+        report_.setConfig("windowUs", windowUs_);
+    }
+    if (!sloSpec_.empty()) {
+        BurnConfig burn;
+        burn.fastWindowTicks = series_->windowTicks();
+        try {
+            monitor_.emplace(SloMonitor::parseSpec(sloSpec_), burn);
+        } catch (const std::exception &e) {
+            FAFNIR_FATAL("bad --slo spec: ", e.what());
+        }
+        monitorInstall_.emplace(&*monitor_);
+        monitor_->registerStats(StatRegistry::instance().group("slo"));
+        report_.setConfig("slo", sloSpec_);
+    }
 }
 
 int
@@ -100,6 +136,20 @@ TelemetrySession::finish()
                           static_cast<double>(plan_->totalFired()));
         report_.setMetric("faultsChecked",
                           static_cast<double>(plan_->totalChecked()));
+        report_.setMetric("faultsSkipped",
+                          static_cast<double>(plan_->totalSkipped()));
+    }
+    if (monitor_) {
+        // Close any window still open at the last observed tick so the
+        // final fire/clear decision lands in the timeline and report.
+        Tick last = monitor_->lastTick();
+        if (series_)
+            last = std::max(last, series_->lastTick());
+        monitor_->flush(last);
+        report_.setMetric("sloAlertFires",
+                          static_cast<double>(monitor_->totalFires()));
+        report_.setMetric("sloAlertClears",
+                          static_cast<double>(monitor_->totalClears()));
     }
     bool ok = true;
     auto write_to = [&ok](const std::string &path, auto &&emit) {
@@ -136,6 +186,19 @@ TelemetrySession::finish()
         report_.setMetric("attribCoverage",
                           attribution_->componentCoverage());
     }
+    if (!timelinePath_.empty()) {
+        write_to(timelinePath_, [&](std::ostream &os) {
+            writeTimeline(os, series_ ? &*series_ : nullptr,
+                          monitor_ ? &*monitor_ : nullptr);
+        });
+        report_.noteArtifact("timeline", timelinePath_);
+    }
+    if (sink_) {
+        if (series_)
+            series_->exportCounterTracks(*sink_);
+        if (monitor_)
+            monitor_->exportCounterTracks(*sink_);
+    }
     if (sink_ && !tracePath_.empty()) {
         if (!sink_->writeFile(tracePath_)) {
             std::fprintf(stderr, "error: cannot write %s\n",
@@ -153,6 +216,10 @@ TelemetrySession::finish()
 
     // Groups reference harness-scoped objects; drop them now.
     registry.clear();
+    monitorInstall_.reset();
+    monitor_.reset();
+    seriesInstall_.reset();
+    series_.reset();
     planInstall_.reset();
     plan_.reset();
     attributionInstall_.reset();

@@ -10,7 +10,12 @@
  * `--faults <spec> --fault-seed <n>` (see docs/ROBUSTNESS.md) parses
  * and installs a process-global fault::FaultPlan for the run, registers
  * its counters under the "faults" stat group, and lands injected/checked
- * totals in the report's metrics.
+ * totals in the report's metrics. `--timeline <path>` turns on the
+ * windowed metrics engine (window width `--window-us`) and writes the
+ * JSON-lines timeline artifact; `--slo <spec>` additionally installs a
+ * burn-rate SLO monitor (see docs/OBSERVABILITY.md). All three compose
+ * with --trace: windowed series and SLO burn rates land as counter
+ * tracks in the Perfetto trace as well.
  *
  * Harnesses without their own flags construct it from argv directly:
  *
@@ -44,6 +49,8 @@
 #include "common/faultinject.hh"
 #include "telemetry/attribution.hh"
 #include "telemetry/report.hh"
+#include "telemetry/slo.hh"
+#include "telemetry/timeseries.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir
@@ -123,6 +130,13 @@ class TelemetrySession
     /** The run's fault plan, or nullptr when --faults was not given. */
     fault::FaultPlan *faultPlan() { return plan_ ? &*plan_ : nullptr; }
 
+    /** The run's windowed metrics engine, or nullptr when neither
+     *  --timeline nor --slo was given. */
+    TimeSeries *timeSeries() { return series_ ? &*series_ : nullptr; }
+
+    /** The run's SLO monitor, or nullptr when --slo was not given. */
+    SloMonitor *sloMonitor() { return monitor_ ? &*monitor_ : nullptr; }
+
     /** Parsed serving-pipeline flags (engines == 0 -> serial path). */
     const ServingOptions &serving() const { return serving_; }
 
@@ -142,6 +156,9 @@ class TelemetrySession
     std::string attribPath_;
     std::string faultSpec_;
     std::uint64_t faultSeed_ = 1;
+    std::string sloSpec_;
+    std::string timelinePath_;
+    double windowUs_ = 50.0;
     ServingOptions serving_;
     std::optional<TraceSink> sink_;
     std::optional<ScopedSinkInstall> install_;
@@ -149,6 +166,10 @@ class TelemetrySession
     std::optional<ScopedAttributionInstall> attributionInstall_;
     std::optional<fault::FaultPlan> plan_;
     std::optional<fault::ScopedPlanInstall> planInstall_;
+    std::optional<TimeSeries> series_;
+    std::optional<ScopedTimeSeriesInstall> seriesInstall_;
+    std::optional<SloMonitor> monitor_;
+    std::optional<ScopedSloMonitorInstall> monitorInstall_;
     RunReport report_;
     bool finished_ = false;
 };

@@ -85,9 +85,16 @@ TEST(DirectionOf, ThroughputLatencyAndInfo)
               Direction::HigherBetter);
     EXPECT_EQ(directionOf("replica_scaling_speedup"),
               Direction::HigherBetter);
+    EXPECT_EQ(directionOf("burst_goodput_qps"),
+              Direction::HigherBetter);
+    EXPECT_EQ(directionOf("burst_offered_load_qps"),
+              Direction::HigherBetter);
     EXPECT_EQ(directionOf("totalUs"), Direction::LowerBetter);
     EXPECT_EQ(directionOf("batchPrepareNs"), Direction::LowerBetter);
+    EXPECT_EQ(directionOf("burst_windowed_p99_latency_us"),
+              Direction::LowerBetter);
     EXPECT_EQ(directionOf("hedgesIssued"), Direction::Informational);
+    EXPECT_EQ(directionOf("slo_alert_fires"), Direction::Informational);
 }
 
 TEST(CompareReports, DefaultToleranceGates)

@@ -317,3 +317,42 @@ TEST(FaultEventQueue, NoPlanLeavesScheduleExact)
     eq.run();
     EXPECT_EQ(fired_at, (std::vector<Tick>{100, 200, 300, 400, 500}));
 }
+
+TEST(FaultEventQueue, RegisteredEventsCountSkippedLossyApplications)
+{
+    // Registered Events only take delay jitter: the lossy hooks
+    // (event_drop/event_dup) cannot apply to them, and every skipped
+    // application must be counted rather than silently swallowed.
+    fault::FaultPlan plan =
+        fault::FaultPlan::parse("event_drop:1,event_dup:1", 3);
+    fault::ScopedPlanInstall install(&plan);
+
+    EventQueue eq;
+    int delivered = 0;
+    Event ev("skip-probe", [&delivered] { ++delivered; });
+    eq.schedule(ev, 10);
+    eq.run();
+    EXPECT_EQ(delivered, 1); // neither dropped nor duplicated
+    EXPECT_EQ(plan.skippedCount(fault::Hook::EventDrop), 1u);
+    EXPECT_EQ(plan.skippedCount(fault::Hook::EventDup), 1u);
+    EXPECT_EQ(plan.totalSkipped(), 2u);
+    // The lossy hooks never fired — they were skipped, not applied.
+    EXPECT_EQ(plan.firedCount(fault::Hook::EventDrop), 0u);
+    EXPECT_EQ(plan.firedCount(fault::Hook::EventDup), 0u);
+}
+
+TEST(FaultEventQueue, UnarmedLossyHooksSkipNothing)
+{
+    // A delay-only plan touches registered events legitimately: no
+    // skip accounting, no warning.
+    fault::FaultPlan plan = fault::FaultPlan::parse("event_delay:1", 3);
+    fault::ScopedPlanInstall install(&plan);
+
+    EventQueue eq;
+    int delivered = 0;
+    Event ev("delay-probe", [&delivered] { ++delivered; });
+    eq.schedule(ev, 10);
+    eq.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(plan.totalSkipped(), 0u);
+}

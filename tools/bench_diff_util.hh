@@ -251,6 +251,7 @@ directionOf(const std::string &name)
         containsWord(name, "speedup") || containsWord(name, "GBs") ||
         containsWord(name, "throughput") ||
         containsWord(name, "Utilization") ||
+        containsWord(name, "goodput") || containsWord(name, "qps") ||
         containsWord(name, "saved")) {
         return Direction::HigherBetter;
     }

@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
 #include <memory>
 #include <sstream>
 
@@ -75,6 +76,7 @@ struct Options
     double deadlineUs = 0.0;
     unsigned maxAttempts = 3;
     std::uint64_t retryBackoffNs = 200;
+    bool sloShed = false;
     // SpMV / SpTRSV knobs.
     std::string matrix = "web"; // web | road | banded | uniform
     unsigned nodes = 1u << 14;
@@ -197,6 +199,7 @@ runGuardedLookup(const Options &opt, telemetry::TelemetrySession &session)
     gc.retryBackoff = opt.retryBackoffNs * kTicksPerNs;
     gc.indexLimit = tables.totalVectors();
     gc.maxQueryWidth = static_cast<std::size_t>(opt.querySize) * 4;
+    gc.sloLoadShed = opt.sloShed;
     embedding::ServiceGuard guard(gc, serve);
 
     run.setConfig("deadlineUs", opt.deadlineUs);
@@ -233,6 +236,13 @@ runGuardedLookup(const Options &opt, telemetry::TelemetrySession &session)
     std::printf("served: %zu queries, %zu dropped, %zu partial requests\n",
                 served.servedQueries(), served.droppedQueries(),
                 served.partialRequests());
+    if (gc.sloLoadShed)
+        std::printf("load-shed: %llu requests served single-attempt "
+                    "under SLO alert, %llu retries suppressed\n",
+                    static_cast<unsigned long long>(
+                        guard.shedRequestCount()),
+                    static_cast<unsigned long long>(
+                        guard.shedRetryCount()));
 
     StatRegistry &registry = StatRegistry::instance();
     memory.registerStats(registry.group("memory"));
@@ -252,6 +262,12 @@ runGuardedLookup(const Options &opt, telemetry::TelemetrySession &session)
                   static_cast<double>(served.droppedQueries()));
     run.setMetric("partialRequests",
                   static_cast<double>(served.partialRequests()));
+    if (gc.sloLoadShed) {
+        run.setMetric("shedRequests",
+                      static_cast<double>(guard.shedRequestCount()));
+        run.setMetric("shedRetries",
+                      static_cast<double>(guard.shedRetryCount()));
+    }
     return session.finish();
 }
 
@@ -341,6 +357,7 @@ runPipelinedLookup(const Options &opt,
         shards << (e == 0 ? "" : " ") << served.batchesPerEngine[e];
     std::printf("shards: [%s] batches per engine\n",
                 shards.str().c_str());
+    pipeline.printHealthScoreboard(std::cout, served);
 
     StatRegistry &registry = StatRegistry::instance();
     pipeline.registerStats(registry.group("serving"));
@@ -681,6 +698,9 @@ main(int argc, char **argv)
                       "guarded serving: attempts per request");
     flags.addUint64("retry-backoff-ns", opt.retryBackoffNs,
                     "guarded serving: first retry backoff (doubles)");
+    flags.addBool("slo-shed", opt.sloShed,
+                  "guarded serving: shed retries (single attempt) while "
+                  "an --slo burn-rate alert is active");
     telemetry::TelemetrySession session("fafnir_sim");
     session.registerFlags(flags);
     flags.parse(argc, argv);
