@@ -28,14 +28,15 @@ namespace fafnir::bench
 {
 
 /**
- * Effective sweep parallelism once process-global telemetry is in
- * play: the TraceSink, the fault plan's RNG streams, and the windowed
- * TimeSeries rings are not thread-safe, so any of them forces the
- * sweep serial — with a warning, so a slow traced sweep is never a
- * silent surprise.
+ * Effective parallelism for @p flag once process-global telemetry is
+ * in play: the TraceSink, the fault plan's RNG streams, and the
+ * windowed TimeSeries rings are not thread-safe, so any of them forces
+ * the run serial — with a warning naming the clamped flag, so a slow
+ * traced run is never a silent surprise. Covers both the sweep
+ * harnesses ("--jobs") and the host prepare pool ("--prepare-workers").
  */
 inline unsigned
-sweepJobs(unsigned requested)
+clampParallelism(unsigned requested, const char *flag)
 {
     const char *why = nullptr;
     if (telemetry::sink() != nullptr)
@@ -47,10 +48,17 @@ sweepJobs(unsigned requested)
     if (why == nullptr || requested <= 1)
         return requested;
     std::fprintf(stderr,
-                 "warning: %s forces --jobs=1 (process-global "
+                 "warning: %s forces %s=1 (process-global "
                  "telemetry is not thread-safe); requested %u\n",
-                 why, requested);
+                 why, flag, requested);
     return 1;
+}
+
+/** The sweep-harness clamp: clampParallelism for --jobs. */
+inline unsigned
+sweepJobs(unsigned requested)
+{
+    return clampParallelism(requested, "--jobs");
 }
 
 /** A complete memory + layout rig for one engine instance. */

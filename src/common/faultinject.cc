@@ -188,20 +188,12 @@ FaultPlan::totalChecked() const
 }
 
 void
-FaultPlan::noteSkippedApplication(Hook hook, const char *what)
+FaultPlan::noteSkippedFiring(Hook hook)
 {
     HookState &st = state(hook);
     if (st.rate <= 0.0)
         return;
     ++st.skipped;
-    if (!st.warnedSkip) {
-        st.warnedSkip = true;
-        FAFNIR_WARN("fault hook '", toString(hook),
-                    "' covers one-shot callbacks only; registered "
-                    "Event \"", what == nullptr ? "?" : what,
-                    "\" gets delay-only treatment (skips counted as "
-                    "faults.", toString(hook), ".skipped)");
-    }
 }
 
 std::uint64_t
@@ -240,18 +232,19 @@ FaultPlan::registerStats(StatGroup &g) const
                      "times the " + name + " hook was evaluated");
         g.addCounter(name + ".fired", hooks_[i].fired,
                      "faults injected at the " + name + " hook");
-        // Only lossy event hooks can be skipped (registered events take
-        // delay-only treatment); keep the group free of dead rows.
+        // Only lossy event hooks skip firings (a drop unschedules one
+        // firing; a dup's echo is suppressed when the event was
+        // rescheduled first); keep the group free of dead rows.
         const auto hook = static_cast<Hook>(i);
         if (hook == Hook::EventDrop || hook == Hook::EventDup) {
             g.addCounter(name + ".skipped", hooks_[i].skipped,
-                         "applications skipped on registered events "
-                         "(delay-only sites)");
+                         "registered-event firings skipped "
+                         "(dropped or suppressed duplicates)");
         }
     }
     g.addFormula("totalSkipped", [this] {
         return static_cast<double>(totalSkipped());
-    }, "applications skipped at delay-only sites across all hooks");
+    }, "registered-event firings skipped across all hooks");
     g.addFormula("totalChecked", [this] {
         return static_cast<double>(totalChecked());
     }, "hook evaluations across all hooks");

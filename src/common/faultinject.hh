@@ -223,14 +223,14 @@ class FaultPlan
     std::uint64_t totalChecked() const;
 
     /**
-     * Record that armed @p hook could not be applied to the registered
-     * (non-one-shot) Event named @p what — registered events only take
-     * delay-only treatment, since dropping or duplicating them would
-     * corrupt the queue's generation bookkeeping. Warns once per hook
-     * per run and counts the skip, so a lossy-plan run cannot silently
-     * misreport its coverage. No-op while the hook is unarmed.
+     * Record one event firing skipped (or suppressed) by lossy @p hook
+     * on a registered Event: a drop that unscheduled one firing, or a
+     * duplicate firing suppressed because its event was rescheduled
+     * before the echo landed. Counts under faults.<hook>.skipped so a
+     * lossy-plan run reports its effective coverage. No-op while the
+     * hook is unarmed.
      */
-    void noteSkippedApplication(Hook hook, const char *what);
+    void noteSkippedFiring(Hook hook);
 
     std::uint64_t
     skippedCount(Hook hook) const
@@ -265,10 +265,9 @@ class FaultPlan
         double magnitude = 0.0;
         Counter checked;
         Counter fired;
-        /** Applications skipped because the site only supports
-         *  delay-only treatment (registered events). */
+        /** Registered-event firings skipped by a drop or suppressed
+         *  duplicate (lossy hooks recover instead of warning). */
         Counter skipped;
-        bool warnedSkip = false;
         Rng rng;
     };
 

@@ -20,6 +20,7 @@
 #include "common/logging.hh"
 #include "common/smallvec.hh"
 #include "common/types.hh"
+#include "embedding/reduce_kernels.hh"
 
 namespace fafnir::core
 {
@@ -120,6 +121,23 @@ class IndexSet
         std::set_difference(items_.begin(), items_.end(),
                             other.items_.begin(), other.items_.end(),
                             std::back_inserter(result.items_));
+        return result;
+    }
+
+    /**
+     * Elements of this set other than @p excluded — equivalent to
+     * minus(single(excluded)) but through the SIMD header-build kernel.
+     * This is the hot operation of batch prepare: every deduplicated
+     * read subtracts its own index from each sharing query's set.
+     */
+    IndexSet
+    minusOne(IndexId excluded) const
+    {
+        IndexSet result;
+        result.items_.resize(items_.size());
+        const std::size_t kept = embedding::filterOutSpan(
+            result.items_.data(), items_.data(), items_.size(), excluded);
+        result.items_.resize(kept);
         return result;
     }
 

@@ -67,7 +67,11 @@ ServingPipeline::ServingPipeline(const ServingConfig &config,
                   " replicas were built");
     if (config_.pipelineDepth == 0)
         config_.pipelineDepth = 1;
-    slotPools_.resize(config_.pipelineDepth);
+    config_.prepareWorkers = std::max(1u, config_.prepareWorkers);
+    preparePool_ = std::make_unique<PreparePool>(config_.prepareWorkers);
+    slotArenas_.reserve(config_.pipelineDepth);
+    for (unsigned s = 0; s < config_.pipelineDepth; ++s)
+        slotArenas_.push_back(preparePool_->makeSlotArenas());
     perEngineBatches_.reserve(config_.engines);
     perEngineBusyTicks_.reserve(config_.engines);
     for (unsigned e = 0; e < config_.engines; ++e) {
@@ -133,11 +137,12 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
     report.batchesPerEngine.assign(engines, 0);
     report.busyTicksPerEngine.assign(engines, 0);
 
-    // Stage availability, all in simulated ticks: the host prepare is
-    // serial, each engine replica serves one batch at a time, results
-    // drain through one writeback port, and at most `depth` prepared
-    // batches exist at once (slot s is reusable once its previous
-    // occupant has fully retired).
+    // Stage availability, all in simulated ticks: the host prepare
+    // pool handles one batch at a time (its workers divide the batch),
+    // each engine replica serves one batch at a time, results drain
+    // through one writeback port, and at most `depth` prepared batches
+    // exist at once. Slot s frees at its occupant's engine completion:
+    // arena recycling rides a pool thread, off the writeback path.
     std::vector<Tick> engineFree(engines, start);
     Tick prepareFree = start;
     Tick writebackFree = start;
@@ -206,17 +211,21 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
                 occupied += retire > prepare_start;
             winOccupancy->record(prepare_start, occupied);
         }
+        // Modeled cost always uses the configured worker count, even
+        // when a fault plan forces the real PreparePool serial — the
+        // simulated timeline must not depend on host-thread decisions.
+        const auto pw = static_cast<Tick>(config_.prepareWorkers);
         const Tick prepare_cost =
             config_.prepareFixed +
-            config_.preparePerReference * batch.totalIndices();
+            config_.preparePerReference * batch.totalIndices() / pw +
+            config_.prepareShardOverhead * (pw - 1);
         const Tick prepare_done = prepare_start + prepare_cost;
         prepareFree = prepare_done;
         prepareTicks_ += prepare_cost;
         report.prepareBusy += prepare_cost;
 
-        releasePrepared(slots[s], slotPools_[s]);
-        slots[s] = prepareBatch(layout, store_, batch, config_.dedup,
-                                &slotPools_[s]);
+        slots[s] = preparePool_->prepare(layout, store_, batch,
+                                         config_.dedup, &slotArenas_[s]);
 
         // --- Dispatch + execute on the chosen replica. ------------------
         const unsigned primary = pickEngine(k, engineFree);
@@ -286,7 +295,10 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
         const Tick wb_done =
             wb_start + config_.writebackPerQuery * batch.size();
         writebackFree = wb_done;
-        slotRetire[s] = wb_done;
+        // Slot turnaround is off the writeback path: the slot's arena
+        // recycle is handed to a pool thread at engine completion, so
+        // the slot frees at `complete`, not at writeback drain.
+        slotRetire[s] = complete;
         lastDone = std::max(lastDone, wb_done);
 
         // --- Telemetry: stage spans + latency-split back-annotation. ----
@@ -367,7 +379,16 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
         trace.done = wb_done;
         trace.timing = std::move(win_timing);
         report.batches.push_back(std::move(trace));
+
+        // Batch k's values are computed; recycle its buffers on a pool
+        // thread while the next iteration prepares. prepare() on the
+        // same slot waits for this recycle before reusing the arenas.
+        preparePool_->recycleAsync(std::move(slots[s]), slotArenas_[s]);
+        slots[s] = PreparedBatch{};
     }
+
+    for (auto &arenas : slotArenas_)
+        preparePool_->waitRecycle(arenas);
 
     report.makespan = lastDone > start ? lastDone - start : 0;
     if (series)
@@ -392,9 +413,10 @@ ServingPipeline::registerStats(StatGroup &group)
     group.addCounter("hedgesWon", hedgesWon_,
                      "hedged batches whose backup finished first");
     group.addCounter("prepareTicks", prepareTicks_,
-                     "modeled host prepare time (dedup + headers)");
+                     "modeled host prepare time (sharded dedup + headers)");
     group.addCounter("dispatchWaitTicks", dispatchWaitTicks_,
                      "prepared batches waiting for a free engine");
+    preparePool_->registerStats(group);
     for (unsigned e = 0; e < config_.engines; ++e) {
         group.addCounter("engine" + std::to_string(e) + ".batches",
                          *perEngineBatches_[e],
@@ -444,7 +466,8 @@ ServingPipeline::printHealthScoreboard(std::ostream &os,
     const std::size_t n = report.batches.size();
     table.row("prepare", n, pct(report.prepareBusy),
               winP99("serving.slot_occupancy"), winRate("serving.batches"),
-              "p99 col = prepared-slot occupancy");
+              "workers=" + std::to_string(config_.prepareWorkers) +
+                  ", p99 col = slot occupancy");
     table.row("dispatch", n, pct(report.dispatchWait),
               winP99("serving.queue_wait_us"), "-",
               "util% = share of time a batch waited");
@@ -465,7 +488,7 @@ ServingPipeline::printHealthScoreboard(std::ostream &os,
               "p99 col = end-to-end query latency");
     if (const fault::FaultPlan *plan = fault::plan()) {
         table.row("faults", plan->totalFired(), "-", "-", "-",
-                  "skippedOnRegisteredEvents=" +
+                  "skippedFirings=" +
                       std::to_string(plan->totalSkipped()));
     }
     if (const telemetry::SloMonitor *slo = telemetry::sloMonitor()) {

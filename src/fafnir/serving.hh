@@ -15,15 +15,23 @@
  * Stages are connected by bounded slots so the host prepare of batch
  * k+1 overlaps the tree execution of batch k (double-buffered
  * PreparedBatches; each pipeline slot recycles its value buffers
- * through a per-slot VectorPool arena), and a work-conserving
+ * through per-slot VectorPool arenas), and a work-conserving
  * dispatcher shards independent batches across N identical engine
  * replicas (least-loaded or round-robin, pluggable).
  *
- * Everything runs on one OS thread in simulated time — the overlap is a
- * property of the tick arithmetic, not of host threads — which keeps
- * served values bit-identical to the serial path at any replica count
- * and pipeline depth (the conformance suite pins this, including under
- * an installed fault plan).
+ * Host prepare itself runs on a PreparePool of prepareWorkers threads
+ * (sharded dedup + chunked emit, bit-identical to the serial path at
+ * any worker count), and a slot's arena recycling is handed to a pool
+ * thread when its batch completes — slot turnaround is off the
+ * writeback path, so a slot frees at engine completion rather than
+ * writeback drain.
+ *
+ * The *simulated* stage timing stays single-threaded tick arithmetic:
+ * the modeled prepare cost divides the per-reference term by the
+ * worker count (plus a per-shard merge overhead), which keeps served
+ * values and all simulated metrics bit-identical at any replica count,
+ * pipeline depth, and worker count (the conformance suite pins this,
+ * including under an installed fault plan).
  *
  * Hedged requests (ROADMAP): with hedgePct > 0, a batch whose primary
  * engine run exceeds the running p-th percentile of observed service
@@ -84,16 +92,31 @@ struct ServingConfig
     std::size_t hedgeWarmup = 8;
     /** Read each unique index once (Section IV-C). */
     bool dedup = true;
-    /** Modeled host prepare cost: fixed + per index reference. The flat
-     *  open-addressing dedup is one probe + one link append per
-     *  reference (micro_serving measures the wall-clock analogue); a
-     *  production host runs it across cores, so the modeled stage is
-     *  deliberately cheap enough that a replicated deployment is
-     *  engine-bound, not prepare-bound. */
-    Tick prepareFixed = 100 * kTicksPerNs;
-    Tick preparePerReference = kTicksPerNs / 2;
-    /** Modeled writeback cost per served query vector. */
-    Tick writebackPerQuery = 20 * kTicksPerNs;
+    /** Host prepare workers (>= 1). The real PreparePool shards the
+     *  dedup scan across this many threads; the modeled cost divides
+     *  the per-reference term by the same count. */
+    unsigned prepareWorkers = 1;
+    /**
+     * Modeled host prepare cost:
+     *
+     *   prepareFixed + preparePerReference * refs / prepareWorkers
+     *                + prepareShardOverhead * (prepareWorkers - 1)
+     *
+     * The flat open-addressing dedup is one probe + one link append
+     * per reference and the sharded scan divides that work across
+     * workers; the shard overhead term charges the serial merge + sort
+     * of each extra shard's claimed entries (micro_serving measures
+     * the wall-clock analogue of both). The constants are calibrated
+     * so a 1-worker prepare of a 384-reference batch costs ~292 ns —
+     * the same as the pre-pool model — and scaling to 4 workers is
+     * ~3x, matching the sharded scan's measured behavior.
+     */
+    Tick prepareFixed = 40 * kTicksPerNs;
+    Tick preparePerReference = 655;
+    Tick prepareShardOverhead = 4 * kTicksPerNs;
+    /** Modeled writeback cost per served query vector (post-recycle
+     *  overlap, writeback only drains result rows host-side). */
+    Tick writebackPerQuery = 10 * kTicksPerNs;
 };
 
 /** One batch's trip through the pipeline. */
@@ -219,14 +242,24 @@ class ServingPipeline
 
     const ServingConfig &config() const { return config_; }
 
-    /** Per-slot arena counters (asserting buffer reuse in tests). */
+    /** Per-slot arena counters, aggregated across the slot's per-chunk
+     *  pools (asserting buffer reuse in tests). Call after serve() —
+     *  the run's pending recycles are drained by then. */
     std::vector<VectorPool::Stats>
     slotPoolStats() const
     {
         std::vector<VectorPool::Stats> stats;
-        stats.reserve(slotPools_.size());
-        for (const auto &pool : slotPools_)
-            stats.push_back(pool.stats());
+        stats.reserve(slotArenas_.size());
+        for (const auto &arenas : slotArenas_) {
+            VectorPool::Stats sum;
+            for (const auto &pool : arenas.pools) {
+                sum.acquires += pool.stats().acquires;
+                sum.reuses += pool.stats().reuses;
+                sum.releases += pool.stats().releases;
+                sum.exhaustions += pool.stats().exhaustions;
+            }
+            stats.push_back(sum);
+        }
         return stats;
     }
 
@@ -239,8 +272,12 @@ class ServingPipeline
     ServingConfig config_;
     std::vector<EngineReplica> &replicas_;
     const embedding::EmbeddingStore *store_;
-    /** Per-slot value-buffer arenas (index = batch % pipelineDepth). */
-    std::vector<VectorPool> slotPools_;
+    /** Per-slot value-buffer arenas (index = batch % pipelineDepth).
+     *  Declared before preparePool_: the pool's destructor drains any
+     *  async recycle still referencing an arena. */
+    std::vector<PreparePool::SlotArenas> slotArenas_;
+    /** The multi-worker host prepare pool (workers from config). */
+    std::unique_ptr<PreparePool> preparePool_;
     /** Completed service times (started -> complete), for hedging. */
     std::vector<Tick> serviceHistory_;
 

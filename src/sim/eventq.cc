@@ -377,16 +377,30 @@ EventQueue::sampleOneShotFaults(Tick when, bool copyable)
 void
 EventQueue::schedule(Event &event, Tick when)
 {
-    // Registered events only take delivery jitter — dropping or
-    // duplicating them would corrupt the generation bookkeeping that
-    // makes cancel/reschedule O(1), so those hooks stay one-shot-only.
-    // Surface the gap instead of hiding it: armed lossy hooks warn once
-    // and count every skipped application.
+    // Lossy hooks apply to registered events generation-aware, in the
+    // same stream order as one-shots (drop, delay, dup):
+    //  - event_drop consumes this (re)schedule: the generation bump
+    //    stales any queued node, so exactly one firing is skipped and
+    //    the owner's next schedule() recovers the event.
+    //  - event_dup files a one-shot echo at the same (tick, priority)
+    //    guarded by the generation captured at insert; it refires the
+    //    callback after the real firing unless the event was
+    //    rescheduled or cancelled in between, in which case the echo
+    //    is suppressed and counted as a skipped firing.
+    // Both outcomes update faults.<hook>.skipped, so a lossy-plan run
+    // reports its effective registered-event coverage.
     if (faultPlan_ != nullptr) [[unlikely]] {
-        faultPlan_->noteSkippedApplication(fault::Hook::EventDrop,
-                                           event.name());
-        faultPlan_->noteSkippedApplication(fault::Hook::EventDup,
-                                           event.name());
+        if (faultPlan_->shouldFire(fault::Hook::EventDrop)) {
+            faultPlan_->noteSkippedFiring(fault::Hook::EventDrop);
+            if (event.scheduled_) {
+                --pendingCount_;
+                ++stale_;
+            }
+            ++event.generation_; // the queued node becomes a no-op
+            event.scheduled_ = false;
+            maybeCompact();
+            return;
+        }
         when += faultPlan_->eventDelayTicks();
     }
     if (event.scheduled_) {
@@ -401,6 +415,25 @@ EventQueue::schedule(Event &event, Tick when)
     node->generation = event.generation_;
     insertNode(node, when, event.priority_);
     maybeCompact();
+
+    if (faultPlan_ != nullptr) [[unlikely]] {
+        if (faultPlan_->shouldFire(fault::Hook::EventDup)) {
+            Event *const ev = &event;
+            const std::uint64_t gen = event.generation_;
+            fault::FaultPlan *const plan = faultPlan_;
+            // Inserted after the real node, so at the shared key the
+            // echo fires second (insertion order breaks ties).
+            emplaceOneShot(
+                when,
+                [ev, gen, plan] {
+                    if (ev->generation_ == gen)
+                        ev->callback_();
+                    else
+                        plan->noteSkippedFiring(fault::Hook::EventDup);
+                },
+                event.priority_);
+        }
+    }
 }
 
 void

@@ -144,6 +144,14 @@ class EventQueue
     /**
      * Schedule @p event at absolute tick @p when (>= now). An already-
      * scheduled event is moved to the new time.
+     *
+     * Fault hooks (with a fault::FaultPlan installed when the queue was
+     * built) apply generation-aware: event_drop consumes this schedule
+     * — one firing is skipped, the owner's next schedule() recovers —
+     * event_dup files a generation-guarded echo that refires the
+     * callback unless the event was rescheduled or cancelled first,
+     * and event_delay adds delivery jitter. Skipped/suppressed firings
+     * count under faults.<hook>.skipped.
      */
     void schedule(Event &event, Tick when);
 
@@ -160,10 +168,9 @@ class EventQueue
      * queue is built, otherwise one member test): event_drop discards
      * the callback outright, event_dup files a second copy at the same
      * tick (copyable callables only), event_delay adds delivery jitter.
-     * Drops and duplicates are restricted to one-shots so Event
-     * generation bookkeeping — and with it the (tick, priority,
-     * insertion-order) contract checked by the determinism tests —
-     * survives any injection schedule.
+     * Registered Events take the same hooks through schedule(), where
+     * generation counting makes drops and duplicate echoes safe (see
+     * schedule()'s contract).
      */
     template <typename F>
     void

@@ -70,6 +70,9 @@ TelemetrySession::registerFlags(FlagParser &flags)
                       "(0 = serial single-engine)");
     flags.addUnsigned("pipeline-depth", serving_.pipelineDepth,
                       "prepared batches in flight (1 = serial rhythm)");
+    flags.addUnsigned("prepare-workers", serving_.prepareWorkers,
+                      "host prepare-pool workers (sharded dedup + "
+                      "chunked emit; forced to 1 under --trace/--faults)");
     flags.addString("dispatch", serving_.dispatch,
                     "replica dispatch policy: least-loaded or "
                     "round-robin");

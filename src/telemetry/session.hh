@@ -74,6 +74,9 @@ struct ServingOptions
     unsigned engines = 0;
     /** Prepared batches in flight (1 = serial rhythm). */
     unsigned pipelineDepth = 2;
+    /** Host prepare-pool workers (clamped to 1 under --trace/--faults
+     *  by the harness: bench::clampParallelism). */
+    unsigned prepareWorkers = 1;
     /** "least-loaded" or "round-robin". */
     std::string dispatch = "least-loaded";
     /** Hedge percentile in (0, 100]; 0 disables hedged requests. */
@@ -139,6 +142,11 @@ class TelemetrySession
 
     /** Parsed serving-pipeline flags (engines == 0 -> serial path). */
     const ServingOptions &serving() const { return serving_; }
+
+    /** Mutable serving options — harnesses that want different flag
+     *  defaults (e.g. micro_serving's 8-wide prepare curve) set them
+     *  here *before* registerFlags(). */
+    ServingOptions &mutableServing() { return serving_; }
 
     /**
      * Write every requested artifact, embed the StatRegistry into the

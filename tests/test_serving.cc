@@ -12,6 +12,7 @@
 
 #include <cstring>
 
+#include "common/faultinject.hh"
 #include "dram/memsystem.hh"
 #include "embedding/generator.hh"
 #include "sim/eventq.hh"
@@ -162,6 +163,64 @@ TEST(PrepareBatch, HashDedupHandlesAdversarialCollisions)
     expectPreparedIdentical(fast, ref);
 }
 
+TEST(PreparePool, ShardedMatchesReferenceAcrossWorkerCounts)
+{
+    // The tentpole determinism claim: the sharded parallel prepare is
+    // bit-identical to the ordered-map reference at every worker count,
+    // with and without dedup, for skewed and uniform batches.
+    EmbeddingStore store(smallTables());
+    auto replicas = makeEventReplicas(1, {}, smallTables(),
+                                      valueConfig(ReduceOp::Sum), &store);
+    const VectorLayout &layout = *replicas[0].layout;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        PreparePool pool(workers);
+        PreparePool::SlotArenas arenas = pool.makeSlotArenas();
+        for (double skew : {0.9, 0.0}) {
+            for (const Batch &batch : makeBatches(2, 24, 20, 17, skew)) {
+                for (bool dedup : {true, false}) {
+                    PreparedBatch got = pool.prepare(layout, &store,
+                                                     batch, dedup,
+                                                     &arenas);
+                    PreparedBatch ref = prepareBatchReference(
+                        layout, &store, batch, dedup);
+                    SCOPED_TRACE("workers=" + std::to_string(workers) +
+                                 " skew=" + std::to_string(skew) +
+                                 " dedup=" + std::to_string(dedup));
+                    expectPreparedIdentical(got, ref);
+                    pool.recycleAsync(std::move(got), arenas);
+                }
+            }
+        }
+        pool.waitRecycle(arenas);
+    }
+}
+
+TEST(PreparePool, RecycledArenasKeepOutputsIdentical)
+{
+    // Steady state: buffers cycle through the per-chunk pools across
+    // many batches; contents must never depend on buffer provenance.
+    EmbeddingStore store(smallTables());
+    auto replicas = makeEventReplicas(1, {}, smallTables(),
+                                      valueConfig(ReduceOp::Sum), &store);
+    const VectorLayout &layout = *replicas[0].layout;
+    PreparePool pool(4);
+    PreparePool::SlotArenas arenas = pool.makeSlotArenas();
+    const auto batches = makeBatches(12, 16, 24, 29);
+    for (const Batch &batch : batches) {
+        PreparedBatch got =
+            pool.prepare(layout, &store, batch, true, &arenas);
+        PreparedBatch ref =
+            prepareBatchReference(layout, &store, batch, true);
+        expectPreparedIdentical(got, ref);
+        pool.recycleAsync(std::move(got), arenas);
+    }
+    pool.waitRecycle(arenas);
+    std::uint64_t reuses = 0;
+    for (const auto &vp : arenas.pools)
+        reuses += vp.stats().reuses;
+    EXPECT_GT(reuses, 0u) << "arenas never recycled a buffer";
+}
+
 TEST(ServingPipeline, ValuesBitIdenticalToSerialAllShapes)
 {
     EmbeddingStore store(smallTables());
@@ -192,6 +251,61 @@ TEST(ServingPipeline, ValuesBitIdenticalToSerialAllShapes)
                 }
             }
         }
+    }
+}
+
+TEST(ServingPipeline, ParallelPrepareKeepsServedValuesBitIdentical)
+{
+    EmbeddingStore store(smallTables());
+    const auto batches = makeBatches(8, 16, 24, 61);
+    const auto want = serialResults(batches, ReduceOp::Sum, store);
+    for (unsigned workers : {2u, 4u}) {
+        auto replicas = makeEventReplicas(
+            2, {}, smallTables(), valueConfig(ReduceOp::Sum), &store);
+        ServingConfig cfg;
+        cfg.engines = 2;
+        cfg.pipelineDepth = 2;
+        cfg.prepareWorkers = workers;
+        ServingPipeline pipeline(cfg, replicas, &store);
+        auto report = pipeline.serve(batches, kTicksPerUs);
+        ASSERT_EQ(report.batches.size(), batches.size());
+        for (std::size_t b = 0; b < batches.size(); ++b) {
+            const auto &got = report.batches[b].timing.results;
+            ASSERT_EQ(got.size(), want[b].size());
+            for (std::size_t q = 0; q < got.size(); ++q)
+                EXPECT_TRUE(bitIdentical(got[q], want[b][q]))
+                    << "workers=" << workers << " batch=" << b
+                    << " query=" << q;
+        }
+    }
+}
+
+TEST(ServingPipeline, ParallelPrepareUnderFaultPlanStaysExact)
+{
+    // With a fault plan installed the PreparePool must clamp to the
+    // serial path (the plan's RNG streams are not thread-safe) and the
+    // served values must still match the unfaulted serial reference —
+    // timing faults move ticks, never bits.
+    EmbeddingStore store(smallTables());
+    const auto batches = makeBatches(6, 12, 16, 67);
+    const auto want = serialResults(batches, ReduceOp::Sum, store);
+    fault::FaultPlan plan =
+        fault::FaultPlan::parse("dram_latency:0.3,event_delay:0.2", 5);
+    fault::ScopedPlanInstall install(&plan);
+    auto replicas = makeEventReplicas(2, {}, smallTables(),
+                                      valueConfig(ReduceOp::Sum), &store);
+    ServingConfig cfg;
+    cfg.engines = 2;
+    cfg.prepareWorkers = 4;
+    ServingPipeline pipeline(cfg, replicas, &store);
+    auto report = pipeline.serve(batches, kTicksPerUs);
+    ASSERT_EQ(report.batches.size(), batches.size());
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        const auto &got = report.batches[b].timing.results;
+        ASSERT_EQ(got.size(), want[b].size());
+        for (std::size_t q = 0; q < got.size(); ++q)
+            EXPECT_TRUE(bitIdentical(got[q], want[b][q]))
+                << "batch=" << b << " query=" << q;
     }
 }
 

@@ -32,6 +32,7 @@
 #include <sstream>
 
 #include "baselines/cpu.hh"
+#include "bench/bench_util.hh"
 #include "baselines/recnmp.hh"
 #include "baselines/tensordimm.hh"
 #include "baselines/two_step.hh"
@@ -293,6 +294,9 @@ runPipelinedLookup(const Options &opt,
     sc.pipelineDepth = so.pipelineDepth;
     sc.hedgePct = so.hedgePct;
     sc.dedup = opt.dedup;
+    sc.prepareWorkers = std::max(
+        1u, bench::clampParallelism(so.prepareWorkers,
+                                    "--prepare-workers"));
     if (so.dispatch == "least-loaded")
         sc.dispatch = core::DispatchPolicy::LeastLoaded;
     else if (so.dispatch == "round-robin")
@@ -308,6 +312,8 @@ runPipelinedLookup(const Options &opt,
                   static_cast<std::uint64_t>(so.pipelineDepth));
     run.setConfig("dispatch", so.dispatch);
     run.setConfig("hedgePct", so.hedgePct);
+    run.setConfig("prepareWorkers",
+                  static_cast<std::uint64_t>(sc.prepareWorkers));
 
     core::ReplicaMemoryConfig mem;
     mem.geometry = opt.hbm ? dram::Geometry::hbm2()
@@ -342,9 +348,9 @@ runPipelinedLookup(const Options &opt,
         static_cast<double>(served.makespan) / kTicksPerUs;
     const auto queries = static_cast<double>(opt.batches) * opt.batch;
     std::printf("engine=event serving: %u replicas, depth %u, %s "
-                "dispatch, hedge %.0f%%\n",
+                "dispatch, hedge %.0f%%, %u prepare workers\n",
                 so.engines, sc.pipelineDepth, so.dispatch.c_str(),
-                so.hedgePct);
+                so.hedgePct, sc.prepareWorkers);
     std::printf("time: %.2f us makespan, %.1f ns/query, "
                 "%.0f batches/s\n",
                 us_total, us_total * 1000.0 / queries,
