@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/faultinject.hh"
@@ -35,22 +36,41 @@ namespace fafnir::bench
  * traced run is never a silent surprise. Covers both the sweep
  * harnesses ("--jobs") and the host prepare pool ("--prepare-workers").
  */
+/**
+ * Every process-global telemetry facility currently forcing runs
+ * serial, comma-joined ("--trace, --faults"); empty when none is
+ * installed. Listing *all* active reasons matters: a user who drops
+ * the first flag named in the warning used to get a second clamp
+ * warning naming the next one, one flag per run.
+ */
+inline std::string
+clampReasons()
+{
+    std::string why;
+    auto add = [&why](const char *reason) {
+        if (!why.empty())
+            why += ", ";
+        why += reason;
+    };
+    if (telemetry::sink() != nullptr)
+        add("--trace");
+    if (fault::plan() != nullptr)
+        add("--faults");
+    if (telemetry::timeseries() != nullptr)
+        add("--timeline/--slo");
+    return why;
+}
+
 inline unsigned
 clampParallelism(unsigned requested, const char *flag)
 {
-    const char *why = nullptr;
-    if (telemetry::sink() != nullptr)
-        why = "--trace";
-    else if (fault::plan() != nullptr)
-        why = "--faults";
-    else if (telemetry::timeseries() != nullptr)
-        why = "--timeline/--slo";
-    if (why == nullptr || requested <= 1)
+    const std::string why = clampReasons();
+    if (why.empty() || requested <= 1)
         return requested;
     std::fprintf(stderr,
                  "warning: %s forces %s=1 (process-global "
                  "telemetry is not thread-safe); requested %u\n",
-                 why, flag, requested);
+                 why.c_str(), flag, requested);
     return 1;
 }
 

@@ -59,6 +59,7 @@
 #include "embedding/table.hh"
 #include "fafnir/host.hh"
 #include "fafnir/serving.hh"
+#include "fafnir/sharding.hh"
 #include "sim/eventq.hh"
 #include "telemetry/session.hh"
 #include "telemetry/slo.hh"
@@ -229,6 +230,33 @@ benchCapacity(const std::vector<embedding::Batch> &batches,
 }
 
 /**
+ * Simulated capacity (batches per simulated second) of the sharded
+ * tier at @p shards shards x @p replicas_per_shard replicas (hash
+ * placement). Timing-only engines (no store), same depth rule as
+ * benchCapacity per shard — the sharded points sit directly next to
+ * the single-store replica sweep in the report.
+ */
+double
+benchShardCapacity(const std::vector<embedding::Batch> &batches,
+                   unsigned shards, unsigned replicas_per_shard)
+{
+    ReplicaMemoryConfig mem;
+    EventEngineConfig ecfg;
+    std::vector<std::vector<EngineReplica>> groups =
+        makeShardReplicas(shards, replicas_per_shard, mem, tableConfig(),
+                          ecfg, nullptr);
+
+    ShardTierConfig tc;
+    tc.shards = shards;
+    tc.placement = PlacementPolicy::Hash;
+    tc.serving.engines = replicas_per_shard;
+    tc.serving.pipelineDepth = 2 * replicas_per_shard;
+    ShardedServingTier tier(tc, groups, nullptr);
+    const ShardedReport report = tier.serve(batches, 0);
+    return report.requestsPerSecond();
+}
+
+/**
  * Deterministic arrival schedule for the modulated-load run. All three
  * patterns are pure functions of (count, gaps), so the same flags give
  * the same tick sequence on every host:
@@ -361,6 +389,19 @@ main(int argc, char **argv)
         cap8_serial = benchCapacity(capacity_set, 8, 1);
     }
 
+    // Sharded-tier capacity at shards x replicas points (simulated
+    // time, deterministic, gated). 2x1 splits the same engine count as
+    // the 2-engine single-store point across two stores; 4x2 is the
+    // 8-engine budget as four 2-replica shards.
+    double shard_cap_2x1, shard_cap_2x2, shard_cap_4x2;
+    {
+        telemetry::ScopedTimeSeriesInstall series_off(nullptr);
+        telemetry::ScopedSloMonitorInstall monitor_off(nullptr);
+        shard_cap_2x1 = benchShardCapacity(capacity_set, 2, 1);
+        shard_cap_2x2 = benchShardCapacity(capacity_set, 2, 2);
+        shard_cap_4x2 = benchShardCapacity(capacity_set, 4, 2);
+    }
+
     // Modulated-load run: two replicas, windowed telemetry + SLO
     // monitor installed (the session's when --timeline/--slo was given,
     // otherwise a local pair with the default 50us windows). The burst
@@ -462,6 +503,10 @@ main(int argc, char **argv)
         {"prepare_pool_capacity_gain_8", cap8 / cap8_serial},
         {"replica_scaling_speedup", cap4 / cap1},
         {"replica_scaling_speedup_8", cap8 / cap1},
+        {"sharded_capacity_2x1_batches_per_sec", shard_cap_2x1},
+        {"sharded_capacity_2x2_batches_per_sec", shard_cap_2x2},
+        {"sharded_capacity_4x2_batches_per_sec", shard_cap_4x2},
+        {"sharded_scaling_4x2", shard_cap_4x2 / shard_cap_2x1},
         {"burst_windowed_p99_latency_us", burst_p99},
         {"burst_goodput_qps", good_queries / makespan_sec},
         {"burst_offered_load_qps", total_queries / span_sec},

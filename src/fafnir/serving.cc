@@ -377,6 +377,7 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
         trace.started = win_timing.issued;
         trace.complete = complete;
         trace.done = wb_done;
+        trace.attribBatch = ordinal;
         trace.timing = std::move(win_timing);
         report.batches.push_back(std::move(trace));
 

@@ -136,6 +136,10 @@ struct ServedBatchTrace
     Tick complete = 0;
     /** Writeback drain (results landed host-side). */
     Tick done = 0;
+    /** Attribution ordinal the engine drew for this batch (valid when
+     *  a collector was installed during the run; the sharded tier uses
+     *  it to back-annotate the cross-shard combine stage). */
+    std::uint64_t attribBatch = 0;
     /** Timing (and values, when computed) of the winning run. */
     EventLookupTiming timing;
 };

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Sharded multi-store serving tier.
+ *
+ * One embedding store behind one memory system caps capacity at the
+ * 8-replica sweep; production recommendation serving shards tables
+ * across nodes (RecNMP's production traces, TensorDIMM's model-parallel
+ * DIMM pooling). This module scales the Fafnir serving front-end the
+ * same way:
+ *
+ *   router -> [shard 0: prepare -> replicas] \
+ *          -> [shard 1: prepare -> replicas]  -> fixed-order combine
+ *          -> [shard S-1: ...]               /
+ *
+ * A ShardRouter places tables onto S shards (hash or range placement)
+ * and splits every batch into per-shard sub-batches with dense local
+ * query ids. Each shard runs its own ServingPipeline over its own
+ * replica group (engines, prepare pool, dispatch, hedging — everything
+ * the single-store tier already has). The tier then scatter-gathers:
+ * a query's per-shard partials are combined in fixed shard order
+ * 0..S-1 at a serial combine port, and Mean is finalized exactly once
+ * with the query's *global* gathered count.
+ *
+ * Bit-identity at any shard count and placement is by construction:
+ *  - Sum/Mean: the store synthesizes values as multiples of 1/16 below
+ *    64, so every partial and total sum is exactly representable in
+ *    fp32 — addition order cannot change the bits. Shard engines run
+ *    Mean queries as Sum (makeShardReplicas rewrites the op) and the
+ *    combiner applies the single root divide with the global count,
+ *    mirroring how the tree itself finalizes Mean at the root.
+ *  - Min/Max are associative and commutative exactly.
+ * The conformance suite (tests/test_sharding.cc) pins served values
+ * bit-identical to the single-store reference across shard counts,
+ * placements, ops, skews, fault plans, and hedging.
+ *
+ * Hot-shard handling: the tier accumulates per-table reference counts
+ * and exposes a deterministic rebalance hook — when the max/mean
+ * per-shard load ratio crosses a threshold, the hottest tables move
+ * from the hottest to the coldest shard (ties by lowest id, so the
+ * move list is a pure function of the observed load). Per-shard load
+ * lands in a `serving.shard.*` StatGroup, in windowed
+ * `serving.shard<s>.*` counters (timeline rows), and in scoreboard
+ * rows next to the per-stage health board.
+ */
+
+#ifndef FAFNIR_FAFNIR_SHARDING_HH
+#define FAFNIR_FAFNIR_SHARDING_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "embedding/query.hh"
+#include "embedding/reduce_op.hh"
+#include "embedding/table.hh"
+#include "fafnir/serving.hh"
+
+namespace fafnir::core
+{
+
+/** How tables map onto shards. */
+enum class PlacementPolicy
+{
+    /** splitmix-hashed table id modulo S — placement-oblivious, spreads
+     *  adjacent (often co-hot) tables across shards. */
+    Hash,
+    /** Contiguous table ranges: shard s owns tables with
+     *  table * S / T == s. Covers the id space with no gaps or
+     *  overlaps at any S, T. */
+    Range,
+};
+
+/** "hash" or "range"; fatal on anything else. */
+PlacementPolicy parsePlacement(const std::string &name);
+const char *toString(PlacementPolicy policy);
+
+/** One deterministic rebalance step: move @p table from -> to. */
+struct ShardMove
+{
+    unsigned table = 0;
+    unsigned from = 0;
+    unsigned to = 0;
+};
+
+/**
+ * Places tables onto shards and splits batches into per-shard
+ * sub-batches. The placement is mutable only through apply() so
+ * rebalancing stays an explicit, observable step.
+ */
+class ShardRouter
+{
+  public:
+    ShardRouter(unsigned shards, PlacementPolicy policy,
+                const embedding::TableConfig &tables);
+
+    unsigned shards() const { return shards_; }
+    PlacementPolicy policy() const { return policy_; }
+    const embedding::TableConfig &tables() const { return tables_; }
+
+    /** Current table -> shard placement (size = numTables). */
+    const std::vector<unsigned> &placement() const { return placement_; }
+
+    unsigned
+    shardOfTable(unsigned table) const
+    {
+        return placement_[table % tables_.numTables];
+    }
+
+    /** Shard of a flat index. Out-of-range indices (hostile input)
+     *  wrap deterministically by table so the router never rejects —
+     *  the layout and store tolerate any index. */
+    unsigned
+    shardOfIndex(IndexId index) const
+    {
+        return shardOfTable(tables_.tableOf(index));
+    }
+
+    /** One shard's slice of a batch: local query ids are dense 0..n-1
+     *  in global query order, so the sub-batch is a valid Batch. */
+    struct SubBatch
+    {
+        embedding::Batch batch;
+        /** Local query id -> position of the query in the global
+         *  batch. */
+        std::vector<std::uint32_t> globalQuery;
+    };
+
+    /** A batch split across the shards. */
+    struct SplitBatch
+    {
+        /** Indexed by shard; empty batches for untouched shards. */
+        std::vector<SubBatch> perShard;
+        /** Global per-query reference count (Mean's root divide). */
+        std::vector<std::size_t> totalIndices;
+        /** Queries whose indices span more than one shard. */
+        std::size_t crossShardQueries = 0;
+
+        std::size_t
+        shardsTouched() const
+        {
+            std::size_t touched = 0;
+            for (const SubBatch &s : perShard)
+                touched += !s.batch.queries.empty();
+            return touched;
+        }
+    };
+
+    /** Split @p batch by the current placement. Pure function of the
+     *  batch and the placement — deterministic and order-preserving
+     *  (per-query index order survives within each shard). */
+    SplitBatch split(const embedding::Batch &batch) const;
+
+    /**
+     * Max/mean per-shard load for @p refsPerTable (indexed by table;
+     * 1.0 = perfectly balanced, like PreparedBatch::loadImbalance).
+     */
+    double imbalance(const std::vector<std::uint64_t> &refsPerTable) const;
+
+    /**
+     * Deterministic rebalance plan: while the load ratio is at or
+     * above @p threshold, move the hottest table (ties -> lowest id)
+     * off the hottest shard (ties -> lowest id) onto the coldest, up
+     * to @p maxMoves moves (0 = one per shard). Pure function of
+     * (placement, refsPerTable, threshold) — same inputs, same moves.
+     * Does not mutate the placement; pass the plan to apply().
+     */
+    std::vector<ShardMove>
+    rebalance(const std::vector<std::uint64_t> &refsPerTable,
+              double threshold, unsigned maxMoves = 0) const;
+
+    /** Apply a rebalance plan to the placement. */
+    void apply(const std::vector<ShardMove> &moves);
+
+  private:
+    unsigned shards_;
+    PlacementPolicy policy_;
+    embedding::TableConfig tables_;
+    std::vector<unsigned> placement_;
+};
+
+/** Shard-tier shape: per-shard pipeline config + combine-stage costs. */
+struct ShardTierConfig
+{
+    /** Per-shard pipeline (engines = replicas *per shard*). */
+    ServingConfig serving;
+    unsigned shards = 2;
+    PlacementPolicy placement = PlacementPolicy::Hash;
+    /** The reduction the tier serves. Shard engines run Mean as Sum;
+     *  the combiner applies the single root divide. */
+    embedding::ReduceOp reduceOp = embedding::ReduceOp::Sum;
+    /** Modeled cross-shard combine: fixed cost per multi-shard batch
+     *  plus one vector-combine term per extra partial. */
+    Tick combineFixed = 20 * kTicksPerNs;
+    Tick combinePerVector = 8 * kTicksPerNs;
+    /** Hot-shard alarm threshold on max/mean shard load (rebalance()
+     *  moves tables once the observed ratio crosses it). */
+    double rebalanceThreshold = 1.5;
+};
+
+/** One batch's trip through the sharded tier. */
+struct ShardedBatchTrace
+{
+    std::size_t batch = 0;
+    Tick arrival = 0;
+    /** Last participating shard's writeback drain. */
+    Tick shardsDone = 0;
+    /** Cross-shard combine done (== shardsDone for 1-shard batches). */
+    Tick combineDone = 0;
+    unsigned shardsTouched = 0;
+    /** Combined values in global query order (when the shard engines
+     *  compute values; empty otherwise). */
+    std::vector<embedding::Vector> results;
+};
+
+/** Aggregate outcome of a sharded serving run. */
+struct ShardedReport
+{
+    std::vector<ShardedBatchTrace> batches;
+    /** Per-shard pipeline reports (sub-batch streams). */
+    std::vector<PipelineReport> perShard;
+    std::vector<std::uint64_t> subBatchesPerShard;
+    std::vector<std::uint64_t> refsPerShard;
+    std::uint64_t crossShardQueries = 0;
+    Tick combineBusy = 0;
+    /** First arrival to last combine. */
+    Tick makespan = 0;
+
+    /** Max/mean per-shard references (1.0 = balanced). */
+    double loadImbalance() const;
+
+    double
+    requestsPerSecond() const
+    {
+        return makespan == 0
+            ? 0.0
+            : static_cast<double>(batches.size()) *
+                  static_cast<double>(kTicksPerSec) /
+                  static_cast<double>(makespan);
+    }
+};
+
+/**
+ * Build @p shards replica groups of @p replicasPerShard event engines
+ * each. @p config.reduceOp is rewritten Mean -> Sum (the tier owns the
+ * root divide); everything else passes through.
+ */
+std::vector<std::vector<EngineReplica>>
+makeShardReplicas(unsigned shards, unsigned replicasPerShard,
+                  const ReplicaMemoryConfig &mem,
+                  const embedding::TableConfig &tables,
+                  EventEngineConfig config,
+                  const embedding::EmbeddingStore *store);
+
+/** The sharded scatter-gather serving tier. */
+class ShardedServingTier
+{
+  public:
+    /**
+     * @param shardReplicas one replica group per shard (>= shards
+     *        entries of >= serving.engines replicas each).
+     * @param store when non-null, combined per-query values land in
+     *        ShardedBatchTrace::results (the shard engines must have
+     *        computeValues set — makeShardReplicas handles the op).
+     */
+    ShardedServingTier(const ShardTierConfig &config,
+                       std::vector<std::vector<EngineReplica>> &shardReplicas,
+                       const embedding::EmbeddingStore *store);
+
+    /** Serve with inter-arrival gap (0 = all at once). */
+    ShardedReport serve(const std::vector<embedding::Batch> &batches,
+                        Tick arrivalGap, Tick start = 0);
+
+    /** Serve at explicit arrival ticks (one per batch). */
+    ShardedReport serve(const std::vector<embedding::Batch> &batches,
+                        const std::vector<Tick> &arrivals);
+
+    const ShardTierConfig &config() const { return config_; }
+    ShardRouter &router() { return router_; }
+    const ShardRouter &router() const { return router_; }
+
+    /** Cumulative per-table reference counts across serve() calls —
+     *  the rebalance hook's load signal. */
+    const std::vector<std::uint64_t> &refsPerTable() const
+    {
+        return refsPerTable_;
+    }
+
+    /** Observed max/mean shard load over the accumulated counts. */
+    double observedImbalance() const
+    {
+        return router_.imbalance(refsPerTable_);
+    }
+
+    /**
+     * The deterministic rebalance hook: plan moves over the
+     * accumulated per-table load at the configured threshold, apply
+     * them to the router, and return the plan (empty when balanced).
+     */
+    std::vector<ShardMove> rebalance();
+
+    /** Register tier + per-shard counters into @p group. */
+    void registerStats(StatGroup &group);
+
+    /** Per-shard rows (sub-batches, refs, load share, imbalance) plus
+     *  the combine port, stacked on top of each shard's pipeline
+     *  scoreboard machinery. */
+    void printShardScoreboard(std::ostream &os,
+                              const ShardedReport &report) const;
+
+  private:
+    ShardTierConfig config_;
+    ShardRouter router_;
+    std::vector<std::vector<EngineReplica>> &shardReplicas_;
+    const embedding::EmbeddingStore *store_;
+    /** One pipeline per shard, over shardReplicas_[s]. */
+    std::vector<std::unique_ptr<ServingPipeline>> pipelines_;
+    std::vector<std::uint64_t> refsPerTable_;
+
+    Counter servedBatches_;
+    Counter servedQueries_;
+    Counter crossShardQueries_;
+    Counter combineTicks_;
+    Counter rebalanceMoves_;
+    std::vector<std::unique_ptr<Counter>> perShardSubBatches_;
+    std::vector<std::unique_ptr<Counter>> perShardRefs_;
+};
+
+} // namespace fafnir::core
+
+#endif // FAFNIR_FAFNIR_SHARDING_HH

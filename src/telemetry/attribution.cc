@@ -49,6 +49,7 @@ Attribution::recordQuery(const QueryAttribution &q)
     peComputeTicks_ += q.peCompute;
     forwardWaitTicks_ += q.forwardWait;
     serviceQueueTicks_ += q.serviceQueue;
+    shardCombineTicks_ += q.shardCombine;
     queryLatencyNs_.sample(ticksToNs(q.total()));
     criticalHops_.sample(static_cast<double>(q.hops));
 }
@@ -90,6 +91,25 @@ Attribution::annotateBatchStages(std::uint64_t batch, Tick prepare,
         it->dispatchQueue += dispatch;
         batchPrepareTicks_ += prepare;
         dispatchQueueTicks_ += dispatch;
+    }
+}
+
+void
+Attribution::annotateShardCombine(std::uint64_t batch, Tick combine)
+{
+    if (combine == 0)
+        return;
+    // Same contiguity argument as annotateBatchStages: the tier
+    // annotates a sub-batch right after its shard's run completed.
+    for (auto it = queries_.rbegin(); it != queries_.rend(); ++it) {
+        if (it->batch != batch) {
+            if (it->batch < batch)
+                break;
+            continue;
+        }
+        it->complete += combine;
+        it->shardCombine += combine;
+        shardCombineTicks_ += combine;
     }
 }
 
@@ -143,6 +163,9 @@ Attribution::registerStats(StatGroup &group)
                      "issue port, opposite-side waits, overflows)");
     group.addCounter("serviceQueueTicks", serviceQueueTicks_,
                      "critical-path root link + host delivery");
+    group.addCounter("shardCombineTicks", shardCombineTicks_,
+                     "sharded-tier cross-shard gather (writeback, "
+                     "straggler wait, fixed-order combine)");
     group.addCounter("ctrlResidencyTicks", ctrlResidencyTicks_,
                      "total controller queue residency (all requests)");
     group.addCounter("batchQueueTicks", batchQueueTicks_,
@@ -182,6 +205,7 @@ Attribution::write(std::ostream &os) const
         json.member("peComputeNs", ticksToNs(q.peCompute));
         json.member("forwardWaitNs", ticksToNs(q.forwardWait));
         json.member("serviceQueueNs", ticksToNs(q.serviceQueue));
+        json.member("shardCombineNs", ticksToNs(q.shardCombine));
         json.member("criticalRank", q.criticalRank);
         json.member("hops", q.hops);
         json.member("flow", q.flow);
@@ -225,6 +249,7 @@ Attribution::write(std::ostream &os) const
     json.member("peComputeTicks", peComputeTicks_.value());
     json.member("forwardWaitTicks", forwardWaitTicks_.value());
     json.member("serviceQueueTicks", serviceQueueTicks_.value());
+    json.member("shardCombineTicks", shardCombineTicks_.value());
     json.member("ctrlResidencyTicks", ctrlResidencyTicks_.value());
     json.member("batchQueueTicks", batchQueueTicks_.value());
     json.endObject();

@@ -79,6 +79,11 @@ struct QueryAttribution
     Tick peCompute = 0;
     Tick forwardWait = 0;
     Tick serviceQueue = 0;
+    /** Cross-shard gather: from this shard's engine delivery to the
+     *  sharded tier's fixed-order combine (writeback drain, waiting on
+     *  straggler shards, and the combine itself). Back-annotated by
+     *  the tier (annotateShardCombine); unsharded runs leave it 0. */
+    Tick shardCombine = 0;
     /** Rank whose read starts the critical path. */
     unsigned criticalRank = 0;
     /** PE emissions on the critical path (leaf through root). */
@@ -92,7 +97,7 @@ struct QueryAttribution
     componentSum() const
     {
         return batchPrepare + dispatchQueue + dramService + ctrlQueue +
-               peCompute + forwardWait + serviceQueue;
+               peCompute + forwardWait + serviceQueue + shardCombine;
     }
 };
 
@@ -144,6 +149,15 @@ class Attribution
     void annotateBatchStages(std::uint64_t batch, Tick prepare,
                              Tick dispatch);
 
+    /**
+     * Back-annotate the sharded tier's cross-shard gather onto batch
+     * @p batch's queries: extend each span forward to the tier's
+     * combine point (complete += combine) and attribute the interval
+     * to the shardCombine component, keeping the telescoping sum
+     * exact. The tier calls this once per participating sub-batch.
+     */
+    void annotateShardCombine(std::uint64_t batch, Tick combine);
+
     const std::vector<QueryAttribution> &queries() const
     {
         return queries_;
@@ -189,6 +203,7 @@ class Attribution
     Counter peComputeTicks_;
     Counter forwardWaitTicks_;
     Counter serviceQueueTicks_;
+    Counter shardCombineTicks_;
     Counter ctrlResidencyTicks_;
     Counter merges_;
     Counter batchQueueTicks_;

@@ -79,6 +79,13 @@ TelemetrySession::registerFlags(FlagParser &flags)
     flags.addDouble("hedge-pct", serving_.hedgePct,
                     "hedge a straggling batch onto a second engine past "
                     "this running service-time percentile (0 = off)");
+    flags.addUnsigned("shards", serving_.shards,
+                      "shard tables across this many stores behind the "
+                      "sharded serving tier (0 = single store)");
+    flags.addString("placement", serving_.placement,
+                    "table -> shard placement policy: hash or range");
+    flags.addUnsigned("shard-replicas", serving_.shardReplicas,
+                      "engine replicas per shard in the sharded tier");
 }
 
 void

@@ -81,8 +81,15 @@ struct ServingOptions
     std::string dispatch = "least-loaded";
     /** Hedge percentile in (0, 100]; 0 disables hedged requests. */
     double hedgePct = 0.0;
+    /** Shards in the sharded tier; 0 keeps the single-store paths. */
+    unsigned shards = 0;
+    /** Table -> shard placement: "hash" or "range". */
+    std::string placement = "hash";
+    /** Engine replicas per shard in the sharded tier. */
+    unsigned shardReplicas = 1;
 
     bool enabled() const { return engines > 0; }
+    bool sharded() const { return shards > 0; }
 };
 
 /** Flag parsing + sink installation + artifact writing for one run. */

@@ -1,13 +1,19 @@
 /**
  * @file
- * Flag-parser tests: value forms, types, and error handling.
+ * Flag-parser tests: value forms, types, and error handling — plus the
+ * bench-harness parallelism clamp, which must name *every* installed
+ * telemetry facility forcing a run serial, not just the first.
  */
 
 #include <gtest/gtest.h>
 
 #include <array>
 
+#include "bench/bench_util.hh"
 #include "common/cli.hh"
+#include "common/faultinject.hh"
+#include "telemetry/timeseries.hh"
+#include "telemetry/trace_sink.hh"
 
 using namespace fafnir;
 
@@ -154,4 +160,57 @@ TEST(Cli, RejectsDuplicateRegistrationAcrossTypes)
     parser.addUnsigned("mode", a, "numeric owner");
     EXPECT_DEATH(parser.addString("mode", s, "string owner"),
                  "duplicate flag");
+}
+
+TEST(ClampParallelism, PassesThroughWithoutTelemetry)
+{
+    ASSERT_EQ(telemetry::sink(), nullptr);
+    ASSERT_EQ(fault::plan(), nullptr);
+    ASSERT_EQ(telemetry::timeseries(), nullptr);
+    EXPECT_EQ(bench::clampReasons(), "");
+    EXPECT_EQ(bench::clampParallelism(8, "--jobs"), 8u);
+    EXPECT_EQ(bench::sweepJobs(4), 4u);
+}
+
+TEST(ClampParallelism, ClampsToOneUnderEachFacility)
+{
+    {
+        telemetry::TraceSink sink;
+        telemetry::ScopedSinkInstall install(&sink);
+        EXPECT_EQ(bench::clampReasons(), "--trace");
+        EXPECT_EQ(bench::clampParallelism(8, "--jobs"), 1u);
+    }
+    {
+        fault::FaultPlan plan =
+            fault::FaultPlan::parse("dram_latency:0.1", 1);
+        fault::ScopedPlanInstall install(&plan);
+        EXPECT_EQ(bench::clampReasons(), "--faults");
+        EXPECT_EQ(bench::clampParallelism(4, "--prepare-workers"), 1u);
+    }
+    {
+        telemetry::TimeSeries series(telemetry::TimeSeriesConfig{});
+        telemetry::ScopedTimeSeriesInstall install(&series);
+        EXPECT_EQ(bench::clampReasons(), "--timeline/--slo");
+        EXPECT_EQ(bench::clampParallelism(2, "--jobs"), 1u);
+    }
+    // A request of 1 is already serial: no clamp, whatever's installed.
+    telemetry::TraceSink sink;
+    telemetry::ScopedSinkInstall install(&sink);
+    EXPECT_EQ(bench::clampParallelism(1, "--jobs"), 1u);
+}
+
+TEST(ClampParallelism, ReportsAllActiveReasonsAtOnce)
+{
+    // The old clamp named only the first facility in an if/else chain,
+    // so a user who removed the flag it blamed just got a new one-line
+    // surprise on the next run. All active reasons must be listed.
+    telemetry::TraceSink sink;
+    telemetry::ScopedSinkInstall sink_install(&sink);
+    fault::FaultPlan plan = fault::FaultPlan::parse("dram_latency:0.1", 1);
+    fault::ScopedPlanInstall plan_install(&plan);
+    telemetry::TimeSeries series(telemetry::TimeSeriesConfig{});
+    telemetry::ScopedTimeSeriesInstall series_install(&series);
+
+    EXPECT_EQ(bench::clampReasons(), "--trace, --faults, --timeline/--slo");
+    EXPECT_EQ(bench::clampParallelism(8, "--prepare-workers"), 1u);
 }

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "baselines/cpu.hh"
@@ -24,7 +25,9 @@
 #include "common/random.hh"
 #include "dram/memsystem.hh"
 #include "embedding/batcher.hh"
+#include "embedding/reduce_kernels.hh"
 #include "embedding/service.hh"
+#include "fafnir/sharding.hh"
 #include "sim/eventq.hh"
 
 using namespace fafnir;
@@ -283,6 +286,99 @@ TEST(FuzzQuery, TightDeadlineDegradesGracefully)
     }
     EXPECT_GT(expired, 0u);
     EXPECT_EQ(guard.expiredQueryCount(), expired);
+}
+
+TEST(FuzzQuery, ShardedRouterNeverCrashesAndCombinesExactly)
+{
+    // Hostile batches through the shard router: out-of-range indices
+    // wrap deterministically instead of rejecting, empty queries route
+    // nowhere, duplicates and unsorted runs survive the split. The
+    // router must cover every reference exactly once, and the
+    // tier-style fixed-order combine of per-shard store partials must
+    // equal the whole-batch store reference to the bit.
+    FuzzRig rig;
+    QueryFuzzer fuzzer(21, rig.tables.totalVectors());
+    for (unsigned shards : {2u, 5u}) {
+        for (core::PlacementPolicy policy :
+             {core::PlacementPolicy::Hash, core::PlacementPolicy::Range}) {
+            core::ShardRouter router(shards, policy, rig.tables);
+            const std::size_t iters = std::max<std::size_t>(
+                fuzzIterations() / 4, 50);
+            for (std::size_t iter = 0; iter < iters; ++iter) {
+                const Batch batch = fuzzer.nextBatch();
+                const core::ShardRouter::SplitBatch split =
+                    router.split(batch);
+
+                std::size_t refs = 0;
+                for (const auto &sub : split.perShard)
+                    for (const Query &q : sub.batch.queries) {
+                        EXPECT_FALSE(q.indices.empty());
+                        refs += q.indices.size();
+                    }
+                EXPECT_EQ(refs, batch.totalIndices());
+
+                // Shard 0 seeds, higher shards fold in ascending order
+                // — exactly what ShardedServingTier does with engine
+                // partials.
+                std::vector<Vector> combined(batch.size());
+                for (unsigned s = 0; s < shards; ++s) {
+                    const auto &sub = split.perShard[s];
+                    for (std::size_t l = 0; l < sub.batch.queries.size();
+                         ++l) {
+                        const Vector partial = rig.store.reduce(
+                            sub.batch.queries[l].indices, ReduceOp::Sum);
+                        Vector &acc = combined[sub.globalQuery[l]];
+                        if (acc.empty())
+                            acc = partial;
+                        else
+                            combineSpan(ReduceOp::Sum, acc.data(),
+                                        partial.data(), acc.size());
+                    }
+                }
+                for (std::size_t g = 0; g < batch.size(); ++g) {
+                    if (batch.queries[g].indices.empty()) {
+                        EXPECT_TRUE(combined[g].empty());
+                        continue;
+                    }
+                    const Vector want = rig.store.reduce(
+                        batch.queries[g].indices, ReduceOp::Sum);
+                    ASSERT_EQ(combined[g].size(), want.size());
+                    EXPECT_EQ(std::memcmp(combined[g].data(), want.data(),
+                                          want.size() * sizeof(float)),
+                              0)
+                        << "shards=" << shards
+                        << " policy=" << core::toString(policy)
+                        << " query=" << g;
+                }
+            }
+        }
+    }
+    EXPECT_GT(fuzzer.hostileCount(), 0u);
+}
+
+TEST(FuzzQuery, ShardedSplitSameSeedSameStructure)
+{
+    // The split is a pure function of (batch, placement): replaying the
+    // same fuzz seed must produce the identical routing decisions.
+    auto run_once = [] {
+        TableConfig tables{32, 4096, 512, 4};
+        core::ShardRouter router(3, core::PlacementPolicy::Hash, tables);
+        QueryFuzzer fuzzer(63, tables.totalVectors());
+        std::vector<std::uint64_t> trail;
+        for (std::size_t iter = 0; iter < 64; ++iter) {
+            const Batch batch = fuzzer.nextBatch();
+            const auto split = router.split(batch);
+            trail.push_back(split.crossShardQueries);
+            for (const auto &sub : split.perShard) {
+                trail.push_back(sub.batch.queries.size());
+                for (const Query &q : sub.batch.queries)
+                    for (IndexId index : q.indices)
+                        trail.push_back(index);
+            }
+        }
+        return trail;
+    };
+    EXPECT_EQ(run_once(), run_once());
 }
 
 TEST(FuzzQuery, SameSeedSameOutcomes)

@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -47,6 +48,7 @@
 #include "fafnir/engine.hh"
 #include "fafnir/event_engine.hh"
 #include "fafnir/serving.hh"
+#include "fafnir/sharding.hh"
 #include "hwmodel/energy_report.hh"
 #include "sparse/fafnir_spmv.hh"
 #include "sparse/matgen.hh"
@@ -377,6 +379,147 @@ runPipelinedLookup(const Options &opt,
     run.setMetric("hedgesIssued",
                   static_cast<double>(served.hedgesIssued));
     run.setMetric("hedgesWon", static_cast<double>(served.hedgesWon));
+    return session.finish();
+}
+
+/**
+ * Sharded serving (--shards > 0): tables are placed onto S shards, each
+ * shard runs its own replica group, and a fixed-order cross-shard
+ * combine reassembles every batch (see docs/PERFORMANCE.md, "Sharded
+ * serving"). The engines compute real values and every served vector is
+ * checked bit-for-bit against the single-store reference — the
+ * `valueMismatches` metric must be 0 (CI's shard-conformance smoke).
+ */
+int
+runShardedLookup(const Options &opt, telemetry::TelemetrySession &session)
+{
+    if (opt.engine != "event") {
+        std::fprintf(stderr,
+                     "error: --shards requires --engine=event\n");
+        return 2;
+    }
+    const telemetry::ServingOptions &so = session.serving();
+
+    core::ShardTierConfig tc;
+    tc.shards = so.shards;
+    tc.placement = core::parsePlacement(so.placement);
+    tc.serving.engines = std::max(1u, so.shardReplicas);
+    tc.serving.pipelineDepth = so.pipelineDepth;
+    tc.serving.hedgePct = so.hedgePct;
+    tc.serving.dedup = opt.dedup;
+    tc.serving.prepareWorkers = std::max(
+        1u, bench::clampParallelism(so.prepareWorkers,
+                                    "--prepare-workers"));
+    if (so.dispatch == "least-loaded")
+        tc.serving.dispatch = core::DispatchPolicy::LeastLoaded;
+    else if (so.dispatch == "round-robin")
+        tc.serving.dispatch = core::DispatchPolicy::RoundRobin;
+    else
+        FAFNIR_FATAL("unknown --dispatch '", so.dispatch,
+                     "' (expected least-loaded or round-robin)");
+
+    telemetry::RunReport &run = session.report();
+    run.setConfig("shards", static_cast<std::uint64_t>(tc.shards));
+    run.setConfig("placement", so.placement);
+    run.setConfig("shardReplicas",
+                  static_cast<std::uint64_t>(tc.serving.engines));
+    run.setConfig("pipelineDepth",
+                  static_cast<std::uint64_t>(so.pipelineDepth));
+    run.setConfig("dispatch", so.dispatch);
+    run.setConfig("hedgePct", so.hedgePct);
+    run.setConfig("prepareWorkers",
+                  static_cast<std::uint64_t>(tc.serving.prepareWorkers));
+
+    core::ReplicaMemoryConfig mem;
+    mem.geometry = opt.hbm ? dram::Geometry::hbm2()
+                           : dram::Geometry::withTotalRanks(opt.ranks);
+    mem.timing = opt.hbm ? dram::Timing::hbm2()
+                         : dram::Timing::ddr4_2400();
+    const embedding::TableConfig tables = tableConfig();
+    const embedding::EmbeddingStore store(tables);
+
+    core::EventEngineConfig ecfg;
+    ecfg.base.dedup = opt.dedup;
+    ecfg.base.interactive = opt.interactive;
+    ecfg.computeValues = true;
+    std::vector<std::vector<core::EngineReplica>> groups =
+        core::makeShardReplicas(tc.shards, tc.serving.engines, mem,
+                                tables, ecfg, &store);
+
+    embedding::WorkloadConfig wc;
+    wc.tables = tables;
+    wc.batchSize = opt.batch;
+    wc.querySize = opt.querySize;
+    wc.popularity = opt.skew > 0 ? embedding::Popularity::Zipfian
+                                 : embedding::Popularity::Uniform;
+    wc.zipfSkew = opt.skew;
+    wc.hotFraction = opt.hotFraction;
+    embedding::BatchGenerator gen(wc, opt.seed);
+    std::vector<embedding::Batch> batches;
+    for (unsigned i = 0; i < opt.batches; ++i)
+        batches.push_back(gen.next());
+
+    core::ShardedServingTier tier(tc, groups, &store);
+    const core::ShardedReport served = tier.serve(batches, 0);
+
+    // Differential value check: every served vector must be
+    // bit-identical to the single-store reference reduction.
+    std::size_t mismatches = 0;
+    for (const core::ShardedBatchTrace &trace : served.batches) {
+        const std::vector<embedding::Vector> reference =
+            store.reduceBatch(batches[trace.batch], tc.reduceOp);
+        for (std::size_t q = 0; q < reference.size(); ++q) {
+            const embedding::Vector &got = trace.results[q];
+            if (got.size() != reference[q].size() ||
+                (!got.empty() &&
+                 std::memcmp(got.data(), reference[q].data(),
+                             got.size() * sizeof(float)) != 0))
+                ++mismatches;
+        }
+    }
+
+    const double us_total =
+        static_cast<double>(served.makespan) / kTicksPerUs;
+    std::printf("engine=event sharded serving: %u shards (%s "
+                "placement), %u replicas/shard, depth %u, %u prepare "
+                "workers\n",
+                tc.shards, so.placement.c_str(), tc.serving.engines,
+                tc.serving.pipelineDepth, tc.serving.prepareWorkers);
+    std::printf("time: %.2f us makespan, %.0f batches/s\n", us_total,
+                served.requestsPerSecond());
+    std::printf("routing: %llu cross-shard queries, load imbalance "
+                "%.2f\n",
+                static_cast<unsigned long long>(
+                    served.crossShardQueries),
+                served.loadImbalance());
+    std::printf("values: %zu mismatches vs the single-store reference\n",
+                mismatches);
+    tier.printShardScoreboard(std::cout, served);
+
+    // The deterministic rebalance hook: plan + apply moves over the
+    // observed per-table load (empty when the placement is balanced).
+    const double imbalance_before = tier.observedImbalance();
+    const std::vector<core::ShardMove> moves = tier.rebalance();
+    for (const core::ShardMove &m : moves)
+        std::printf("rebalance: move table %u from shard %u to shard "
+                    "%u\n",
+                    m.table, m.from, m.to);
+    if (!moves.empty())
+        std::printf("rebalance: imbalance %.2f -> %.2f after %zu "
+                    "moves\n",
+                    imbalance_before, tier.observedImbalance(),
+                    moves.size());
+
+    StatRegistry &registry = StatRegistry::instance();
+    tier.registerStats(registry.group("serving.shard"));
+
+    run.setMetric("totalUs", us_total);
+    run.setMetric("batchesPerSec", served.requestsPerSecond());
+    run.setMetric("crossShardQueries",
+                  static_cast<double>(served.crossShardQueries));
+    run.setMetric("shardImbalance", served.loadImbalance());
+    run.setMetric("valueMismatches", static_cast<double>(mismatches));
+    run.setMetric("rebalanceMoves", static_cast<double>(moves.size()));
     return session.finish();
 }
 
@@ -736,6 +879,8 @@ main(int argc, char **argv)
         // injected faults surface as recovery actions, not bad numbers.
         if (session.faultPlan() != nullptr)
             return runGuardedLookup(opt, session);
+        if (session.serving().sharded())
+            return runShardedLookup(opt, session);
         if (session.serving().enabled())
             return runPipelinedLookup(opt, session);
         return runLookup(opt, session);
