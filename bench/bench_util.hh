@@ -16,12 +16,14 @@
 #include <vector>
 
 #include "common/faultinject.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "common/types.hh"
 #include "dram/memsystem.hh"
 #include "embedding/generator.hh"
 #include "embedding/layout.hh"
 #include "sim/eventq.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/timeseries.hh"
 #include "telemetry/trace_sink.hh"
 
@@ -58,6 +60,8 @@ clampReasons()
         add("--faults");
     if (telemetry::timeseries() != nullptr)
         add("--timeline/--slo");
+    if (telemetry::flightRecorder() != nullptr)
+        add("--debug-bundle-dir");
     return why;
 }
 
@@ -67,10 +71,14 @@ clampParallelism(unsigned requested, const char *flag)
     const std::string why = clampReasons();
     if (why.empty() || requested <= 1)
         return requested;
-    std::fprintf(stderr,
-                 "warning: %s forces %s=1 (process-global "
-                 "telemetry is not thread-safe); requested %u\n",
-                 why.c_str(), flag, requested);
+    // Rate-limited per flag: a sweep that rebuilds its rig per point
+    // would otherwise repeat the identical clamp warning per run.
+    if (logging::warnEvery(std::string("bench.clamp.") + flag)) {
+        FAFNIR_WARN(why, " forces ", flag,
+                    "=1 (process-global telemetry is not thread-safe); "
+                    "requested ",
+                    requested);
+    }
     return 1;
 }
 

@@ -30,6 +30,7 @@
 #include "fafnir/pe.hh"
 #include "fafnir/pool.hh"
 #include "sim/eventq.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/session.hh"
 
 using namespace fafnir;
@@ -305,6 +306,20 @@ main(int argc, char **argv)
     const PeRates value = bestOf(
         3, [&] { return benchPe(pe_pairs, pe_dim, true, pe_value_iters); });
 
+    // The same event kernels with a flight recorder installed
+    // (informational): pins what the always-on rings cost when a run
+    // actually records, next to the disabled-guard rates above. Under
+    // FAFNIR_FLIGHTREC_COMPILED_OUT the guard constant-folds away and
+    // these equal the plain rates.
+    double burst_rec = 0.0;
+    double chain_rec = 0.0;
+    {
+        telemetry::FlightRecorder recorder;
+        telemetry::ScopedFlightRecorderInstall install(&recorder);
+        burst_rec = bestOf(3, [&] { return benchEventBurst(events, 512); });
+        chain_rec = bestOf(3, [&] { return benchEventChain(events / 4); });
+    }
+
     struct Metric
     {
         const char *name;
@@ -314,6 +329,8 @@ main(int argc, char **argv)
         {"eventq_burst_events_per_sec", burst},
         {"eventq_chain_events_per_sec", chain},
         {"eventq_churn_ops_per_sec", churn},
+        {"eventq_burst_flightrec_on_events_per_sec", burst_rec},
+        {"eventq_chain_flightrec_on_events_per_sec", chain_rec},
         {"pe_header_items_per_sec", header.itemsPerSec},
         {"pe_value_items_per_sec", value.itemsPerSec},
         {"reduced_elements_per_sec", value.reducedElementsPerSec},

@@ -61,6 +61,7 @@
 #include "fafnir/serving.hh"
 #include "fafnir/sharding.hh"
 #include "sim/eventq.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/session.hh"
 #include "telemetry/slo.hh"
 #include "telemetry/timeseries.hh"
@@ -389,6 +390,26 @@ main(int argc, char **argv)
         cap8_serial = benchCapacity(capacity_set, 8, 1);
     }
 
+    // The same two-engine capacity point with a flight recorder
+    // installed: the recorder observes ticks but never schedules, so
+    // the simulated capacity must be bit-equal — the recorded rate is
+    // exported so the claim is pinned in the report, and the run
+    // aborts if recording ever perturbs the schedule.
+    double cap2_rec;
+    {
+        telemetry::ScopedTimeSeriesInstall series_off(nullptr);
+        telemetry::ScopedSloMonitorInstall monitor_off(nullptr);
+        telemetry::FlightRecorder recorder;
+        telemetry::ScopedFlightRecorderInstall rec_install(&recorder);
+        cap2_rec = benchCapacity(capacity_set, 2, 1);
+#ifndef FAFNIR_FLIGHTREC_COMPILED_OUT
+        FAFNIR_ASSERT(recorder.totalRecorded() > 0,
+                      "recorder saw no serving records");
+#endif
+    }
+    FAFNIR_ASSERT(cap2_rec == cap2,
+                  "flight recorder perturbed simulated serving time");
+
     // Sharded-tier capacity at shards x replicas points (simulated
     // time, deterministic, gated). 2x1 splits the same engine count as
     // the 2-engine single-store point across two stores; 4x2 is the
@@ -496,6 +517,7 @@ main(int argc, char **argv)
         {"prepare_modeled_scaling_4w", modeled_rate[2] / modeled_rate[0]},
         {"capacity_1_engine_batches_per_sec", cap1},
         {"capacity_2_engines_batches_per_sec", cap2},
+        {"capacity_2_engines_flightrec_on_batches_per_sec", cap2_rec},
         {"capacity_4_engines_batches_per_sec", cap4},
         {"capacity_8_engines_batches_per_sec", cap8},
         {"capacity_8_engines_serial_prepare_batches_per_sec",

@@ -194,6 +194,15 @@ FaultPlan::noteSkippedFiring(Hook hook)
     if (st.rate <= 0.0)
         return;
     ++st.skipped;
+    // Rate-limited visibility: a lossy plan can skip thousands of
+    // firings per run; one warning plus the exit-time suppressed count
+    // (and the faults.<hook>.skipped stat) tells the whole story.
+    if (logging::warnEvery(std::string("faults.skipped.") +
+                           toString(hook))) {
+        FAFNIR_WARN("fault hook ", toString(hook),
+                    " skipped a firing (lossy hook recovered); "
+                    "further skips counted, not warned");
+    }
 }
 
 std::uint64_t

@@ -39,6 +39,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -144,7 +145,23 @@ class FaultPlan
         if (suspended_ || !st.rng.nextBool(st.rate))
             return false;
         ++st.fired;
+        if (fireListener_)
+            fireListener_(hook);
         return true;
+    }
+
+    /**
+     * Observe every fired hook (after its counter advances). The
+     * telemetry layer wires the flight recorder's fault-hook trigger
+     * here; common/ stays free of telemetry dependencies. The listener
+     * must not call back into the plan. Pass nullptr to clear — owners
+     * of short-lived listeners must clear before the listener's
+     * captures die.
+     */
+    void
+    setFireListener(std::function<void(Hook)> listener)
+    {
+        fireListener_ = std::move(listener);
     }
 
     /** Configured severity of @p hook (default when not overridden). */
@@ -283,6 +300,7 @@ class FaultPlan
     std::uint64_t seed_;
     unsigned armed_ = 0;
     bool suspended_ = false;
+    std::function<void(Hook)> fireListener_;
     std::array<HookState, kNumHooks> hooks_;
 };
 

@@ -6,6 +6,8 @@
 #include "logging.hh"
 
 #include <cstdio>
+#include <mutex>
+#include <vector>
 
 namespace fafnir
 {
@@ -39,6 +41,92 @@ Logger::instance()
     static Logger logger;
     return logger;
 }
+
+namespace logging
+{
+
+namespace
+{
+
+struct Site
+{
+    std::string name;
+    TokenBucket bucket;
+};
+
+struct SiteRegistry
+{
+    std::mutex mutex;
+    std::vector<Site> sites;
+
+    Site &
+    get(const std::string &name, std::uint64_t capacity,
+        std::uint64_t refillEvery)
+    {
+        for (Site &s : sites)
+            if (s.name == name)
+                return s;
+        sites.push_back({name, TokenBucket(capacity, refillEvery)});
+        return sites.back();
+    }
+};
+
+SiteRegistry *g_registry = nullptr;
+
+void
+flushSuppressed()
+{
+    if (g_registry == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(g_registry->mutex);
+    for (const Site &s : g_registry->sites) {
+        if (s.bucket.suppressed() > 0) {
+            std::fprintf(stderr,
+                         "warn: %s: %llu similar warning(s) suppressed\n",
+                         s.name.c_str(),
+                         static_cast<unsigned long long>(
+                             s.bucket.suppressed()));
+        }
+    }
+    std::fflush(stderr);
+}
+
+/** Leaked on purpose: the atexit flush may run after static
+ *  destructors would have torn a plain static down. */
+SiteRegistry &
+registry()
+{
+    static SiteRegistry *r = [] {
+        g_registry = new SiteRegistry;
+        std::atexit(flushSuppressed);
+        return g_registry;
+    }();
+    return *r;
+}
+
+} // namespace
+
+bool
+warnEvery(const std::string &site, std::uint64_t capacity,
+          std::uint64_t refillEvery)
+{
+    SiteRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    return reg.get(site, capacity, refillEvery).bucket.allow();
+}
+
+std::uint64_t
+warnEverySuppressed(const std::string &site)
+{
+    SiteRegistry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const Site &s : reg.sites)
+        if (s.name == site)
+            return s.bucket.suppressed();
+    return 0;
+}
+
+} // namespace logging
 
 void
 Logger::log(LogLevel level, const std::string &message, const char *file,

@@ -12,6 +12,7 @@
 #ifndef FAFNIR_COMMON_LOGGING_HH
 #define FAFNIR_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -76,6 +77,75 @@ format(Args &&...args)
 }
 
 } // namespace detail
+
+namespace logging
+{
+
+/**
+ * Count-based token bucket for rate-limited warnings. Deliberately
+ * clock-free: a bucket starts with @p capacity tokens, every allowed
+ * call spends one, and one token refills per @p refillEvery suppressed
+ * calls — so the decision sequence is a pure function of the call
+ * count and identical across runs and machines.
+ */
+class TokenBucket
+{
+  public:
+    explicit TokenBucket(std::uint64_t capacity = 1,
+                         std::uint64_t refillEvery = 100)
+        : capacity_(capacity ? capacity : 1),
+          refillEvery_(refillEvery ? refillEvery : 1),
+          tokens_(capacity_)
+    {}
+
+    /** Spend a token if one is available; count the call either way. */
+    bool
+    allow()
+    {
+        if (tokens_ > 0) {
+            --tokens_;
+            ++allowed_;
+            return true;
+        }
+        ++suppressed_;
+        if (++sinceRefill_ >= refillEvery_) {
+            sinceRefill_ = 0;
+            if (tokens_ < capacity_)
+                ++tokens_;
+        }
+        return false;
+    }
+
+    std::uint64_t allowed() const { return allowed_; }
+    std::uint64_t suppressed() const { return suppressed_; }
+    std::uint64_t tokens() const { return tokens_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t refillEvery_;
+    std::uint64_t tokens_;
+    std::uint64_t sinceRefill_ = 0;
+    std::uint64_t allowed_ = 0;
+    std::uint64_t suppressed_ = 0;
+};
+
+/**
+ * Should the warning identified by @p site be emitted this time?
+ * Each distinct site string owns one process-wide TokenBucket
+ * (created on first use with @p capacity / @p refillEvery); suppressed
+ * counts are flushed to stderr at process exit so a rate-limited
+ * warning can never vanish without trace. Usage:
+ *
+ *     if (logging::warnEvery("memsystem.slow_read"))
+ *         FAFNIR_WARN("read took ", ns, "ns");
+ */
+bool warnEvery(const std::string &site, std::uint64_t capacity = 1,
+               std::uint64_t refillEvery = 100);
+
+/** Suppressed-call count of @p site so far (0 for unknown sites). */
+std::uint64_t warnEverySuppressed(const std::string &site);
+
+} // namespace logging
 
 } // namespace fafnir
 

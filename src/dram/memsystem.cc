@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/faultinject.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::dram
@@ -284,6 +285,12 @@ MemorySystem::read(Addr addr, unsigned bytes, Tick earliest,
         static_cast<double>(result.complete - earliest) / kTicksPerNs);
     traceRead(mapper_.decode(first), g, bytes, earliest, result,
               eventq_.currentFlow());
+    // code = rank of the first burst; a = bytes, b = service ticks.
+    if (auto *rec = telemetry::flightRecorder()) {
+        rec->record(telemetry::Stage::DramService, result.complete,
+                    mapper_.decode(first).rank, bytes,
+                    result.complete - earliest);
+    }
     return result;
 }
 

@@ -6,9 +6,11 @@
 #include "service.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/attribution.hh"
 #include "telemetry/slo.hh"
 #include "telemetry/timeseries.hh"
@@ -247,6 +249,17 @@ ServiceGuard::serve(const Batch &batch, Tick arrival)
                 done > arrival + config_.queryDeadline) {
                 ++timeouts_;
                 traceGuard("timeout", done, static_cast<double>(pos));
+                if (auto *rec = telemetry::flightRecorder()) {
+                    char detail[96];
+                    std::snprintf(
+                        detail, sizeof detail,
+                        "query %llu missed deadline by %llu ticks",
+                        static_cast<unsigned long long>(pos),
+                        static_cast<unsigned long long>(
+                            done - arrival - config_.queryDeadline));
+                    rec->trigger(telemetry::Trigger::DeadlineMiss, done,
+                                 detail);
+                }
                 missed.push_back(pos);
             } else {
                 request.outcomes[pos].completed = done;
@@ -271,6 +284,17 @@ ServiceGuard::serve(const Batch &batch, Tick arrival)
     }
 
     // Whatever is still pending exhausted its attempts.
+    if (!pending.empty()) {
+        if (auto *rec = telemetry::flightRecorder()) {
+            char detail[96];
+            std::snprintf(detail, sizeof detail,
+                          "%llu queries exhausted %u attempts",
+                          static_cast<unsigned long long>(pending.size()),
+                          attempt);
+            rec->trigger(telemetry::Trigger::RetryExhausted,
+                         last_complete, detail);
+        }
+    }
     for (std::size_t pos : pending) {
         request.outcomes[pos].reason = DegradeReason::DeadlineExceeded;
         request.outcomes[pos].completed = 0;

@@ -12,6 +12,7 @@
 
 #include "common/faultinject.hh"
 #include "common/logging.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/attribution.hh"
 #include "telemetry/trace_sink.hh"
 
@@ -472,7 +473,7 @@ EventDrivenEngine::lookupPrepared(PreparedBatch &prepared, Tick start)
     // end, emission] splits exactly into pipeline compute and waiting,
     // so the recorded components sum to the end-to-end latency by
     // construction (pinned by tests/test_attribution.cc).
-    if (attr || ts) {
+    if (attr || ts || telemetry::flightRecorder() != nullptr) {
         if (ts) {
             ts->setThreadName(telemetry::kPidService,
                               kServiceDeliveryTid, "delivery");
@@ -607,6 +608,19 @@ EventDrivenEngine::lookupPrepared(PreparedBatch &prepared, Tick start)
             }
             attr->recordMeeting(topology_.numLevels() - 1,
                                 run.rootCombines);
+        }
+        // Per-PE meeting summary (bounded per batch, off the try_emit
+        // hot path): code = PE id; a = tree height, b = reduce count.
+        if (auto *rec = telemetry::flightRecorder()) {
+            for (unsigned p = 1; p <= num_pes; ++p) {
+                std::uint64_t reduces = 0;
+                for (const auto &out : run.trace[p].outputs)
+                    reduces += out.action == PeAction::Reduce;
+                if (reduces > 0)
+                    rec->record(telemetry::Stage::PeMeeting,
+                                timing.complete, p,
+                                topology_.heightOf(p), reduces);
+            }
         }
     }
     activeTicks_ += timing.complete - start;

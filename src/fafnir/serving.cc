@@ -7,11 +7,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/debug.hh"
 #include "common/faultinject.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/attribution.hh"
 #include "telemetry/slo.hh"
 #include "telemetry/timeseries.hh"
@@ -167,6 +169,7 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
     // is installed, mirroring the trace-sink pattern.
     telemetry::TimeSeries *series = telemetry::timeseries();
     telemetry::SloMonitor *slo = telemetry::sloMonitor();
+    telemetry::FlightRecorder *rec = telemetry::flightRecorder();
     telemetry::WindowedHistogram *winLatency = nullptr;
     telemetry::WindowedHistogram *winQueueWait = nullptr;
     telemetry::WindowedHistogram *winOccupancy = nullptr;
@@ -223,6 +226,11 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
         prepareFree = prepare_done;
         prepareTicks_ += prepare_cost;
         report.prepareBusy += prepare_cost;
+        // code = batch ordinal; a = references, b = prepare cost ticks.
+        if (rec)
+            rec->record(telemetry::Stage::Prepare, prepare_done,
+                        static_cast<std::uint32_t>(k),
+                        batch.totalIndices(), prepare_cost);
 
         slots[s] = preparePool_->prepare(layout, store_, batch,
                                          config_.dedup, &slotArenas_[s]);
@@ -306,12 +314,59 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
         dispatchWaitTicks_ += dispatch_wait;
         report.dispatchWait += dispatch_wait;
         report.writebackBusy += wb_done - wb_start;
+        if (rec) {
+            // Dispatch: code = engine replica; a = batch, b = queue wait.
+            rec->record(telemetry::Stage::Dispatch, timing.issued,
+                        primary, k, dispatch_wait);
+            // Writeback: code = winning replica; a = batch, b = drain.
+            rec->record(telemetry::Stage::Writeback, wb_done, winner, k,
+                        wb_done - wb_start);
+        }
         ++servedBatches_;
         servedQueries_ += batch.size();
         ++(*perEngineBatches_[winner]);
         ++report.batchesPerEngine[winner];
 
         // --- Windowed telemetry + SLO feed (per query, at writeback). ---
+        const double latencyUs = static_cast<double>(wb_done - arrival) /
+                                 static_cast<double>(kTicksPerUs);
+        // Tail-latency trigger threshold: the rolling p99 *before* this
+        // batch's own samples land, so a spike is judged against the
+        // recent past, not against itself. 64 warmup samples keep the
+        // first batches from tripping on a cold histogram.
+        double tailP99 = 0.0;
+        bool tailWarm = false;
+        if (series && rec) {
+            const telemetry::LogHistogram recent = winLatency->rolling(8);
+            tailWarm = recent.count() >= 64;
+            tailP99 = recent.p99();
+        }
+        if (slo) {
+            for (std::size_t q = 0; q < batch.size(); ++q) {
+                slo->recordLatency(wb_done, latencyUs);
+                slo->recordOutcome(wb_done, true);
+            }
+        }
+        if (attr) {
+            attr->annotateBatchStages(ordinal, prepare_done - arrival,
+                                      dispatch_wait);
+        }
+        // The batch's tail exemplar: its slowest query *after* stage
+        // back-annotation, so the attribution split telescopes exactly
+        // (sharded runs annotate shardCombine later; the copy here is
+        // self-consistent either way).
+        const telemetry::QueryAttribution *victim = nullptr;
+        if (attr) {
+            const auto &qs = attr->queries();
+            for (auto it = qs.rbegin();
+                 it != qs.rend() && it->batch == ordinal; ++it) {
+                if (victim == nullptr || it->total() > victim->total() ||
+                    (it->total() == victim->total() &&
+                     it->query < victim->query)) {
+                    victim = &*it;
+                }
+            }
+        }
         if (series) {
             constexpr double us = static_cast<double>(kTicksPerUs);
             winBatches->record(wb_done);
@@ -323,23 +378,36 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
                 complete,
                 static_cast<double>(win_timing.complete -
                                     win_timing.issued) / us);
-            const double latencyUs =
-                static_cast<double>(wb_done - arrival) / us;
-            for (std::size_t q = 0; q < batch.size(); ++q)
+            std::size_t plain = batch.size();
+            if (victim != nullptr) {
+                telemetry::Exemplar ex;
+                ex.tick = wb_done;
+                ex.batch = victim->batch;
+                ex.query = victim->query;
+                ex.flow = victim->flow;
+                ex.totalTicks = victim->total();
+                ex.components = {victim->batchPrepare,
+                                 victim->dispatchQueue,
+                                 victim->dramService,
+                                 victim->ctrlQueue,
+                                 victim->peCompute,
+                                 victim->forwardWait,
+                                 victim->serviceQueue,
+                                 victim->shardCombine};
+                winLatency->record(wb_done, latencyUs, ex);
+                --plain;
+            }
+            for (std::size_t q = 0; q < plain; ++q)
                 winLatency->record(wb_done, latencyUs);
         }
-        if (slo) {
-            const double latencyUs =
-                static_cast<double>(wb_done - arrival) /
-                static_cast<double>(kTicksPerUs);
-            for (std::size_t q = 0; q < batch.size(); ++q) {
-                slo->recordLatency(wb_done, latencyUs);
-                slo->recordOutcome(wb_done, true);
-            }
-        }
-        if (attr) {
-            attr->annotateBatchStages(ordinal, prepare_done - arrival,
-                                      dispatch_wait);
+        if (rec && tailWarm && latencyUs > tailP99) {
+            char detail[112];
+            std::snprintf(detail, sizeof detail,
+                          "batch %llu latency %.6gus > rolling p99 %.6gus",
+                          static_cast<unsigned long long>(k), latencyUs,
+                          tailP99);
+            rec->trigger(telemetry::Trigger::TailLatency, wb_done, detail,
+                         victim);
         }
         if (ts) {
             const double batch_arg = static_cast<double>(k);

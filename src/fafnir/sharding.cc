@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "embedding/reduce_kernels.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/attribution.hh"
 #include "telemetry/timeseries.hh"
 
@@ -404,6 +405,10 @@ ShardedServingTier::serve(const std::vector<embedding::Batch> &batches,
                     combineDone,
                     static_cast<double>(cost) /
                         static_cast<double>(kTicksPerUs));
+            // code = shards combined; a = batch, b = combine ticks.
+            if (auto *rec = telemetry::flightRecorder())
+                rec->record(telemetry::Stage::ShardCombine, combineDone,
+                            participants, k, cost);
         }
         trace.shardsDone = shardsDone;
         trace.combineDone = combineDone;

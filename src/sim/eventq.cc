@@ -20,6 +20,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir
@@ -189,6 +190,7 @@ EventQueue::activateTick(Tick tick)
     activeBucket_ = bucket;
     cacheDirty_ = false;
     curSink_ = telemetry::sink();
+    curRec_ = telemetry::flightRecorder();
     while (node != nullptr) {
         Node *const next = node->next;
         if (next != nullptr)
@@ -332,6 +334,10 @@ EventQueue::fireNext()
                                    now_,
                                    static_cast<double>(pendingCount_));
         }
+        // code 0 = registered event; a = queue depth after dispatch.
+        if (curRec_ != nullptr)
+            curRec_->record(telemetry::Stage::EventqDispatch, now_, 0,
+                            pendingCount_, 0);
         event->callback_();
         return true;
     }
@@ -348,6 +354,10 @@ EventQueue::fireNext()
         curSink_->counterEvent(telemetry::kPidSim, "eventq.pending", now_,
                                static_cast<double>(pendingCount_));
     }
+    // code 1 = one-shot; a = queue depth after dispatch, b = flow id.
+    if (curRec_ != nullptr)
+        curRec_->record(telemetry::Stage::EventqDispatch, now_, 1,
+                        pendingCount_, currentFlow_);
     // Invoke from the node (slab storage is stable even if the callback
     // schedules more work), then retire it.
     node->fire(node->storage);

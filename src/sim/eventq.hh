@@ -51,6 +51,7 @@
 namespace fafnir::telemetry
 {
 class TraceSink;
+class FlightRecorder;
 } // namespace fafnir::telemetry
 
 namespace fafnir
@@ -395,6 +396,8 @@ class EventQueue
     bool cacheDirty_ = false;
     /** Trace sink snapshot, refreshed per activated tick. */
     telemetry::TraceSink *curSink_ = nullptr;
+    /** Flight recorder cached per active tick, like curSink_. */
+    telemetry::FlightRecorder *curRec_ = nullptr;
 
     Tick now_ = 0;
     /** The fault plan installed when this queue was built (nullptr =

@@ -82,6 +82,7 @@ RunReport::write(std::ostream &os, const StatRegistry *stats) const
 
     JsonWriter json(os);
     json.beginObject();
+    json.member("schemaVersion", kArtifactSchemaVersion);
     json.member("tool", tool_);
     json.member("git", gitDescribe());
     json.member("timestamp", std::string(timestamp));

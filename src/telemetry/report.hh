@@ -11,6 +11,7 @@
  *
  * Schema:
  * {
+ *   "schemaVersion": 1,
  *   "tool":       "fig12_end_to_end",
  *   "git":        "ada6207",             // git describe at configure time
  *   "timestamp":  "2026-08-06T12:34:56Z",
@@ -38,6 +39,13 @@ class StatRegistry;
 
 namespace fafnir::telemetry
 {
+
+/**
+ * Schema revision shared by every JSON artifact this layer emits (run
+ * reports, timeline meta records, debug bundles). Bump when a required
+ * key is added/renamed; tools/artifact_lint validates against it.
+ */
+inline constexpr unsigned kArtifactSchemaVersion = 1;
 
 /** One run's provenance, configuration, and headline metrics. */
 class RunReport

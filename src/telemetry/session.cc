@@ -65,6 +65,18 @@ TelemetrySession::registerFlags(FlagParser &flags)
     flags.addDouble("window-us", windowUs_,
                     "tumbling-window width for --timeline/--slo in "
                     "simulated microseconds");
+    flags.addString("debug-bundle-dir", bundleDir_,
+                    "install the flight recorder and write triggered "
+                    "debug bundles (SLO alerts, deadline misses, fault "
+                    "hooks, value mismatches, tail latency) into this "
+                    "directory");
+    flags.addUint64("flightrec-ring", flightrecRing_,
+                    "flight-recorder records retained per stage ring");
+    flags.addUint64("flightrec-max-bundles", flightrecMaxBundles_,
+                    "debug bundles written per run across all triggers");
+    flags.addDouble("flightrec-gap-us", flightrecGapUs_,
+                    "minimum simulated gap between accepted triggers "
+                    "of one kind, in microseconds");
     flags.addUnsigned("serve-engines", serving_.engines,
                       "engine replicas for the pipelined serving path "
                       "(0 = serial single-engine)");
@@ -131,6 +143,42 @@ TelemetrySession::start()
         monitor_->registerStats(StatRegistry::instance().group("slo"));
         report_.setConfig("slo", sloSpec_);
     }
+    if (!bundleDir_.empty()) {
+        if (flightrecRing_ == 0)
+            FAFNIR_FATAL("--flightrec-ring must be positive");
+        if (!(flightrecGapUs_ >= 0.0))
+            FAFNIR_FATAL("--flightrec-gap-us must be non-negative, got ",
+                         flightrecGapUs_);
+        FlightRecorderConfig fc;
+        fc.ringCapacity = static_cast<std::size_t>(flightrecRing_);
+        fc.maxBundles = static_cast<std::size_t>(flightrecMaxBundles_);
+        fc.minGapTicks = static_cast<Tick>(
+            flightrecGapUs_ * static_cast<double>(kTicksPerUs));
+        fc.bundleDir = bundleDir_;
+        flightrec_.emplace(fc);
+        flightrecInstall_.emplace(&*flightrec_);
+        flightrec_->registerStats(
+            StatRegistry::instance().group("flightrec"));
+        flightrec_->setContext("tool", tool_);
+        if (!faultSpec_.empty()) {
+            flightrec_->setContext("faults", faultSpec_);
+            flightrec_->setContext("faultSeed",
+                                   std::to_string(faultSeed_));
+        }
+        if (!sloSpec_.empty())
+            flightrec_->setContext("slo", sloSpec_);
+        report_.setConfig("debugBundleDir", bundleDir_);
+        if (plan_) {
+            // A fired hook is a trigger; the recorder's lastSeenTick()
+            // stands in for "now" since hooks fire mid-record-point.
+            FlightRecorder *rec = &*flightrec_;
+            plan_->setFireListener([rec](fault::Hook hook) {
+                rec->trigger(Trigger::FaultHook, rec->lastSeenTick(),
+                             std::string("hook:") +
+                                 fault::toString(hook));
+            });
+        }
+    }
 }
 
 int
@@ -142,6 +190,9 @@ TelemetrySession::finish()
 
     StatRegistry &registry = StatRegistry::instance();
     if (plan_) {
+        // The fire listener captures the recorder; detach it before
+        // either object can go away below.
+        plan_->setFireListener(nullptr);
         report_.setMetric("faultsInjected",
                           static_cast<double>(plan_->totalFired()));
         report_.setMetric("faultsChecked",
@@ -160,6 +211,31 @@ TelemetrySession::finish()
                           static_cast<double>(monitor_->totalFires()));
         report_.setMetric("sloAlertClears",
                           static_cast<double>(monitor_->totalClears()));
+    }
+    if (flightrec_) {
+        report_.setMetric("flightrecRecords",
+                          static_cast<double>(
+                              flightrec_->totalRecorded()));
+        report_.setMetric("flightrecDrops",
+                          static_cast<double>(flightrec_->totalDropped()));
+        report_.setMetric("flightrecTriggers",
+                          static_cast<double>(
+                              flightrec_->totalTriggers()));
+        report_.setMetric("debugBundles",
+                          static_cast<double>(
+                              flightrec_->bundlesWritten()));
+        if (flightrec_->bundlesWritten() > 0) {
+            std::fprintf(stderr,
+                         "flightrec: %llu debug bundle(s) in %s "
+                         "(%llu trigger(s), %llu suppressed)\n",
+                         static_cast<unsigned long long>(
+                             flightrec_->bundlesWritten()),
+                         bundleDir_.c_str(),
+                         static_cast<unsigned long long>(
+                             flightrec_->totalTriggers()),
+                         static_cast<unsigned long long>(
+                             flightrec_->suppressedCount()));
+        }
     }
     bool ok = true;
     auto write_to = [&ok](const std::string &path, auto &&emit) {
@@ -226,6 +302,8 @@ TelemetrySession::finish()
 
     // Groups reference harness-scoped objects; drop them now.
     registry.clear();
+    flightrecInstall_.reset();
+    flightrec_.reset();
     monitorInstall_.reset();
     monitor_.reset();
     seriesInstall_.reset();

@@ -15,7 +15,13 @@
  * JSON-lines timeline artifact; `--slo <spec>` additionally installs a
  * burn-rate SLO monitor (see docs/OBSERVABILITY.md). All three compose
  * with --trace: windowed series and SLO burn rates land as counter
- * tracks in the Perfetto trace as well.
+ * tracks in the Perfetto trace as well. `--debug-bundle-dir <dir>`
+ * installs the always-on flight recorder: per-stage rings record the
+ * hot paths continuously, and SLO alerts, guard deadline misses /
+ * retry exhaustion, fired fault hooks, sharded value mismatches, and
+ * above-p99 queries drain them into deterministic JSON debug bundles
+ * under the directory (tuned by --flightrec-ring,
+ * --flightrec-max-bundles, --flightrec-gap-us).
  *
  * Harnesses without their own flags construct it from argv directly:
  *
@@ -48,6 +54,7 @@
 
 #include "common/faultinject.hh"
 #include "telemetry/attribution.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/report.hh"
 #include "telemetry/slo.hh"
 #include "telemetry/timeseries.hh"
@@ -147,6 +154,13 @@ class TelemetrySession
     /** The run's SLO monitor, or nullptr when --slo was not given. */
     SloMonitor *sloMonitor() { return monitor_ ? &*monitor_ : nullptr; }
 
+    /** The run's flight recorder, or nullptr when --debug-bundle-dir
+     *  (or another --flightrec-* flag) was not given. */
+    FlightRecorder *recorder()
+    {
+        return flightrec_ ? &*flightrec_ : nullptr;
+    }
+
     /** Parsed serving-pipeline flags (engines == 0 -> serial path). */
     const ServingOptions &serving() const { return serving_; }
 
@@ -174,6 +188,10 @@ class TelemetrySession
     std::string sloSpec_;
     std::string timelinePath_;
     double windowUs_ = 50.0;
+    std::string bundleDir_;
+    std::uint64_t flightrecRing_ = 1024;
+    std::uint64_t flightrecMaxBundles_ = 8;
+    double flightrecGapUs_ = 100.0;
     ServingOptions serving_;
     std::optional<TraceSink> sink_;
     std::optional<ScopedSinkInstall> install_;
@@ -185,6 +203,8 @@ class TelemetrySession
     std::optional<ScopedTimeSeriesInstall> seriesInstall_;
     std::optional<SloMonitor> monitor_;
     std::optional<ScopedSloMonitorInstall> monitorInstall_;
+    std::optional<FlightRecorder> flightrec_;
+    std::optional<ScopedFlightRecorderInstall> flightrecInstall_;
     RunReport report_;
     bool finished_ = false;
 };

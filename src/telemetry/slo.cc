@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "common/stats.hh"
+#include "telemetry/flightrec.hh"
+#include "telemetry/report.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace fafnir::telemetry
@@ -250,6 +252,13 @@ SloMonitor::evaluateWindow(std::size_t objective, std::uint64_t window)
         ++st.fires;
         transitions_.push_back(
             {closeTick, objective, true, fastBurn, slowBurn});
+        if (auto *rec = flightRecorder()) {
+            char detail[96];
+            std::snprintf(detail, sizeof detail,
+                          "fire:%s fast_burn=%.6g slow_burn=%.6g",
+                          obj.name.c_str(), fastBurn, slowBurn);
+            rec->trigger(Trigger::SloAlert, closeTick, detail);
+        }
     } else if (st.active && fastBurn <= burn_.clearBurn) {
         st.active = false;
         ++st.clears;
@@ -401,7 +410,7 @@ void
 writeTimeline(std::ostream &os, const TimeSeries *ts,
               const SloMonitor *monitor)
 {
-    os << "{\"type\":\"meta\"";
+    os << "{\"type\":\"meta\",\"schema_version\":" << kArtifactSchemaVersion;
     if (ts != nullptr)
         os << ",\"window_ticks\":" << ts->windowTicks();
     if (monitor != nullptr) {

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 #include <ostream>
+#include <tuple>
 
 #include "common/stats.hh"
 #include "telemetry/trace_sink.hh"
@@ -60,6 +61,40 @@ LogHistogram::record(double v)
 }
 
 void
+LogHistogram::recordWithExemplar(double v, const Exemplar &ex)
+{
+    record(v);
+    Exemplar candidate = ex;
+    candidate.value = v;
+    candidate.valid = true;
+    offerExemplar(bucketOf(v), candidate);
+}
+
+void
+LogHistogram::offerExemplar(std::size_t bucket, const Exemplar &ex)
+{
+    if (!ex.valid)
+        return;
+    if (exemplar_.valid) {
+        // Total order so retention is merge-order independent: higher
+        // bucket wins; within a bucket the earliest (tick, batch,
+        // query, value) tuple wins.
+        if (bucket < exemplarBucket_)
+            return;
+        if (bucket == exemplarBucket_) {
+            const auto keyOf = [](const Exemplar &e) {
+                return std::make_tuple(e.tick, e.batch, e.query,
+                                       e.value);
+            };
+            if (keyOf(exemplar_) <= keyOf(ex))
+                return;
+        }
+    }
+    exemplar_ = ex;
+    exemplarBucket_ = bucket;
+}
+
+void
 LogHistogram::merge(const LogHistogram &other)
 {
     if (other.counts_.size() > counts_.size())
@@ -68,6 +103,8 @@ LogHistogram::merge(const LogHistogram &other)
         counts_[i] += other.counts_[i];
     count_ += other.count_;
     sum_ += other.sum_;
+    if (other.exemplar_.valid)
+        offerExemplar(other.exemplarBucket_, other.exemplar_);
 }
 
 double
@@ -118,6 +155,8 @@ LogHistogram::clear()
     counts_.clear();
     count_ = 0;
     sum_ = 0.0;
+    exemplar_ = {};
+    exemplarBucket_ = 0;
 }
 
 // --- WindowRing -------------------------------------------------------
@@ -200,6 +239,17 @@ WindowedHistogram::record(Tick tick, double v)
     if (s == static_cast<std::size_t>(-1))
         return;
     slots_[s].record(v);
+    ++total_;
+}
+
+void
+WindowedHistogram::record(Tick tick, double v, const Exemplar &ex)
+{
+    const std::size_t s =
+        slotFor(tick, [this](std::size_t i) { slots_[i].clear(); });
+    if (s == static_cast<std::size_t>(-1))
+        return;
+    slots_[s].recordWithExemplar(v, ex);
     ++total_;
 }
 
@@ -317,6 +367,15 @@ TimeSeries::findHistogram(const std::string &name) const
 }
 
 void
+TimeSeries::visit(
+    const std::function<void(const std::string &, const WindowedCounter *,
+                             const WindowedHistogram *)> &fn) const
+{
+    for (const auto &e : entries_)
+        fn(e->name, e->counter.get(), e->histogram.get());
+}
+
+void
 TimeSeries::flush(Tick end)
 {
     lastTick_ = std::max(lastTick_, end);
@@ -349,6 +408,24 @@ writeNumber(std::ostream &os, double v)
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6g", v);
     os << buf;
+}
+
+/** The timeline/bundle-row JSON form of one exemplar. */
+void
+writeExemplar(std::ostream &os, const Exemplar &ex)
+{
+    os << "{\"value\":";
+    writeNumber(os, ex.value);
+    os << ",\"tick\":" << ex.tick << ",\"batch\":" << ex.batch
+       << ",\"query\":" << ex.query << ",\"flow\":" << ex.flow
+       << ",\"total_ticks\":" << ex.totalTicks << ",\"components\":{";
+    for (std::size_t c = 0; c < kExemplarComponents; ++c) {
+        if (c > 0)
+            os << ',';
+        os << '"' << kExemplarComponentNames[c]
+           << "\":" << ex.components[c];
+    }
+    os << "}}";
 }
 
 } // namespace
@@ -405,6 +482,10 @@ TimeSeries::writeTimeline(std::ostream &os) const
                 writeNumber(os, win->p95());
                 os << ",\"p99\":";
                 writeNumber(os, win->p99());
+                if (win->hasExemplar()) {
+                    os << ",\"exemplar\":";
+                    writeExemplar(os, win->exemplar());
+                }
                 os << "}\n";
             }
         }
@@ -469,6 +550,51 @@ TimeSeries::registerStats(StatGroup &group) const
                 e->name + ".peakWindowP99",
                 [h] { return h->peakWindowPercentile(99.0); },
                 "worst per-window p99 across retained windows");
+            group.addFormula(
+                e->name + ".exemplar.value",
+                [h] {
+                    const LogHistogram all = h->overall();
+                    return all.hasExemplar()
+                        ? all.exemplar().value
+                        : std::numeric_limits<double>::quiet_NaN();
+                },
+                "tail exemplar's recorded value");
+            group.addFormula(
+                e->name + ".exemplar.query",
+                [h] {
+                    const LogHistogram all = h->overall();
+                    return all.hasExemplar()
+                        ? double(all.exemplar().query)
+                        : std::numeric_limits<double>::quiet_NaN();
+                },
+                "tail exemplar's in-batch query id");
+            group.addFormula(
+                e->name + ".exemplar.flow",
+                [h] {
+                    const LogHistogram all = h->overall();
+                    return all.hasExemplar()
+                        ? double(all.exemplar().flow)
+                        : std::numeric_limits<double>::quiet_NaN();
+                },
+                "tail exemplar's Perfetto flow id");
+            group.addFormula(
+                e->name + ".exemplar.totalTicks",
+                [h] {
+                    const LogHistogram all = h->overall();
+                    return all.hasExemplar()
+                        ? double(all.exemplar().totalTicks)
+                        : std::numeric_limits<double>::quiet_NaN();
+                },
+                "tail exemplar's end-to-end ticks");
+            group.addFormula(
+                e->name + ".exemplar.componentSumTicks",
+                [h] {
+                    const LogHistogram all = h->overall();
+                    return all.hasExemplar()
+                        ? double(all.exemplar().componentSum())
+                        : std::numeric_limits<double>::quiet_NaN();
+                },
+                "tail exemplar's attribution sum (== totalTicks)");
         }
     }
     const TimeSeries *self = this;

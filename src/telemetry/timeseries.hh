@@ -36,8 +36,10 @@
 #ifndef FAFNIR_TELEMETRY_TIMESERIES_HH
 #define FAFNIR_TELEMETRY_TIMESERIES_HH
 
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,6 +55,43 @@ namespace fafnir::telemetry
 {
 
 class TraceSink;
+
+/** Attribution components an exemplar carries, in the telescoping
+ *  order of QueryAttribution (batchPrepare .. shardCombine). */
+inline constexpr std::size_t kExemplarComponents = 8;
+inline constexpr std::array<const char *, kExemplarComponents>
+    kExemplarComponentNames = {
+        "batch_prepare", "dispatch_queue", "dram_service", "ctrl_queue",
+        "pe_compute",    "forward_wait",   "service_queue",
+        "shard_combine",
+};
+
+/**
+ * One concrete sample retained alongside a histogram's tail: the query
+ * behind a windowed p99 spike, with its Perfetto flow id and its full
+ * attribution split (components sum to totalTicks exactly, so every
+ * exported exemplar telescopes like the attribution artifact does).
+ */
+struct Exemplar
+{
+    double value = 0.0; ///< the recorded sample (e.g. latency in µs)
+    Tick tick = 0;      ///< completion tick of the sample
+    std::uint64_t batch = 0;
+    std::uint32_t query = 0;
+    std::uint64_t flow = 0; ///< event-queue / Perfetto flow id
+    Tick totalTicks = 0;    ///< end-to-end ticks (== component sum)
+    std::array<Tick, kExemplarComponents> components{};
+    bool valid = false;
+
+    Tick
+    componentSum() const
+    {
+        Tick sum = 0;
+        for (const Tick c : components)
+            sum += c;
+        return sum;
+    }
+};
 
 /**
  * Log-bucketed histogram with integer bucket counts.
@@ -83,8 +122,25 @@ class LogHistogram
 
     void record(double v);
 
-    /** Add @p other's bucket counts into this histogram. */
+    /**
+     * record(v) and offer @p ex as the histogram's retained exemplar.
+     * Retention is a total order — higher bucket wins, then earlier
+     * tick, then smaller (batch, query, value) — so it is associative
+     * and commutative: any merge order over any partition of a sample
+     * stream retains the identical exemplar, and the retained exemplar
+     * always sits in the highest bucket any exemplared sample reached
+     * (the tail bucket, when every sample carries an exemplar).
+     */
+    void recordWithExemplar(double v, const Exemplar &ex);
+
+    /** Add @p other's bucket counts into this histogram (and keep the
+     *  winning exemplar of the two, same total order). */
     void merge(const LogHistogram &other);
+
+    bool hasExemplar() const { return exemplar_.valid; }
+    const Exemplar &exemplar() const { return exemplar_; }
+    /** Bucket the retained exemplar's value landed in. */
+    std::size_t exemplarBucket() const { return exemplarBucket_; }
 
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
@@ -110,10 +166,16 @@ class LogHistogram
     void clear();
 
   private:
+    /** Replace the retained exemplar when @p ex (in @p bucket) wins
+     *  under the retention total order. */
+    void offerExemplar(std::size_t bucket, const Exemplar &ex);
+
     /** Buckets at or past this index are all zero (kept minimal). */
     std::vector<std::uint64_t> counts_;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+    Exemplar exemplar_;
+    std::size_t exemplarBucket_ = 0;
 };
 
 namespace detail
@@ -250,6 +312,9 @@ class WindowedHistogram : public detail::WindowRing
 
     void record(Tick tick, double v);
 
+    /** record() carrying an exemplar into the sample's window. */
+    void record(Tick tick, double v, const Exemplar &ex);
+
     /** Histogram of the absolute window @p index (nullptr if evicted
      *  or never entered). */
     const LogHistogram *window(std::uint64_t index) const;
@@ -308,6 +373,14 @@ class TimeSeries
     /** Lookup without creating (nullptr when absent). */
     const WindowedCounter *findCounter(const std::string &name) const;
     const WindowedHistogram *findHistogram(const std::string &name) const;
+
+    /** Visit every metric in registration order (exactly one of the
+     *  two pointers is non-null per call). Used by the flight
+     *  recorder's bundle snapshot. */
+    void visit(const std::function<void(const std::string &name,
+                                        const WindowedCounter *counter,
+                                        const WindowedHistogram *histogram)>
+                   &fn) const;
 
     /** Note the end of observed time (extends timeline coverage). */
     void flush(Tick end);

@@ -193,6 +193,14 @@ TEST(ClampParallelism, ClampsToOneUnderEachFacility)
         EXPECT_EQ(bench::clampReasons(), "--timeline/--slo");
         EXPECT_EQ(bench::clampParallelism(2, "--jobs"), 1u);
     }
+#ifndef FAFNIR_FLIGHTREC_COMPILED_OUT
+    {
+        telemetry::FlightRecorder rec;
+        telemetry::ScopedFlightRecorderInstall install(&rec);
+        EXPECT_EQ(bench::clampReasons(), "--debug-bundle-dir");
+        EXPECT_EQ(bench::clampParallelism(2, "--prepare-workers"), 1u);
+    }
+#endif
     // A request of 1 is already serial: no clamp, whatever's installed.
     telemetry::TraceSink sink;
     telemetry::ScopedSinkInstall install(&sink);

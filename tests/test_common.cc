@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/intmath.hh"
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -234,4 +235,46 @@ TEST(Table, NumFormatting)
 {
     EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
     EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+// --- Rate-limited warnings (logging::TokenBucket / warnEvery) ---------
+
+TEST(TokenBucket, StartsFullThenSuppressesUntilRefill)
+{
+    logging::TokenBucket bucket(2, 3); // 2 tokens, refill per 3 misses
+    EXPECT_TRUE(bucket.allow());
+    EXPECT_TRUE(bucket.allow());
+    // Empty: the next three calls are suppressed and earn one token.
+    EXPECT_FALSE(bucket.allow());
+    EXPECT_FALSE(bucket.allow());
+    EXPECT_FALSE(bucket.allow());
+    EXPECT_TRUE(bucket.allow());
+    // Spent again; back to suppressing.
+    EXPECT_FALSE(bucket.allow());
+    EXPECT_EQ(bucket.allowed(), 3u);
+    EXPECT_EQ(bucket.suppressed(), 4u);
+}
+
+TEST(TokenBucket, DegenerateConfigClampsToOne)
+{
+    logging::TokenBucket bucket(0, 0); // both clamp to >= 1
+    EXPECT_TRUE(bucket.allow());
+    EXPECT_FALSE(bucket.allow()); // suppressed, earns the refill token
+    EXPECT_TRUE(bucket.allow());
+    EXPECT_EQ(bucket.allowed(), 2u);
+    EXPECT_EQ(bucket.suppressed(), 1u);
+}
+
+TEST(WarnEvery, SitesAreIndependentAndCountSuppressions)
+{
+    // Site names are process-global; make them unique to this test.
+    const std::string a = "test.warnevery.a";
+    const std::string b = "test.warnevery.b";
+    EXPECT_TRUE(logging::warnEvery(a, 1, 100));
+    EXPECT_FALSE(logging::warnEvery(a, 1, 100));
+    EXPECT_FALSE(logging::warnEvery(a, 1, 100));
+    // Another site has its own bucket.
+    EXPECT_TRUE(logging::warnEvery(b, 1, 100));
+    EXPECT_EQ(logging::warnEverySuppressed(a), 2u);
+    EXPECT_EQ(logging::warnEverySuppressed(b), 0u);
 }

@@ -15,6 +15,7 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "common/types.hh"
@@ -261,6 +262,199 @@ TEST(WindowedHistogram, CrossReplicaMergeIsBitIdentical)
         ASSERT_NE(expect, nullptr);
         EXPECT_TRUE(merged.identicalBuckets(*expect)) << "window " << w;
     }
+}
+
+// --- Tail-latency exemplars -------------------------------------------
+
+namespace
+{
+
+/** One recorded (sample, exemplar) pair for the brute-force refs. */
+struct TaggedSample
+{
+    double value;
+    Exemplar ex;
+};
+
+/** Deterministic exemplar whose components telescope to totalTicks. */
+Exemplar
+makeExemplar(double value, Tick tick, std::uint64_t batch,
+             std::uint32_t query)
+{
+    Exemplar ex;
+    ex.value = value;
+    ex.tick = tick;
+    ex.batch = batch;
+    ex.query = query;
+    ex.flow = 1000 + batch * 16 + query;
+    const Tick total = static_cast<Tick>(value * 1000.0) + 8;
+    ex.components = {total / 8, total / 8, total / 8, total / 8,
+                     total / 8, total / 8, total / 8,
+                     total - 7 * (total / 8)};
+    ex.totalTicks = total;
+    ex.valid = true;
+    return ex;
+}
+
+/**
+ * The retention total order, brute-forced: the highest-bucket sample
+ * wins; ties break to the lexicographically smallest
+ * (tick, batch, query, value) so merges are order-independent.
+ */
+const Exemplar *
+bruteForceWinner(const std::vector<TaggedSample> &samples)
+{
+    const Exemplar *winner = nullptr;
+    std::size_t winnerBucket = 0;
+    for (const TaggedSample &s : samples) {
+        const std::size_t bucket = LogHistogram::bucketOf(s.value);
+        const auto key = [](const Exemplar &e) {
+            return std::make_tuple(e.tick, e.batch, e.query, e.value);
+        };
+        if (winner == nullptr || bucket > winnerBucket ||
+            (bucket == winnerBucket && key(s.ex) < key(*winner))) {
+            winner = &s.ex;
+            winnerBucket = bucket;
+        }
+    }
+    return winner;
+}
+
+void
+expectSameExemplar(const Exemplar &got, const Exemplar &want)
+{
+    EXPECT_DOUBLE_EQ(got.value, want.value);
+    EXPECT_EQ(got.tick, want.tick);
+    EXPECT_EQ(got.batch, want.batch);
+    EXPECT_EQ(got.query, want.query);
+    EXPECT_EQ(got.flow, want.flow);
+    EXPECT_EQ(got.totalTicks, want.totalTicks);
+    EXPECT_EQ(got.components, want.components);
+}
+
+} // namespace
+
+TEST(Exemplar, RetainedExemplarFallsInTailBucketBruteForce)
+{
+    LogHistogram h;
+    std::vector<TaggedSample> samples;
+    SampleGen gen(57);
+    for (int i = 0; i < 400; ++i) {
+        const double v = gen.next();
+        const Exemplar ex =
+            makeExemplar(v, Tick(10 * i), i / 16, i % 16);
+        samples.push_back({v, ex});
+        h.recordWithExemplar(v, ex);
+    }
+    ASSERT_TRUE(h.hasExemplar());
+    // The retained exemplar is the brute-force winner and its value
+    // really falls in the reported tail bucket.
+    expectSameExemplar(h.exemplar(), *bruteForceWinner(samples));
+    EXPECT_EQ(LogHistogram::bucketOf(h.exemplar().value),
+              h.exemplarBucket());
+    // ... which is the histogram's maximum (the p100 bucket).
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketValue(h.exemplarBucket()),
+                     h.percentile(100.0));
+    // And the attribution split telescopes.
+    EXPECT_EQ(h.exemplar().componentSum(), h.exemplar().totalTicks);
+}
+
+TEST(Exemplar, TieBreakIsDeterministic)
+{
+    // Two samples in the same bucket: the smaller (tick, batch, query)
+    // tuple must win regardless of arrival order.
+    const Exemplar first = makeExemplar(100.0, 500, 2, 1);
+    const Exemplar second = makeExemplar(100.0, 300, 1, 7);
+    ASSERT_EQ(LogHistogram::bucketOf(100.0),
+              LogHistogram::bucketOf(100.0));
+
+    LogHistogram ab, ba;
+    ab.recordWithExemplar(100.0, first);
+    ab.recordWithExemplar(100.0, second);
+    ba.recordWithExemplar(100.0, second);
+    ba.recordWithExemplar(100.0, first);
+    expectSameExemplar(ab.exemplar(), second); // tick 300 < tick 500
+    expectSameExemplar(ba.exemplar(), second);
+}
+
+TEST(Exemplar, ReplicaMergeRetainsSameExemplarInAnyOrder)
+{
+    // Shard one tagged stream across three replicas (as per-engine
+    // scoreboard histograms are); any merge order must retain exactly
+    // the single-stream exemplar.
+    LogHistogram whole, parts[3];
+    std::vector<TaggedSample> samples;
+    SampleGen gen(71);
+    for (int i = 0; i < 600; ++i) {
+        const double v = gen.next();
+        const Exemplar ex =
+            makeExemplar(v, Tick(7 * i), i / 32, i % 32);
+        samples.push_back({v, ex});
+        whole.recordWithExemplar(v, ex);
+        parts[i % 3].recordWithExemplar(v, ex);
+    }
+    LogHistogram forward, backward;
+    forward.merge(parts[0]);
+    forward.merge(parts[1]);
+    forward.merge(parts[2]);
+    backward.merge(parts[2]);
+    backward.merge(parts[1]);
+    backward.merge(parts[0]);
+
+    ASSERT_TRUE(whole.hasExemplar());
+    expectSameExemplar(whole.exemplar(), *bruteForceWinner(samples));
+    expectSameExemplar(forward.exemplar(), whole.exemplar());
+    expectSameExemplar(backward.exemplar(), whole.exemplar());
+    EXPECT_EQ(forward.exemplarBucket(), whole.exemplarBucket());
+    EXPECT_EQ(backward.exemplarBucket(), whole.exemplarBucket());
+}
+
+TEST(Exemplar, TumblingAndRollingWindowsRetainBruteForceWinner)
+{
+    const Tick window = 1000;
+    WindowedHistogram h(window, 64);
+    std::map<std::uint64_t, std::vector<TaggedSample>> ref;
+    SampleGen gen(83);
+    Tick tick = 100;
+    for (int i = 0; i < 1500; ++i) {
+        tick += 1 + (i * 13) % 29;
+        const double v = gen.next();
+        const Exemplar ex = makeExemplar(v, tick, i / 16, i % 16);
+        h.record(tick, v, ex);
+        ref[tick / window].push_back({v, ex});
+    }
+    ASSERT_GT(ref.size(), 5u);
+    // Every tumbling window retains its own brute-force winner.
+    for (const auto &[w, tagged] : ref) {
+        const LogHistogram *win = h.window(w);
+        ASSERT_NE(win, nullptr) << "window " << w;
+        ASSERT_TRUE(win->hasExemplar()) << "window " << w;
+        expectSameExemplar(win->exemplar(), *bruteForceWinner(tagged));
+        EXPECT_EQ(LogHistogram::bucketOf(win->exemplar().value),
+                  win->exemplarBucket())
+            << "window " << w;
+    }
+    // A rolling view retains the winner over the merged span.
+    const std::uint64_t newest = h.newestIndex();
+    std::vector<TaggedSample> span;
+    for (std::uint64_t w = newest >= 3 ? newest - 3 : 0; w <= newest;
+         ++w)
+        if (ref.count(w))
+            for (const TaggedSample &s : ref[w])
+                span.push_back(s);
+    const LogHistogram rolled = h.rolling(4);
+    ASSERT_TRUE(rolled.hasExemplar());
+    expectSameExemplar(rolled.exemplar(), *bruteForceWinner(span));
+}
+
+TEST(Exemplar, PlainRecordsNeverDisplaceAnExemplar)
+{
+    LogHistogram h;
+    h.recordWithExemplar(50.0, makeExemplar(50.0, 10, 0, 0));
+    h.record(900.0); // larger sample, but carries no exemplar
+    ASSERT_TRUE(h.hasExemplar());
+    EXPECT_DOUBLE_EQ(h.exemplar().value, 50.0);
+    EXPECT_EQ(h.exemplarBucket(), LogHistogram::bucketOf(50.0));
 }
 
 // --- TimeSeries registry ----------------------------------------------

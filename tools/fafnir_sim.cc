@@ -53,6 +53,7 @@
 #include "sparse/fafnir_spmv.hh"
 #include "sparse/matgen.hh"
 #include "sparse/sptrsv.hh"
+#include "telemetry/flightrec.hh"
 #include "telemetry/session.hh"
 
 using namespace fafnir;
@@ -468,13 +469,26 @@ runShardedLookup(const Options &opt, telemetry::TelemetrySession &session)
     for (const core::ShardedBatchTrace &trace : served.batches) {
         const std::vector<embedding::Vector> reference =
             store.reduceBatch(batches[trace.batch], tc.reduceOp);
+        std::size_t batch_mismatches = 0;
         for (std::size_t q = 0; q < reference.size(); ++q) {
             const embedding::Vector &got = trace.results[q];
             if (got.size() != reference[q].size() ||
                 (!got.empty() &&
                  std::memcmp(got.data(), reference[q].data(),
                              got.size() * sizeof(float)) != 0))
-                ++mismatches;
+                ++batch_mismatches;
+        }
+        if (batch_mismatches > 0) {
+            mismatches += batch_mismatches;
+            if (auto *rec = telemetry::flightRecorder()) {
+                char detail[96];
+                std::snprintf(
+                    detail, sizeof detail,
+                    "batch %zu: %zu values differ from reference",
+                    trace.batch, batch_mismatches);
+                rec->trigger(telemetry::Trigger::ValueMismatch,
+                             trace.combineDone, detail);
+            }
         }
     }
 

@@ -1,0 +1,10 @@
+# ctest helper: lint the report + timeline written by the roundtrip
+# test, plus every debug bundle it produced (bundle count varies with
+# triggers, so the glob happens at test time, not configure time).
+file(GLOB bundles "${BUNDLE_DIR}/bundle_*.json")
+execute_process(
+    COMMAND "${LINT_TOOL}" "${REPORT}" "${TIMELINE}" ${bundles}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "artifact_lint found violations (rc=${rc})")
+endif()
