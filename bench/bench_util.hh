@@ -45,6 +45,20 @@ namespace fafnir::bench
  * the first flag named in the warning used to get a second clamp
  * warning naming the next one, one flag per run.
  */
+/**
+ * Set while an accuracy-report run is active (--payload-accuracy): the
+ * error-feedback two-bit stream carries residual state across batches
+ * (embedding::TwoBitState), so sweep order matters and parallel sweeps
+ * must serialize to stay deterministic. Harnesses set this before
+ * clamping when the flag was given.
+ */
+inline bool &
+payloadAccuracyActive()
+{
+    static bool active = false;
+    return active;
+}
+
 inline std::string
 clampReasons()
 {
@@ -62,6 +76,8 @@ clampReasons()
         add("--timeline/--slo");
     if (telemetry::flightRecorder() != nullptr)
         add("--debug-bundle-dir");
+    if (payloadAccuracyActive())
+        add("--payload-accuracy");
     return why;
 }
 

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -27,6 +28,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/types.hh"
+#include "embedding/quantize.hh"
 #include "fafnir/pe.hh"
 #include "fafnir/pool.hh"
 #include "sim/eventq.hh"
@@ -210,6 +212,81 @@ benchPe(std::size_t pairs, std::size_t dim, bool values,
     return rates;
 }
 
+/**
+ * Transport-codec throughput in bytes of fp32 payload processed per
+ * second (4*dim per vector), against the same-shaped memcpy the fp32
+ * path performs. The working set is deliberately larger than LLC: the
+ * leaf path quantizes vectors freshly fetched from a store orders of
+ * magnitude bigger than cache, so the representative regime is
+ * streaming — where the codec's smaller write side (dim bytes of codes
+ * vs 4*dim of fp32) lets quant and dequant beat the copy. A cache-
+ * resident working set would instead measure the two-pass instruction
+ * cost (~75-80% of copy at dim=128; see PERFORMANCE.md).
+ */
+struct QuantRates
+{
+    double copyBytesPerSec = 0.0;
+    double quantBytesPerSec = 0.0;
+    double dequantBytesPerSec = 0.0;
+};
+
+bool
+operator<(const QuantRates &a, const QuantRates &b)
+{
+    return a.quantBytesPerSec < b.quantBytesPerSec;
+}
+
+QuantRates
+benchQuant(std::size_t dim, std::size_t vectors, std::uint64_t iterations)
+{
+    std::vector<float> src(dim * vectors);
+    std::vector<float> dst(dim * vectors);
+    std::vector<std::int8_t> codes(dim * vectors);
+    // Deterministic pseudo-random payload in the store's value range.
+    std::uint32_t state = 0x9e3779b9u;
+    for (float &x : src) {
+        state = state * 1664525u + 1013904223u;
+        x = static_cast<float>(state % 1024u) / 16.0f - 32.0f;
+    }
+
+    const double bytes_per_pass = static_cast<double>(dim) * vectors *
+                                  sizeof(float) *
+                                  static_cast<double>(iterations);
+    QuantRates rates;
+
+    auto begin = Clock::now();
+    for (std::uint64_t it = 0; it < iterations; ++it)
+        for (std::size_t v = 0; v < vectors; ++v)
+            std::memcpy(dst.data() + v * dim, src.data() + v * dim,
+                        dim * sizeof(float));
+    auto end = Clock::now();
+    FAFNIR_ASSERT(dst[0] == src[0], "copy bench produced nothing");
+    rates.copyBytesPerSec = bytes_per_pass / seconds(begin, end);
+
+    float scale_sum = 0.0f;
+    begin = Clock::now();
+    for (std::uint64_t it = 0; it < iterations; ++it)
+        for (std::size_t v = 0; v < vectors; ++v)
+            scale_sum += embedding::quantizeInt8(src.data() + v * dim, dim,
+                                                 codes.data() + v * dim);
+    end = Clock::now();
+    FAFNIR_ASSERT(scale_sum > 0.0f, "quant bench produced zero scales");
+    rates.quantBytesPerSec = bytes_per_pass / seconds(begin, end);
+
+    const float scale = embedding::quantizeInt8(src.data(), dim,
+                                                codes.data());
+    begin = Clock::now();
+    for (std::uint64_t it = 0; it < iterations; ++it)
+        for (std::size_t v = 0; v < vectors; ++v)
+            embedding::dequantizeInt8(codes.data() + v * dim, dim, scale,
+                                      dst.data() + v * dim);
+    end = Clock::now();
+    FAFNIR_ASSERT(dst[0] == static_cast<float>(codes[0]) * scale,
+                  "dequant bench produced nothing");
+    rates.dequantBytesPerSec = bytes_per_pass / seconds(begin, end);
+    return rates;
+}
+
 /** Naive scan of an earlier report's "metrics" object: name -> value. */
 std::map<std::string, double>
 loadBaselineMetrics(const std::string &path)
@@ -305,6 +382,13 @@ main(int argc, char **argv)
         bestOf(3, [&] { return benchPe(pe_pairs, pe_dim, false, pe_iters); });
     const PeRates value = bestOf(
         3, [&] { return benchPe(pe_pairs, pe_dim, true, pe_value_iters); });
+    // Transport codec: 16k vectors x pe_dim floats streamed per pass
+    // (8 MB at dim=128 — past LLC, the leaf path's regime).
+    const QuantRates quant =
+        bestOf(3, [&] { return benchQuant(pe_dim, 16384, 12); });
+    session.report().setConfig("quantBackend",
+                               std::string(
+                                   embedding::quantizeKernelBackend()));
 
     // The same event kernels with a flight recorder installed
     // (informational): pins what the always-on rings cost when a run
@@ -334,6 +418,9 @@ main(int argc, char **argv)
         {"pe_header_items_per_sec", header.itemsPerSec},
         {"pe_value_items_per_sec", value.itemsPerSec},
         {"reduced_elements_per_sec", value.reducedElementsPerSec},
+        {"fp32_copy_bytes_per_sec", quant.copyBytesPerSec},
+        {"int8_quant_bytes_per_sec", quant.quantBytesPerSec},
+        {"int8_dequant_bytes_per_sec", quant.dequantBytesPerSec},
     };
 
     std::map<std::string, double> baseline;

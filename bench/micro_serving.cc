@@ -258,6 +258,40 @@ benchShardCapacity(const std::vector<embedding::Batch> &batches,
 }
 
 /**
+ * Modelled payload bytes through the two-replica pipeline under
+ * @p payload — deterministic (the byte model charges
+ * payloadBytes(format, dim) per materialized vector), so the savings
+ * ratio is gated tightly by bench_diff.
+ */
+struct PayloadBytes
+{
+    double dram = 0.0;
+    double link = 0.0;
+};
+
+PayloadBytes
+benchPayloadBytes(const std::vector<embedding::Batch> &batches,
+                  embedding::PayloadFormat payload)
+{
+    ReplicaMemoryConfig mem;
+    EventEngineConfig ecfg;
+    std::vector<EngineReplica> replicas =
+        makeEventReplicas(2, mem, tableConfig(), ecfg, nullptr);
+    ServingConfig sc;
+    sc.engines = 2;
+    sc.pipelineDepth = 4;
+    sc.payload = payload;
+    ServingPipeline pipeline(sc, replicas, nullptr);
+    const PipelineReport report = pipeline.serve(batches, 0);
+    PayloadBytes bytes;
+    for (const auto &trace : report.batches) {
+        bytes.dram += static_cast<double>(trace.timing.dramPayloadBytes);
+        bytes.link += static_cast<double>(trace.timing.linkPayloadBytes);
+    }
+    return bytes;
+}
+
+/**
  * Deterministic arrival schedule for the modulated-load run. All three
  * patterns are pure functions of (count, gaps), so the same flags give
  * the same tick sequence on every host:
@@ -423,6 +457,25 @@ main(int argc, char **argv)
         shard_cap_4x2 = benchShardCapacity(capacity_set, 4, 2);
     }
 
+    // Quantized-transport byte model through the same two-replica
+    // pipeline: fp32 vs int8 payload bytes over PE links and DRAM
+    // reads. Pure byte accounting (no wall clock), gated by bench_diff.
+    PayloadBytes payload_fp32, payload_int8;
+    {
+        telemetry::ScopedTimeSeriesInstall series_off(nullptr);
+        telemetry::ScopedSloMonitorInstall monitor_off(nullptr);
+        payload_fp32 = benchPayloadBytes(capacity_set,
+                                         embedding::PayloadFormat::Fp32);
+        payload_int8 = benchPayloadBytes(capacity_set,
+                                         embedding::PayloadFormat::Int8);
+    }
+    const double payload_link_savings =
+        payload_int8.link > 0.0 ? payload_fp32.link / payload_int8.link
+                                : 0.0;
+    const double payload_dram_savings =
+        payload_int8.dram > 0.0 ? payload_fp32.dram / payload_int8.dram
+                                : 0.0;
+
     // Modulated-load run: two replicas, windowed telemetry + SLO
     // monitor installed (the session's when --timeline/--slo was given,
     // otherwise a local pair with the default 50us windows). The burst
@@ -529,6 +582,10 @@ main(int argc, char **argv)
         {"sharded_capacity_2x2_batches_per_sec", shard_cap_2x2},
         {"sharded_capacity_4x2_batches_per_sec", shard_cap_4x2},
         {"sharded_scaling_4x2", shard_cap_4x2 / shard_cap_2x1},
+        {"payload_fp32_link_bytes", payload_fp32.link},
+        {"payload_int8_link_bytes", payload_int8.link},
+        {"payload_int8_link_savings", payload_link_savings},
+        {"payload_int8_dram_savings", payload_dram_savings},
         {"burst_windowed_p99_latency_us", burst_p99},
         {"burst_goodput_qps", good_queries / makespan_sec},
         {"burst_offered_load_qps", total_queries / span_sec},

@@ -30,7 +30,8 @@ FafnirEngine::lookup(const embedding::Batch &batch, Tick start)
     const unsigned capacity =
         config_.interactive ? 1 : config_.hwBatch;
     if (batch.size() <= capacity) {
-        PreparedBatch prepared = host_.prepare(batch, config_.dedup);
+        PreparedBatch prepared =
+            host_.prepare(batch, config_.dedup, config_.payload);
         scheduleReads(prepared, config_.readOrder, memory_.mapper());
         return runPrepared(prepared, start, 0);
     }
@@ -55,7 +56,8 @@ FafnirEngine::lookup(const embedding::Batch &batch, Tick start)
             q.id = static_cast<QueryId>(i - first);
             sub.queries.push_back(std::move(q));
         }
-        PreparedBatch sub_prepared = host_.prepare(sub, config_.dedup);
+        PreparedBatch sub_prepared =
+            host_.prepare(sub, config_.dedup, config_.payload);
         scheduleReads(sub_prepared, config_.readOrder, memory_.mapper());
         LookupTiming t =
             runPrepared(sub_prepared, sub_start, min_complete);
@@ -71,6 +73,9 @@ FafnirEngine::lookup(const embedding::Batch &batch, Tick start)
         merged.maxPeOutputs = std::max(merged.maxPeOutputs,
                                        t.maxPeOutputs);
         merged.bufferOverflows += t.bufferOverflows;
+        merged.payload = t.payload;
+        merged.dramPayloadBytes += t.dramPayloadBytes;
+        merged.linkPayloadBytes += t.linkPayloadBytes;
         merged.activity += t.activity;
         sub_start = t.memLast;
         min_complete = t.complete;
@@ -86,7 +91,8 @@ FafnirEngine::lookupMany(const std::vector<embedding::Batch> &batches,
     timings.reserve(batches.size());
     Tick min_complete = 0;
     for (const auto &batch : batches) {
-        PreparedBatch prepared = host_.prepare(batch, config_.dedup);
+        PreparedBatch prepared =
+            host_.prepare(batch, config_.dedup, config_.payload);
         scheduleReads(prepared, config_.readOrder, memory_.mapper());
         LookupTiming t = runPrepared(prepared, start, min_complete);
         min_complete = t.complete;
@@ -106,7 +112,12 @@ LookupTiming
 FafnirEngine::runPrepared(const PreparedBatch &prepared, Tick start,
                           Tick min_complete)
 {
-    const unsigned vector_bytes = layout_.tables().vectorBytes;
+    // Transport width under the batch's payload format: fp32 keeps the
+    // historical 4*dim; int8/twobit shrink every DRAM read and link
+    // transfer to the compressed width (values were round-tripped at
+    // prepare time, so the arithmetic downstream is unchanged).
+    const auto vector_bytes = static_cast<unsigned>(
+        prepared.vectorPayloadBytes(layout_.tables().dim()));
     const unsigned num_pes = topology_.numPes();
 
     LookupTiming timing;
@@ -114,6 +125,9 @@ FafnirEngine::runPrepared(const PreparedBatch &prepared, Tick start,
     timing.memAccesses = prepared.accessCount;
     timing.uniqueCount = prepared.uniqueCount;
     timing.totalReferences = prepared.totalReferences;
+    timing.payload = prepared.payload;
+    timing.dramPayloadBytes =
+        static_cast<std::uint64_t>(prepared.accessCount) * vector_bytes;
 
     // 1. Issue all reads. Per-rank lists are issued in order; the memory
     //    model serializes bank/bus conflicts internally. Arrival lists are
@@ -180,6 +194,10 @@ FafnirEngine::runPrepared(const PreparedBatch &prepared, Tick start,
         }
 
         const auto &outputs = run.trace[pe].outputs;
+        // Every traced output crosses one link upward (the root's cross
+        // the root-to-host link) carrying one vector payload.
+        timing.linkPayloadBytes +=
+            static_cast<std::uint64_t>(outputs.size()) * vector_bytes;
         out_times[pe].reserve(outputs.size());
         for (std::size_t k = 0; k < outputs.size(); ++k) {
             const Cycles action = outputs[k].action == PeAction::Reduce
@@ -241,6 +259,8 @@ FafnirEngine::runPrepared(const PreparedBatch &prepared, Tick start,
     forwards_ += timing.activity.forwards;
     rootCombines_ += timing.rootCombines;
     bufferOverflows_ += timing.bufferOverflows;
+    dramPayloadBytes_ += timing.dramPayloadBytes;
+    linkPayloadBytes_ += timing.linkPayloadBytes;
     return timing;
 }
 
@@ -256,6 +276,10 @@ FafnirEngine::registerStats(StatGroup &group) const
                      "root-stage partial combinations");
     group.addCounter("bufferOverflows", bufferOverflows_,
                      "batches whose PE occupancy exceeded hwBatch");
+    group.addCounter("dramPayloadBytes", dramPayloadBytes_,
+                     "modelled payload bytes read from DRAM");
+    group.addCounter("linkPayloadBytes", linkPayloadBytes_,
+                     "modelled payload bytes over PE/root links");
     group.addFormula(
         "readsPerQuery",
         [this] {

@@ -69,6 +69,13 @@ struct EngineConfig
      * and the host performs no cross-query dedup.
      */
     bool interactive = false;
+    /**
+     * Transport payload encoding. Non-fp32 formats shrink every DRAM
+     * read and PE-link/root-link transfer to the format's byte width
+     * (and round-trip leaf values through the quantizer — see
+     * PreparedBatch::payload); fp32 is the exact path and the default.
+     */
+    embedding::PayloadFormat payload = embedding::PayloadFormat::Fp32;
 };
 
 /** Timing of one batch lookup. */
@@ -89,6 +96,13 @@ struct LookupTiming
     /** Batches whose peak PE occupancy exceeded the hardware batch size
      *  (served as several hardware sub-batches; see Section IV-B). */
     std::size_t bufferOverflows = 0;
+    /** Payload encoding the batch travelled in. */
+    embedding::PayloadFormat payload = embedding::PayloadFormat::Fp32;
+    /** Modelled payload bytes read from DRAM (accesses x format width). */
+    std::uint64_t dramPayloadBytes = 0;
+    /** Modelled payload bytes over PE links and the root-to-host link
+     *  (one vector payload per traced PE output). */
+    std::uint64_t linkPayloadBytes = 0;
     PeActivity activity;
     /** Completion tick of each query. */
     std::vector<Tick> queryComplete;
@@ -156,6 +170,8 @@ class FafnirEngine
     Counter forwards_;
     Counter rootCombines_;
     Counter bufferOverflows_;
+    Counter dramPayloadBytes_;
+    Counter linkPayloadBytes_;
 };
 
 } // namespace fafnir::core

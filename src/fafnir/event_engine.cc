@@ -117,14 +117,19 @@ EventDrivenEngine::lookupMany(const std::vector<embedding::Batch> &batches,
 EventLookupTiming
 EventDrivenEngine::lookup(const embedding::Batch &batch, Tick start)
 {
-    PreparedBatch prepared = host_.prepare(batch, config_.base.dedup);
+    PreparedBatch prepared =
+        host_.prepare(batch, config_.base.dedup, config_.base.payload);
     return lookupPrepared(prepared, start);
 }
 
 EventLookupTiming
 EventDrivenEngine::lookupPrepared(PreparedBatch &prepared, Tick start)
 {
-    const unsigned vector_bytes = layout_.tables().vectorBytes;
+    // Transport width under the batch's payload format (fp32 keeps the
+    // historical 4*dim): shared by the DRAM reads, every PE-link
+    // emission, and the root-link serialization below.
+    const auto vector_bytes = static_cast<unsigned>(
+        prepared.vectorPayloadBytes(layout_.tables().dim()));
     const unsigned num_pes = topology_.numPes();
     EventQueue &eq = memory_.eventq();
     // The event clock only moves forward; an earlier logical start would
@@ -143,6 +148,9 @@ EventDrivenEngine::lookupPrepared(PreparedBatch &prepared, Tick start)
     timing.activity = run.total;
     timing.rootCombines = run.rootCombines;
     timing.maxPeOutputs = run.maxPeOutputs;
+    timing.payload = prepared.payload;
+    timing.dramPayloadBytes =
+        static_cast<std::uint64_t>(prepared.accessCount) * vector_bytes;
     if (run.maxPeOutputs > config_.base.hwBatch)
         ++timing.bufferOverflows;
 
@@ -285,6 +293,7 @@ EventDrivenEngine::lookupPrepared(PreparedBatch &prepared, Tick start)
                 state.emitted[k] = true;
                 state.emitTick[k] = emit;
                 ++state.emittedCount;
+                timing.linkPayloadBytes += vector_bytes;
                 progressed = true;
                 PeTelemetry &activity = peStats_[pe];
                 ++activity.outputs;

@@ -52,7 +52,7 @@ FunctionalTree::run(const PreparedBatch &prepared, bool values,
 
         PeActivity activity;
         std::vector<PeOutput> pe_out = ProcessingElement::process(
-            *a, *b, activity, values, op, &pool);
+            *a, *b, activity, values, op, &pool, prepared.payload);
         run.total += activity;
         run.maxPeOutputs = std::max(run.maxPeOutputs, pe_out.size());
 

@@ -42,7 +42,8 @@ namespace
 RankRead
 makeRankRead(const embedding::VectorLayout &layout,
              const embedding::EmbeddingStore *store, VectorPool *pool,
-             IndexId index, SmallVec<QueryResidual, 2> queries)
+             IndexId index, SmallVec<QueryResidual, 2> queries,
+             embedding::PayloadFormat payload)
 {
     RankRead read;
     read.index = index;
@@ -58,6 +59,11 @@ makeRankRead(const embedding::VectorLayout &layout,
         } else {
             read.item.value = store->vector(index);
         }
+        // Quantize once at the leaf: the value entering the tree is the
+        // dequantized payload, so partials upward stay exact fp32 over
+        // the round-tripped leaves (a pure function of store + format).
+        embedding::payloadRoundTrip(payload, read.item.value.data(),
+                                    read.item.value.size());
     }
     return read;
 }
@@ -77,10 +83,13 @@ struct PrepareContext
     PrepareContext(const embedding::VectorLayout &lay,
                    const embedding::EmbeddingStore *st,
                    const embedding::Batch &batch, VectorPool *pl,
-                   bool ref = false)
+                   bool ref = false,
+                   embedding::PayloadFormat fmt =
+                       embedding::PayloadFormat::Fp32)
         : layout(lay), store(st), pool(pl), reference(ref)
     {
         batch.check();
+        prepared.payload = fmt;
         prepared.rankReads.resize(lay.mapper().geometry().totalRanks());
         prepared.totalReferences = batch.totalIndices();
         prepared.querySets.reserve(batch.size());
@@ -100,7 +109,7 @@ struct PrepareContext
     makeRead(IndexId index, SmallVec<QueryResidual, 2> queries)
     {
         RankRead read = makeRankRead(layout, store, pool, index,
-                                     std::move(queries));
+                                     std::move(queries), prepared.payload);
         const unsigned rank = layout.rankOf(index);
         prepared.rankReads[rank].push_back(std::move(read));
         ++prepared.accessCount;
@@ -191,9 +200,10 @@ shardOf(std::uint32_t h32, unsigned workers)
 PreparedBatch
 prepareBatch(const embedding::VectorLayout &layout,
              const embedding::EmbeddingStore *store,
-             const embedding::Batch &batch, bool dedup, VectorPool *pool)
+             const embedding::Batch &batch, bool dedup, VectorPool *pool,
+             embedding::PayloadFormat payload)
 {
-    PrepareContext ctx(layout, store, batch, pool);
+    PrepareContext ctx(layout, store, batch, pool, /*ref=*/false, payload);
     if (!dedup) {
         ctx.emitNoDedup(batch);
         FAFNIR_DPRINTF(Host, "compiled batch of ", batch.size(),
@@ -277,9 +287,9 @@ PreparedBatch
 prepareBatchReference(const embedding::VectorLayout &layout,
                       const embedding::EmbeddingStore *store,
                       const embedding::Batch &batch, bool dedup,
-                      VectorPool *pool)
+                      VectorPool *pool, embedding::PayloadFormat payload)
 {
-    PrepareContext ctx(layout, store, batch, pool, /*ref=*/true);
+    PrepareContext ctx(layout, store, batch, pool, /*ref=*/true, payload);
     if (!dedup) {
         ctx.emitNoDedup(batch);
         return std::move(ctx.prepared);
@@ -330,7 +340,7 @@ PreparedBatch
 PreparePool::prepare(const embedding::VectorLayout &layout,
                      const embedding::EmbeddingStore *store,
                      const embedding::Batch &batch, bool dedup,
-                     SlotArenas *arenas)
+                     SlotArenas *arenas, embedding::PayloadFormat payload)
 {
     ++batches_;
     if (arenas)
@@ -344,25 +354,27 @@ PreparePool::prepare(const embedding::VectorLayout &layout,
             ++serialFallbacks_;
         PreparedBatch prepared = prepareBatch(
             layout, store, batch, dedup,
-            arenas ? &arenas->pools[0] : nullptr);
+            arenas ? &arenas->pools[0] : nullptr, payload);
         workerStats_[0].claimed += prepared.uniqueCount;
         workerStats_[0].reads += prepared.accessCount;
         return prepared;
     }
-    return prepareSharded(layout, store, batch, dedup, arenas);
+    return prepareSharded(layout, store, batch, dedup, arenas, payload);
 }
 
 PreparedBatch
 PreparePool::prepareSharded(const embedding::VectorLayout &layout,
                             const embedding::EmbeddingStore *store,
                             const embedding::Batch &batch, bool dedup,
-                            SlotArenas *arenas)
+                            SlotArenas *arenas,
+                            embedding::PayloadFormat payload)
 {
     const unsigned W = workers_;
     for (unsigned w = 0; w < pool_->slots(); ++w)
         pool_->scratch(w).reset();
 
-    PrepareContext ctx(layout, store, batch, nullptr);
+    PrepareContext ctx(layout, store, batch, nullptr, /*ref=*/false,
+                       payload);
     const std::size_t refs = ctx.prepared.totalReferences;
     const std::size_t ranks = ctx.prepared.rankReads.size();
 
@@ -487,7 +499,7 @@ PreparePool::prepareSharded(const embedding::VectorLayout &layout,
                           }
                           RankRead read = makeRankRead(
                               layout, store, pool, m.index,
-                              std::move(residuals));
+                              std::move(residuals), payload);
                           local[layout.rankOf(m.index)].push_back(
                               std::move(read));
                           return 1;
@@ -515,7 +527,8 @@ PreparePool::prepareSharded(const embedding::VectorLayout &layout,
                           for (IndexId index : q.indices) {
                               RankRead read = makeRankRead(
                                   layout, store, pool, index,
-                                  {{q.id, ctx.residualOf(q.id, index)}});
+                                  {{q.id, ctx.residualOf(q.id, index)}},
+                                  payload);
                               local[layout.rankOf(index)].push_back(
                                   std::move(read));
                           }
@@ -608,9 +621,10 @@ PreparePool::registerStats(StatGroup &group)
 }
 
 PreparedBatch
-Host::prepare(const embedding::Batch &batch, bool dedup) const
+Host::prepare(const embedding::Batch &batch, bool dedup,
+              embedding::PayloadFormat payload) const
 {
-    return prepareBatch(layout_, store_, batch, dedup);
+    return prepareBatch(layout_, store_, batch, dedup, nullptr, payload);
 }
 
 } // namespace fafnir::core

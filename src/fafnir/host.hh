@@ -22,6 +22,7 @@
 #include "common/stats.hh"
 #include "embedding/layout.hh"
 #include "embedding/query.hh"
+#include "embedding/quantize.hh"
 #include "embedding/table.hh"
 #include "fafnir/item.hh"
 #include "fafnir/pool.hh"
@@ -51,6 +52,21 @@ struct PreparedBatch
     std::size_t accessCount = 0;
     /** Full index set per query, for the root combiner. */
     std::vector<IndexSet> querySets;
+    /**
+     * Payload encoding the batch was compiled for. Item values are
+     * round-tripped through this format at the leaf (quantize once,
+     * dequantize immediately — exact fp32 partials up the tree), and
+     * the engines charge this format's byte width on every DRAM read
+     * and PE-link transfer.
+     */
+    embedding::PayloadFormat payload = embedding::PayloadFormat::Fp32;
+
+    /** Modelled payload bytes of one vector under this batch's format. */
+    std::size_t
+    vectorPayloadBytes(unsigned dim) const
+    {
+        return embedding::payloadBytes(payload, dim);
+    }
 
     /** Accesses saved relative to the reference stream (Figure 15). */
     double
@@ -85,21 +101,27 @@ struct PreparedBatch
  *        arena instead of fresh allocations (the serving pipeline keeps
  *        one pool per pipeline slot and recycles the previous
  *        occupant's buffers). Contents are identical either way.
+ * @param payload transport encoding: non-fp32 formats round-trip every
+ *        leaf value through embedding::payloadRoundTrip, so the served
+ *        values are a pure function of (store, format) — deterministic
+ *        at any worker count.
  */
-PreparedBatch prepareBatch(const embedding::VectorLayout &layout,
-                           const embedding::EmbeddingStore *store,
-                           const embedding::Batch &batch, bool dedup,
-                           VectorPool *pool = nullptr);
+PreparedBatch prepareBatch(
+    const embedding::VectorLayout &layout,
+    const embedding::EmbeddingStore *store, const embedding::Batch &batch,
+    bool dedup, VectorPool *pool = nullptr,
+    embedding::PayloadFormat payload = embedding::PayloadFormat::Fp32);
 
 /**
  * Reference implementation of prepareBatch using an ordered map for the
  * dedup scan. Kept for differential testing and the micro_serving
  * prepare-throughput comparison; output is bit-identical to prepareBatch.
  */
-PreparedBatch prepareBatchReference(const embedding::VectorLayout &layout,
-                                    const embedding::EmbeddingStore *store,
-                                    const embedding::Batch &batch,
-                                    bool dedup, VectorPool *pool = nullptr);
+PreparedBatch prepareBatchReference(
+    const embedding::VectorLayout &layout,
+    const embedding::EmbeddingStore *store, const embedding::Batch &batch,
+    bool dedup, VectorPool *pool = nullptr,
+    embedding::PayloadFormat payload = embedding::PayloadFormat::Fp32);
 
 /** Recycle @p prepared's item value buffers into @p pool. */
 void releasePrepared(PreparedBatch &prepared, VectorPool &pool);
@@ -159,10 +181,13 @@ class PreparePool
      * count. With @p arenas, waits for the slot's pending recycle and
      * draws value buffers from its per-chunk pools.
      */
-    PreparedBatch prepare(const embedding::VectorLayout &layout,
-                          const embedding::EmbeddingStore *store,
-                          const embedding::Batch &batch, bool dedup,
-                          SlotArenas *arenas = nullptr);
+    PreparedBatch
+    prepare(const embedding::VectorLayout &layout,
+            const embedding::EmbeddingStore *store,
+            const embedding::Batch &batch, bool dedup,
+            SlotArenas *arenas = nullptr,
+            embedding::PayloadFormat payload =
+                embedding::PayloadFormat::Fp32);
 
     /** Recycle @p prepared's buffers into @p arenas off-thread (inline
      *  when serial or when a fault plan is installed). */
@@ -187,7 +212,8 @@ class PreparePool
     PreparedBatch prepareSharded(const embedding::VectorLayout &layout,
                                  const embedding::EmbeddingStore *store,
                                  const embedding::Batch &batch, bool dedup,
-                                 SlotArenas *arenas);
+                                 SlotArenas *arenas,
+                                 embedding::PayloadFormat payload);
 
     static void recycleInto(PreparedBatch &prepared,
                             std::vector<VectorPool> &pools);
@@ -219,8 +245,11 @@ class Host
      * Compile @p batch.
      * @param dedup read each unique index once (Section IV-C) or issue
      *        one read per reference (the Figure 13 ablation).
+     * @param payload transport encoding (leaf values round-tripped).
      */
-    PreparedBatch prepare(const embedding::Batch &batch, bool dedup) const;
+    PreparedBatch prepare(const embedding::Batch &batch, bool dedup,
+                          embedding::PayloadFormat payload =
+                              embedding::PayloadFormat::Fp32) const;
 
   private:
     const embedding::VectorLayout &layout_;

@@ -59,8 +59,10 @@ std::vector<PeOutput>
 ProcessingElement::process(const std::vector<Item> &a,
                            const std::vector<Item> &b, PeActivity &activity,
                            bool values, embedding::ReduceOp op,
-                           VectorPool *pool)
+                           VectorPool *pool,
+                           embedding::PayloadFormat payload)
 {
+    const bool quantized = payload != embedding::PayloadFormat::Fp32;
     // The compute-unit fabric compares every entry of one buffer with every
     // entry of the other (Section IV-B).
     activity.compares += static_cast<std::uint64_t>(a.size()) * b.size();
@@ -101,6 +103,18 @@ ProcessingElement::process(const std::vector<Item> &a,
             item.queries = {{query, ra->remaining.minus(right.indices)}};
             if (values && !left.value.empty())
                 item.value = addValues(left.value, right.value, op, pool);
+            // Meeting-logic codec work under a compressed payload:
+            // dequantize both operands, accumulate in fp32, and
+            // requantize the partial for the uplink. Counted per
+            // meeting whether or not this run materializes values —
+            // the values themselves stay the exact fp32 combines; the
+            // leaf round-trip already fixed every operand
+            // (quantize.hh), so these counters drive only the
+            // byte/energy model.
+            if (quantized) {
+                activity.dequants += 2;
+                activity.requants += 1;
+            }
             raw.push_back(
                 {std::move(item),
                  PeAction::Reduce,

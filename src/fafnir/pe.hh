@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "embedding/quantize.hh"
 #include "fafnir/item.hh"
 
 namespace fafnir::core
@@ -76,6 +77,16 @@ struct PeActivity
     std::uint64_t duplicatesDropped = 0;
     /** Header concatenations performed by the merge unit. */
     std::uint64_t headersMerged = 0;
+    /**
+     * Compressed-payload codec work at the meeting logic (non-fp32
+     * formats only): a reduce dequantizes both operands and requantizes
+     * the combined output for the uplink; a forward passes codes
+     * through untouched. The functional values stay the exact fp32
+     * partials of the leaf round-trip (see embedding/quantize.hh) —
+     * these counters drive the byte/energy model, not the arithmetic.
+     */
+    std::uint64_t dequants = 0;
+    std::uint64_t requants = 0;
 
     PeActivity &
     operator+=(const PeActivity &other)
@@ -85,6 +96,8 @@ struct PeActivity
         forwards += other.forwards;
         duplicatesDropped += other.duplicatesDropped;
         headersMerged += other.headersMerged;
+        dequants += other.dequants;
+        requants += other.requants;
         return *this;
     }
 };
@@ -123,12 +136,18 @@ class ProcessingElement
      * @param op element-wise operator of the reduce path.
      * @param pool optional buffer recycler for output values; results
      *        are bit-identical with or without one.
+     * @param payload transport encoding of the link payloads; non-fp32
+     *        formats count dequant/requant codec work per meeting in
+     *        @p activity (values are unchanged — the leaf round-trip
+     *        already fixed them).
      */
     static std::vector<PeOutput>
     process(const std::vector<Item> &a, const std::vector<Item> &b,
             PeActivity &activity, bool values = true,
             embedding::ReduceOp op = embedding::ReduceOp::Sum,
-            VectorPool *pool = nullptr);
+            VectorPool *pool = nullptr,
+            embedding::PayloadFormat payload =
+                embedding::PayloadFormat::Fp32);
 
     /**
      * Upper bound on outputs: min(nm + n + m, batch) — Section IV-B.

@@ -233,7 +233,8 @@ ServingPipeline::serve(const std::vector<embedding::Batch> &batches,
                         batch.totalIndices(), prepare_cost);
 
         slots[s] = preparePool_->prepare(layout, store_, batch,
-                                         config_.dedup, &slotArenas_[s]);
+                                         config_.dedup, &slotArenas_[s],
+                                         config_.payload);
 
         // --- Dispatch + execute on the chosen replica. ------------------
         const unsigned primary = pickEngine(k, engineFree);

@@ -96,6 +96,9 @@ struct ServingConfig
      *  dedup scan across this many threads; the modeled cost divides
      *  the per-reference term by the same count. */
     unsigned prepareWorkers = 1;
+    /** Transport payload encoding for prepared batches (leaf values
+     *  round-tripped; engines charge this format's byte widths). */
+    embedding::PayloadFormat payload = embedding::PayloadFormat::Fp32;
     /**
      * Modeled host prepare cost:
      *

@@ -55,6 +55,52 @@ class DramEnergyModel
     DramEnergyParams params_;
 };
 
+/**
+ * Per-operation energies of the tree interconnect (pJ). Link traversal
+ * is charged per byte actually moved, so a compressed payload format
+ * (embedding/quantize.hh) saves link energy in proportion to its byte
+ * width; the meeting-logic codec work (dequantize both operands,
+ * requantize the partial) is charged per vector element converted.
+ */
+struct LinkEnergyParams
+{
+    /** Moving one byte across one PE-to-PE (or root-to-host) link. */
+    double linkPjPerByte = 0.8;
+    /** Converting one vector element between code and fp32. */
+    double codecPjPerElement = 0.05;
+};
+
+/** Energy accumulator fed from link-byte and PE-activity counters. */
+class LinkEnergyModel
+{
+  public:
+    explicit LinkEnergyModel(const LinkEnergyParams &params = {})
+        : params_(params)
+    {}
+
+    /**
+     * Total nJ for @p link_bytes moved plus @p codec_ops vector
+     * conversions of @p dim elements each (pass dequants + requants
+     * from the aggregated PeActivity; 0 under fp32 transport).
+     */
+    double
+    energyNj(std::uint64_t link_bytes, std::uint64_t codec_ops,
+             unsigned dim) const
+    {
+        const double link_pj =
+            static_cast<double>(link_bytes) * params_.linkPjPerByte;
+        const double codec_pj = static_cast<double>(codec_ops) *
+                                static_cast<double>(dim) *
+                                params_.codecPjPerElement;
+        return (link_pj + codec_pj) / 1000.0;
+    }
+
+    const LinkEnergyParams &params() const { return params_; }
+
+  private:
+    LinkEnergyParams params_;
+};
+
 } // namespace fafnir::hwmodel
 
 #endif // FAFNIR_HWMODEL_ENERGY_HH

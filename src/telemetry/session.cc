@@ -98,6 +98,13 @@ TelemetrySession::registerFlags(FlagParser &flags)
                     "table -> shard placement policy: hash or range");
     flags.addUnsigned("shard-replicas", serving_.shardReplicas,
                       "engine replicas per shard in the sharded tier");
+    flags.addString("payload", serving_.payload,
+                    "transport payload format for tree links and DRAM "
+                    "reads: fp32, int8, or twobit");
+    flags.addString("payload-accuracy", serving_.payloadAccuracy,
+                    "write the quantization accuracy report (max/mean "
+                    "abs error and relative L2 vs. the exact fp32 path) "
+                    "to this path; serializes parallel sweeps");
 }
 
 void

@@ -94,6 +94,14 @@ struct ServingOptions
     std::string placement = "hash";
     /** Engine replicas per shard in the sharded tier. */
     unsigned shardReplicas = 1;
+    /** Transport payload format: "fp32", "int8", or "twobit". The
+     *  harness maps it onto embedding::PayloadFormat. */
+    std::string payload = "fp32";
+    /** When non-empty, write the quantization accuracy report
+     *  (quantized vs. exact-fp32 values, plus the order-dependent
+     *  error-feedback two-bit stream) to this path. Serializes
+     *  parallel sweeps: bench::clampParallelism. */
+    std::string payloadAccuracy = "";
 
     bool enabled() const { return engines > 0; }
     bool sharded() const { return shards > 0; }

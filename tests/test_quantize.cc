@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Quantized-payload kernel tests: the power-of-two scale rule, the
+ * scalar/AVX2 exactness contract, error-feedback residual semantics,
+ * and the payload byte model that the transport path charges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "embedding/quantize.hh"
+#include "embedding/table.hh"
+
+using namespace fafnir;
+using namespace fafnir::embedding;
+
+namespace
+{
+
+std::vector<float>
+randomSpan(std::mt19937 &rng, std::size_t n, float lo = -40.0f,
+           float hi = 40.0f)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = dist(rng);
+    return v;
+}
+
+bool
+isPowerOfTwo(float x)
+{
+    int exponent = 0;
+    return std::frexp(x, &exponent) == 0.5f;
+}
+
+/** Scalar reference mirror of the int8 rule: scale = pow2ceil(peak)/128,
+ *  codes = nearbyint(x/scale) clamped to [-128, 127]. */
+float
+referenceQuantInt8(const std::vector<float> &src,
+                   std::vector<std::int8_t> &codes)
+{
+    float peak = 0.0f;
+    for (const float x : src)
+        peak = std::max(peak, std::fabs(x));
+    if (peak == 0.0f) {
+        std::fill(codes.begin(), codes.end(), std::int8_t{0});
+        return 0.0f;
+    }
+    int exponent = 0;
+    const float frac = std::frexp(peak, &exponent);
+    const float p2 = std::ldexp(1.0f, frac == 0.5f ? exponent - 1
+                                                   : exponent);
+    const float scale = p2 / 128.0f;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const int q = static_cast<int>(std::nearbyint(src[i] / scale));
+        codes[i] = static_cast<std::int8_t>(
+            std::clamp(q, -128, 127));
+    }
+    return scale;
+}
+
+} // namespace
+
+TEST(Quantize, BackendIsReported)
+{
+    const std::string backend = quantizeKernelBackend();
+    EXPECT_TRUE(backend == "avx2" || backend == "scalar") << backend;
+}
+
+TEST(Quantize, PayloadBytesModel)
+{
+    EXPECT_EQ(payloadBytes(PayloadFormat::Fp32, 128), 512u);
+    EXPECT_EQ(payloadBytes(PayloadFormat::Int8, 128), 132u);
+    EXPECT_EQ(payloadBytes(PayloadFormat::TwoBit, 128), 36u);
+    // Ragged two-bit packing rounds up to whole bytes.
+    EXPECT_EQ(payloadBytes(PayloadFormat::TwoBit, 5), 2u + 4u);
+    EXPECT_EQ(payloadBytes(PayloadFormat::Int8, 1), 5u);
+    // The tentpole's floor: int8 moves >= 3.5x fewer bytes at the
+    // paper's 512 B vector.
+    EXPECT_GE(static_cast<double>(payloadBytes(PayloadFormat::Fp32, 128)) /
+                  static_cast<double>(payloadBytes(PayloadFormat::Int8,
+                                                   128)),
+              3.5);
+}
+
+TEST(Quantize, FormatNamesRoundTrip)
+{
+    for (const PayloadFormat fmt :
+         {PayloadFormat::Fp32, PayloadFormat::Int8,
+          PayloadFormat::TwoBit}) {
+        PayloadFormat parsed = PayloadFormat::Fp32;
+        EXPECT_TRUE(parsePayloadFormat(payloadFormatName(fmt), parsed));
+        EXPECT_EQ(parsed, fmt);
+    }
+    PayloadFormat parsed = PayloadFormat::Fp32;
+    EXPECT_FALSE(parsePayloadFormat("fp16", parsed));
+    EXPECT_FALSE(parsePayloadFormat("", parsed));
+}
+
+TEST(Quantize, Int8ScaleIsPowerOfTwoAndCodesMatchReference)
+{
+    std::mt19937 rng(99);
+    const std::size_t dims[] = {1, 7, 17, 31, 33, 128, 129};
+    std::vector<std::int8_t> codes, expect_codes;
+    for (const std::size_t n : dims) {
+        for (int round = 0; round < 8; ++round) {
+            const auto src = randomSpan(rng, n);
+            codes.assign(n, 99);
+            expect_codes.assign(n, 0);
+            const float scale = quantizeInt8(src.data(), n, codes.data());
+            const float expect_scale =
+                referenceQuantInt8(src, expect_codes);
+            ASSERT_EQ(scale, expect_scale) << "n=" << n;
+            ASSERT_TRUE(isPowerOfTwo(scale)) << scale;
+            ASSERT_EQ(std::memcmp(codes.data(), expect_codes.data(), n),
+                      0)
+                << "n=" << n;
+        }
+    }
+}
+
+TEST(Quantize, Int8PeakBandSaturates)
+{
+    // peak/scale <= 128: the positive peak may clip one step to the
+    // 127 rail, the negative peak reaches -128 exactly. Both rails
+    // must match between the dispatched backend and the scalar rule.
+    std::vector<float> src{127.5f, -127.5f, 64.0f, 0.0f,
+                           1.0f,   -1.0f,   0.5f,  -0.5f};
+    std::vector<std::int8_t> codes(src.size());
+    const float scale = quantizeInt8(src.data(), src.size(),
+                                     codes.data());
+    EXPECT_EQ(scale, 1.0f);
+    EXPECT_EQ(codes[0], 127); // nearbyint(127.5) = 128, clipped
+    EXPECT_EQ(codes[1], -128);
+    EXPECT_EQ(codes[2], 64);
+    EXPECT_EQ(codes[3], 0);
+}
+
+TEST(Quantize, Int8AllZeroVector)
+{
+    std::vector<float> src(33, 0.0f);
+    std::vector<std::int8_t> codes(src.size(), 42);
+    EXPECT_EQ(quantizeInt8(src.data(), src.size(), codes.data()), 0.0f);
+    for (const std::int8_t c : codes)
+        EXPECT_EQ(c, 0);
+}
+
+TEST(Quantize, Int8RoundTripValuesAreOnTheGrid)
+{
+    // Dequantized values are code * scale with scale a power of two:
+    // every value carries at most 8 mantissa bits, so fp32 sums of
+    // round-tripped vectors are exact — the property the tree's
+    // order-invariant meeting logic rests on.
+    std::mt19937 rng(7);
+    const std::size_t n = 128;
+    auto src = randomSpan(rng, n);
+    std::vector<std::int8_t> codes(n);
+    std::vector<float> out(n);
+    const float scale = quantizeInt8(src.data(), n, codes.data());
+    dequantizeInt8(codes.data(), n, scale, out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], static_cast<float>(codes[i]) * scale);
+        ASSERT_LE(std::fabs(out[i] - src[i]), scale * 0.5f + 1e-6f);
+    }
+    // Round-trip of a round-trip is the identity (grid points quantize
+    // to themselves: same peak band, same scale, exact codes).
+    std::vector<std::int8_t> codes2(n);
+    std::vector<float> out2(n);
+    const float scale2 = quantizeInt8(out.data(), n, codes2.data());
+    dequantizeInt8(codes2.data(), n, scale2, out2.data());
+    EXPECT_EQ(std::memcmp(out.data(), out2.data(), n * sizeof(float)),
+              0);
+}
+
+TEST(Quantize, AbsMaxMatchesScalar)
+{
+    std::mt19937 rng(31);
+    for (const std::size_t n : {1u, 7u, 8u, 17u, 32u, 33u, 128u, 131u}) {
+        const auto src = randomSpan(rng, n);
+        float expect = 0.0f;
+        for (const float x : src)
+            expect = std::max(expect, std::fabs(x));
+        ASSERT_EQ(absMax(src.data(), n), expect) << "n=" << n;
+    }
+    EXPECT_EQ(absMax(nullptr, 0), 0.0f);
+}
+
+TEST(Quantize, TwoBitThresholdAndCodes)
+{
+    // t = pow2ceil(peak)/2; codes are {-t, 0, +t} by threshold compare.
+    std::vector<float> src{3.0f, -3.0f, 0.5f, -0.5f, 2.0f, 0.0f,
+                           -2.0f, 1.99f};
+    std::vector<std::uint8_t> packed(twoBitPackedBytes(src.size()));
+    std::vector<float> out(src.size());
+    const float t = quantizeTwoBit(src.data(), src.size(),
+                                   packed.data());
+    EXPECT_EQ(t, 2.0f); // pow2ceil(3)/2
+    ASSERT_TRUE(isPowerOfTwo(t));
+    dequantizeTwoBit(packed.data(), src.size(), t, out.data());
+    const std::vector<float> expect{2.0f, -2.0f, 0.0f, 0.0f,
+                                    2.0f, 0.0f,  -2.0f, 0.0f};
+    EXPECT_EQ(out, expect);
+}
+
+TEST(Quantize, TwoBitRaggedTailStaysZeroPadded)
+{
+    std::vector<float> src{5.0f, -5.0f, 5.0f};
+    std::vector<std::uint8_t> packed(twoBitPackedBytes(src.size()), 0xff);
+    const float t = quantizeTwoBit(src.data(), src.size(),
+                                   packed.data());
+    ASSERT_GT(t, 0.0f);
+    // Element 3 (the unused ragged slot) must decode to zero.
+    std::vector<float> out(4);
+    dequantizeTwoBit(packed.data(), 4, t, out.data());
+    EXPECT_EQ(out[3], 0.0f);
+}
+
+TEST(Quantize, TwoBitErrorFeedbackCarriesResidual)
+{
+    // One EF round equals the stateless quantizer from a zero residual;
+    // the residual after the round is exactly (input - output); and
+    // over repeated rounds the fed-back error steers the round-average
+    // toward the true value, which the stateless stream cannot do.
+    std::mt19937 rng(55);
+    const std::size_t n = 64;
+    const auto src = randomSpan(rng, n);
+
+    TwoBitState state;
+    state.reset(n);
+    std::vector<float> ef_out(n);
+    const float t_ef = quantizeTwoBitEf(src.data(), n, state,
+                                        ef_out.data());
+
+    std::vector<std::uint8_t> packed(twoBitPackedBytes(n));
+    std::vector<float> stateless(n);
+    const float t_plain = quantizeTwoBit(src.data(), n, packed.data());
+    dequantizeTwoBit(packed.data(), n, t_plain, stateless.data());
+
+    EXPECT_EQ(t_ef, t_plain);
+    EXPECT_EQ(std::memcmp(ef_out.data(), stateless.data(),
+                          n * sizeof(float)),
+              0);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(state.residual[i], src[i] - ef_out[i]);
+
+    const unsigned rounds = 32;
+    std::vector<double> ef_sum(n, 0.0), plain_sum(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        ef_sum[i] = ef_out[i];
+        plain_sum[i] = stateless[i];
+    }
+    for (unsigned r = 1; r < rounds; ++r) {
+        quantizeTwoBitEf(src.data(), n, state, ef_out.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            ef_sum[i] += ef_out[i];
+            plain_sum[i] += stateless[i];
+        }
+    }
+    double ef_err = 0.0, plain_err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ef_err += std::fabs(ef_sum[i] / rounds - src[i]);
+        plain_err += std::fabs(plain_sum[i] / rounds - src[i]);
+    }
+    EXPECT_LT(ef_err, plain_err);
+}
+
+TEST(Quantize, RoundTripIsDeterministicAndFp32IsIdentity)
+{
+    std::mt19937 rng(13);
+    const std::size_t n = 128;
+    const auto src = randomSpan(rng, n);
+
+    std::vector<float> untouched = src;
+    payloadRoundTrip(PayloadFormat::Fp32, untouched.data(), n);
+    EXPECT_EQ(std::memcmp(untouched.data(), src.data(),
+                          n * sizeof(float)),
+              0);
+
+    for (const PayloadFormat fmt :
+         {PayloadFormat::Int8, PayloadFormat::TwoBit}) {
+        std::vector<float> a = src, b = src;
+        payloadRoundTrip(fmt, a.data(), n);
+        payloadRoundTrip(fmt, b.data(), n);
+        EXPECT_EQ(std::memcmp(a.data(), b.data(), n * sizeof(float)), 0)
+            << payloadFormatName(fmt);
+        EXPECT_NE(std::memcmp(a.data(), src.data(), n * sizeof(float)),
+                  0)
+            << payloadFormatName(fmt) << " was the identity";
+    }
+}
+
+TEST(Quantize, RoundTripSumsAreOrderInvariant)
+{
+    // The determinism keystone: power-of-two scales leave dequantized
+    // values with so few mantissa bits that fp32 partial sums are
+    // exact, so ANY summation order gives bit-identical results. The
+    // tree meets values in topology order, the store reference sums in
+    // query order — this is why they can be memcmp'd.
+    const TableConfig tables{4, 1024, 512, 4};
+    const EmbeddingStore store(tables);
+    const std::size_t dim = tables.dim();
+    std::vector<Vector> leaves;
+    for (IndexId idx = 0; idx < 24; ++idx) {
+        Vector v = store.vector(idx * 37);
+        payloadRoundTrip(PayloadFormat::Int8, v.data(), dim);
+        leaves.push_back(std::move(v));
+    }
+    Vector forward(dim, 0.0f), backward(dim, 0.0f), pairwise(dim, 0.0f);
+    for (const Vector &v : leaves)
+        for (std::size_t i = 0; i < dim; ++i)
+            forward[i] += v[i];
+    for (auto it = leaves.rbegin(); it != leaves.rend(); ++it)
+        for (std::size_t i = 0; i < dim; ++i)
+            backward[i] += (*it)[i];
+    for (std::size_t pair = 0; pair < leaves.size(); pair += 2)
+        for (std::size_t i = 0; i < dim; ++i)
+            pairwise[i] += leaves[pair][i] + leaves[pair + 1][i];
+    EXPECT_EQ(std::memcmp(forward.data(), backward.data(),
+                          dim * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(forward.data(), pairwise.data(),
+                          dim * sizeof(float)),
+              0);
+}

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <random>
 
 #include "dram/memsystem.hh"
@@ -202,6 +204,69 @@ TEST(ReduceKernels, SpansMatchScalarReferenceExactly)
                 ASSERT_EQ(fin[i], finalize(op, a[i], 7))
                     << toString(op) << " n=" << n << " i=" << i;
             }
+        }
+    }
+}
+
+TEST(ReduceKernels, TailLanesMatchScalarOnSpecialValues)
+{
+    // Odd dims force every tail-handling path (vector blocks plus 1-7
+    // stragglers); the operand pool seeds NaNs, signed zeros, and
+    // infinities so tail lanes are checked for the full ordering and
+    // propagation semantics, not just finite payloads. Results are
+    // compared as bit patterns: NaN == NaN is false, memcmp is not.
+    const ReduceOp ops[] = {ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max,
+                            ReduceOp::Mean};
+    const std::size_t dims[] = {1, 7, 17, 31, 33};
+    const float pool[] = {0.0f,
+                          -0.0f,
+                          1.5f,
+                          -2.25f,
+                          std::numeric_limits<float>::quiet_NaN(),
+                          std::numeric_limits<float>::infinity(),
+                          -std::numeric_limits<float>::infinity(),
+                          1e-38f,
+                          3.5f};
+    std::mt19937 rng(1717);
+    std::uniform_int_distribution<std::size_t> pick(
+        0, std::size(pool) - 1);
+    for (const ReduceOp op : ops) {
+        for (const std::size_t n : dims) {
+            std::vector<float> a(n), b(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                a[i] = pool[pick(rng)];
+                b[i] = pool[pick(rng)];
+            }
+            // Deterministically exercise the last lane with each
+            // special in turn as well.
+            a[n - 1] = pool[(n + static_cast<std::size_t>(op)) %
+                            std::size(pool)];
+
+            std::vector<float> dst = a;
+            combineSpan(op, dst.data(), b.data(), n);
+            std::vector<float> expect(n);
+            for (std::size_t i = 0; i < n; ++i)
+                expect[i] = combine(op, a[i], b[i]);
+            ASSERT_EQ(std::memcmp(dst.data(), expect.data(),
+                                  n * sizeof(float)),
+                      0)
+                << toString(op) << " n=" << n;
+
+            std::vector<float> out(n, -1.0f);
+            combineSpan(op, out.data(), a.data(), b.data(), n);
+            ASSERT_EQ(std::memcmp(out.data(), dst.data(),
+                                  n * sizeof(float)),
+                      0)
+                << toString(op) << " n=" << n << " (three-operand)";
+
+            std::vector<float> fin = dst;
+            finalizeSpan(op, fin.data(), n, 3);
+            for (std::size_t i = 0; i < n; ++i)
+                expect[i] = finalize(op, dst[i], 3);
+            ASSERT_EQ(std::memcmp(fin.data(), expect.data(),
+                                  n * sizeof(float)),
+                      0)
+                << toString(op) << " n=" << n << " (finalize)";
         }
     }
 }

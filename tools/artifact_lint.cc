@@ -2,16 +2,18 @@
  * @file
  * Schema lint for the repo's JSON artifacts.
  *
- * Three artifact kinds share the versioned schema contract
+ * Four artifact kinds share the versioned schema contract
  * (telemetry/report.hh, kArtifactSchemaVersion): per-run reports
- * (--report), JSON-lines timelines (--timeline), and flight-recorder
- * debug bundles (--debug-bundle-dir). CI pipes every artifact it
- * produces through this tool so a schema drift — a renamed key, a
- * broken window sequence, an attribution split that stopped
- * telescoping — fails the build instead of silently breaking the
+ * (--report), JSON-lines timelines (--timeline), flight-recorder
+ * debug bundles (--debug-bundle-dir), and quantized-payload accuracy
+ * reports (--payload-accuracy, written by fafnir_sim and
+ * ablation_payload). CI pipes every artifact it produces through this
+ * tool so a schema drift — a renamed key, a broken window sequence, an
+ * attribution split that stopped telescoping, a payload byte counter
+ * that went missing — fails the build instead of silently breaking the
  * dashboards that consume them.
  *
- *   artifact_lint [--kind=report|timeline|bundle] <path>...
+ *   artifact_lint [--kind=report|timeline|bundle|accuracy] <path>...
  *
  * The kind is auto-detected from content when not forced. Exits
  * non-zero when any file violates its schema, printing one line per
@@ -121,6 +123,58 @@ struct Lint
             total->kind == JsonValue::Kind::Number)
             checkComponents(ex, total->number, where);
     }
+
+    /** A transport payload format name (embedding/quantize.hh). */
+    void
+    checkPayloadName(const JsonValue &owner, const char *key,
+                     const char *where)
+    {
+        const JsonValue *fmt =
+            require(owner, key, JsonValue::Kind::String, where);
+        if (fmt != nullptr && fmt->text != "fp32" &&
+            fmt->text != "int8" && fmt->text != "twobit")
+            fail(std::string(where) + ": unknown payload format \"" +
+                 fmt->text + "\"");
+    }
+
+    /** Non-negative number at @p key; returns it (NaN when absent). */
+    double
+    checkNonNegative(const JsonValue &owner, const char *key,
+                     const char *where)
+    {
+        const JsonValue *v =
+            require(owner, key, JsonValue::Kind::Number, where);
+        if (v == nullptr)
+            return std::nan("");
+        if (v->number < 0.0)
+            fail(std::string(where) + ": \"" + key +
+                 "\" is negative");
+        return v->number;
+    }
+
+    /**
+     * The error-stat triple every accuracy record carries. Telescopes
+     * by construction: a mean of |error| can never exceed the max, and
+     * an all-zero error stream (the fp32 exact path) zeroes all three.
+     */
+    void
+    checkErrorStats(const JsonValue &owner, bool exact,
+                    const char *where)
+    {
+        const double max_abs =
+            checkNonNegative(owner, "maxAbsError", where);
+        const double mean_abs =
+            checkNonNegative(owner, "meanAbsError", where);
+        const double rel_l2 =
+            checkNonNegative(owner, "relativeL2", where);
+        if (mean_abs > max_abs)
+            fail(std::string(where) +
+                 ": meanAbsError exceeds maxAbsError");
+        if (exact && (max_abs != 0.0 || mean_abs != 0.0 ||
+                      rel_l2 != 0.0))
+            fail(std::string(where) +
+                 ": fp32 is the exact path, error stats must be zero");
+    }
 };
 
 // --- report ----------------------------------------------------------
@@ -130,7 +184,8 @@ lintReport(Lint &lint, const JsonValue &root)
 {
     lint.checkSchemaVersion(root, "schemaVersion", "report");
     lint.require(root, "tool", JsonValue::Kind::String, "report");
-    lint.require(root, "config", JsonValue::Kind::Object, "report");
+    const JsonValue *config = lint.require(
+        root, "config", JsonValue::Kind::Object, "report");
     const JsonValue *metrics = lint.require(
         root, "metrics", JsonValue::Kind::Object, "report");
     if (metrics != nullptr) {
@@ -140,6 +195,112 @@ lintReport(Lint &lint, const JsonValue &root)
                 lint.fail("report: metric \"" + name +
                           "\" is not a number");
         }
+    }
+
+    // Quantized-transport annotations. The config payload name must be
+    // a known format, and the byte/energy counters travel as a group:
+    // a report with one of them must carry all of them (a dashboard
+    // that plots bytes-per-energy breaks silently otherwise).
+    const JsonValue *payload =
+        config != nullptr ? config->find("payload") : nullptr;
+    if (payload != nullptr)
+        lint.checkPayloadName(*config, "payload", "report config");
+    if (metrics == nullptr)
+        return;
+    static const char *const kPayloadGroup[] = {
+        "dramPayloadBytes", "linkPayloadBytes", "payloadCodecOps",
+        "linkEnergyUj"};
+    bool any = false;
+    for (const char *key : kPayloadGroup)
+        any = any || metrics->find(key) != nullptr;
+    if (!any)
+        return;
+    for (const char *key : kPayloadGroup)
+        lint.checkNonNegative(*metrics, key, "report metrics");
+    // fp32 is the exact path: no meeting-logic codec work, and the
+    // link energy telescopes to the pure byte term.
+    const JsonValue *ops = metrics->find("payloadCodecOps");
+    if (payload != nullptr && payload->kind == JsonValue::Kind::String &&
+        payload->text == "fp32" && ops != nullptr &&
+        ops->kind == JsonValue::Kind::Number && ops->number != 0.0)
+        lint.fail("report metrics: payloadCodecOps must be 0 under the "
+                  "fp32 exact path");
+}
+
+// --- payload accuracy ------------------------------------------------
+
+/**
+ * The --payload-accuracy artifact. Two shapes share the contract:
+ * fafnir_sim writes one flat record for its single run, and
+ * ablation_payload writes a "formats" sweep array plus the
+ * error-feedback stream comparison.
+ */
+void
+lintAccuracy(Lint &lint, const JsonValue &root)
+{
+    lint.checkSchemaVersion(root, "schemaVersion", "accuracy");
+    lint.require(root, "tool", JsonValue::Kind::String, "accuracy");
+    lint.require(root, "backend", JsonValue::Kind::String, "accuracy");
+
+    const JsonValue *formats = root.find("formats");
+    if (formats == nullptr) {
+        // Flat shape (fafnir_sim).
+        lint.checkPayloadName(root, "format", "accuracy");
+        lint.checkNonNegative(root, "queries", "accuracy");
+        lint.checkNonNegative(root, "payloadValueMismatches",
+                              "accuracy");
+        const JsonValue *fmt = root.find("format");
+        const bool exact = fmt != nullptr &&
+                           fmt->kind == JsonValue::Kind::String &&
+                           fmt->text == "fp32";
+        lint.checkErrorStats(root, exact, "accuracy");
+        return;
+    }
+
+    // Sweep shape (ablation_payload).
+    if (formats->kind != JsonValue::Kind::Array) {
+        lint.fail("accuracy: \"formats\" must be an array");
+        return;
+    }
+    if (formats->array.empty())
+        lint.fail("accuracy: \"formats\" is empty");
+    for (std::size_t i = 0; i < formats->array.size(); ++i) {
+        const std::string where =
+            "accuracy formats[" + std::to_string(i) + "]";
+        const JsonValue &entry = formats->array[i];
+        if (entry.kind != JsonValue::Kind::Object) {
+            lint.fail(where + ": not an object");
+            continue;
+        }
+        lint.require(entry, "trace", JsonValue::Kind::String,
+                     where.c_str());
+        lint.checkPayloadName(entry, "format", where.c_str());
+        const double dram =
+            lint.checkNonNegative(entry, "dramBytes", where.c_str());
+        const double link =
+            lint.checkNonNegative(entry, "linkBytes", where.c_str());
+        if (dram == 0.0 || link == 0.0)
+            lint.fail(where + ": a swept point moved zero bytes");
+        lint.checkNonNegative(entry, "valueMismatches", where.c_str());
+        const JsonValue *fmt = entry.find("format");
+        const bool exact = fmt != nullptr &&
+                           fmt->kind == JsonValue::Kind::String &&
+                           fmt->text == "fp32";
+        lint.checkErrorStats(entry, exact, where.c_str());
+    }
+
+    const JsonValue *ef = lint.require(
+        root, "efTwoBit", JsonValue::Kind::Object, "accuracy");
+    if (ef != nullptr) {
+        const double rounds =
+            lint.checkNonNegative(*ef, "rounds", "accuracy efTwoBit");
+        if (rounds == 0.0)
+            lint.fail("accuracy efTwoBit: rounds must be positive");
+        lint.checkNonNegative(*ef, "statelessMeanAbsError",
+                              "accuracy efTwoBit");
+        lint.checkNonNegative(*ef, "efMeanAbsError",
+                              "accuracy efTwoBit");
+        lint.checkNonNegative(*ef, "improvement", "accuracy efTwoBit");
     }
 }
 
@@ -320,6 +481,7 @@ enum class Kind
     Report,
     Timeline,
     Bundle,
+    Accuracy,
 };
 
 /** Whole-file parse succeeds -> single-object artifact; a trailing-
@@ -337,6 +499,12 @@ detect(const std::string &text)
         if (type != nullptr && type->kind == JsonValue::Kind::String &&
             type->text == "meta")
             return Kind::Timeline; // degenerate single-line timeline
+        // Accuracy reports have no "metrics" object; they carry either
+        // the sweep array or the flat per-run error stats.
+        if (root.find("formats") != nullptr ||
+            (root.find("payloadValueMismatches") != nullptr &&
+             root.find("metrics") == nullptr))
+            return Kind::Accuracy;
         return Kind::Report;
     } catch (const std::exception &) {
         return Kind::Timeline;
@@ -375,6 +543,9 @@ lintFile(const std::string &path, Kind forced)
           case Kind::Bundle:
             lintBundle(lint, JsonReader(text).parse());
             break;
+          case Kind::Accuracy:
+            lintAccuracy(lint, JsonReader(text).parse());
+            break;
           case Kind::Auto:
             break;
         }
@@ -385,7 +556,8 @@ lintFile(const std::string &path, Kind forced)
         std::printf("%s: ok (%s)\n", path.c_str(),
                     kind == Kind::Timeline  ? "timeline"
                     : kind == Kind::Bundle  ? "bundle"
-                                            : "report");
+                    : kind == Kind::Accuracy ? "accuracy"
+                                             : "report");
     return lint.violations;
 }
 
@@ -406,13 +578,15 @@ main(int argc, char **argv)
                 forced = Kind::Timeline;
             else if (k == "bundle")
                 forced = Kind::Bundle;
+            else if (k == "accuracy")
+                forced = Kind::Accuracy;
             else {
                 std::fprintf(stderr, "unknown --kind=%s\n", k.c_str());
                 return 2;
             }
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: artifact_lint "
-                        "[--kind=report|timeline|bundle] <path>...\n");
+                        "[--kind=report|timeline|bundle|accuracy] <path>...\n");
             return 0;
         } else {
             paths.push_back(arg);
@@ -420,7 +594,7 @@ main(int argc, char **argv)
     }
     if (paths.empty()) {
         std::fprintf(stderr, "usage: artifact_lint "
-                             "[--kind=report|timeline|bundle] "
+                             "[--kind=report|timeline|bundle|accuracy] "
                              "<path>...\n");
         return 2;
     }

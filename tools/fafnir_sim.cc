@@ -26,8 +26,10 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -44,11 +46,14 @@
 #include "embedding/batcher.hh"
 #include "embedding/generator.hh"
 #include "embedding/layout.hh"
+#include "embedding/quantize.hh"
+#include "embedding/reduce_kernels.hh"
 #include "embedding/service.hh"
 #include "fafnir/engine.hh"
 #include "fafnir/event_engine.hh"
 #include "fafnir/serving.hh"
 #include "fafnir/sharding.hh"
+#include "hwmodel/energy.hh"
 #include "hwmodel/energy_report.hh"
 #include "sparse/fafnir_spmv.hh"
 #include "sparse/matgen.hh"
@@ -86,12 +91,39 @@ struct Options
     unsigned nodes = 1u << 14;
     unsigned reach = 64;
     double nnzPerRow = 8.0;
+    // Parsed from --payload after flag parsing (see main).
+    embedding::PayloadFormat payload = embedding::PayloadFormat::Fp32;
 };
 
 embedding::TableConfig
 tableConfig()
 {
     return {32, 1u << 20, 512, 4};
+}
+
+/**
+ * Store-side reference for one query under quantized transport: every
+ * vector round-trips the payload codec once (exactly as the leaf rank
+ * read does), then reduces in query order. Power-of-two quantizer
+ * scales make the fp32 sums exact, so this matches the tree's
+ * meeting-order partials bit for bit (see embedding/quantize.hh).
+ */
+embedding::Vector
+quantizedReduce(const embedding::EmbeddingStore &store,
+                const std::vector<IndexId> &indices,
+                embedding::ReduceOp op, embedding::PayloadFormat fmt)
+{
+    embedding::Vector acc;
+    for (IndexId idx : indices) {
+        embedding::Vector v = store.vector(idx);
+        embedding::payloadRoundTrip(fmt, v.data(), v.size());
+        if (acc.empty())
+            acc = std::move(v);
+        else
+            embedding::combineSpan(op, acc.data(), v.data(), acc.size());
+    }
+    embedding::finalizeSpan(op, acc.data(), acc.size(), indices.size());
+    return acc;
 }
 
 /**
@@ -153,6 +185,7 @@ runGuardedLookup(const Options &opt, telemetry::TelemetrySession &session)
         core::EngineConfig cfg;
         cfg.dedup = opt.dedup;
         cfg.interactive = opt.interactive;
+        cfg.payload = opt.payload;
         if (opt.engine == "event") {
             core::EventEngineConfig ecfg;
             ecfg.base = cfg;
@@ -297,6 +330,7 @@ runPipelinedLookup(const Options &opt,
     sc.pipelineDepth = so.pipelineDepth;
     sc.hedgePct = so.hedgePct;
     sc.dedup = opt.dedup;
+    sc.payload = opt.payload;
     sc.prepareWorkers = std::max(
         1u, bench::clampParallelism(so.prepareWorkers,
                                     "--prepare-workers"));
@@ -374,12 +408,28 @@ runPipelinedLookup(const Options &opt,
         replicas[e].engine->registerStats(
             registry.group("tree.engine" + std::to_string(e)));
 
+    std::uint64_t dram_payload = 0, link_payload = 0, codec_ops = 0;
+    for (const auto &trace : served.batches) {
+        dram_payload += trace.timing.dramPayloadBytes;
+        link_payload += trace.timing.linkPayloadBytes;
+        codec_ops +=
+            trace.timing.activity.dequants + trace.timing.activity.requants;
+    }
+    const hwmodel::LinkEnergyModel link_energy;
+    const double link_uj =
+        link_energy.energyNj(link_payload, codec_ops, tables.dim()) /
+        1000.0;
+
     run.setMetric("totalUs", us_total);
     run.setMetric("nsPerQuery", us_total * 1000.0 / queries);
     run.setMetric("batchesPerSec", served.requestsPerSecond());
     run.setMetric("hedgesIssued",
                   static_cast<double>(served.hedgesIssued));
     run.setMetric("hedgesWon", static_cast<double>(served.hedgesWon));
+    run.setMetric("dramPayloadBytes", static_cast<double>(dram_payload));
+    run.setMetric("linkPayloadBytes", static_cast<double>(link_payload));
+    run.setMetric("payloadCodecOps", static_cast<double>(codec_ops));
+    run.setMetric("linkEnergyUj", link_uj);
     return session.finish();
 }
 
@@ -408,6 +458,7 @@ runShardedLookup(const Options &opt, telemetry::TelemetrySession &session)
     tc.serving.pipelineDepth = so.pipelineDepth;
     tc.serving.hedgePct = so.hedgePct;
     tc.serving.dedup = opt.dedup;
+    tc.serving.payload = opt.payload;
     tc.serving.prepareWorkers = std::max(
         1u, bench::clampParallelism(so.prepareWorkers,
                                     "--prepare-workers"));
@@ -464,11 +515,22 @@ runShardedLookup(const Options &opt, telemetry::TelemetrySession &session)
     const core::ShardedReport served = tier.serve(batches, 0);
 
     // Differential value check: every served vector must be
-    // bit-identical to the single-store reference reduction.
+    // bit-identical to the single-store reference reduction (under
+    // quantized transport, the reference round-trips each vector
+    // through the payload codec — exact power-of-two-scale sums keep
+    // the comparison a memcmp).
     std::size_t mismatches = 0;
     for (const core::ShardedBatchTrace &trace : served.batches) {
-        const std::vector<embedding::Vector> reference =
-            store.reduceBatch(batches[trace.batch], tc.reduceOp);
+        std::vector<embedding::Vector> reference;
+        if (opt.payload == embedding::PayloadFormat::Fp32) {
+            reference =
+                store.reduceBatch(batches[trace.batch], tc.reduceOp);
+        } else {
+            for (const auto &query : batches[trace.batch].queries)
+                reference.push_back(quantizedReduce(store, query.indices,
+                                                    tc.reduceOp,
+                                                    opt.payload));
+        }
         std::size_t batch_mismatches = 0;
         for (std::size_t q = 0; q < reference.size(); ++q) {
             const embedding::Vector &got = trace.results[q];
@@ -527,6 +589,22 @@ runShardedLookup(const Options &opt, telemetry::TelemetrySession &session)
     StatRegistry &registry = StatRegistry::instance();
     tier.registerStats(registry.group("serving.shard"));
 
+    // Payload byte/energy accounting telescopes over the per-shard
+    // pipeline traces (the tier itself moves only combined partials).
+    std::uint64_t dram_payload = 0, link_payload = 0, codec_ops = 0;
+    for (const core::PipelineReport &shard : served.perShard) {
+        for (const auto &trace : shard.batches) {
+            dram_payload += trace.timing.dramPayloadBytes;
+            link_payload += trace.timing.linkPayloadBytes;
+            codec_ops += trace.timing.activity.dequants +
+                         trace.timing.activity.requants;
+        }
+    }
+    const hwmodel::LinkEnergyModel link_energy;
+    const double link_uj =
+        link_energy.energyNj(link_payload, codec_ops, tables.dim()) /
+        1000.0;
+
     run.setMetric("totalUs", us_total);
     run.setMetric("batchesPerSec", served.requestsPerSecond());
     run.setMetric("crossShardQueries",
@@ -534,6 +612,10 @@ runShardedLookup(const Options &opt, telemetry::TelemetrySession &session)
     run.setMetric("shardImbalance", served.loadImbalance());
     run.setMetric("valueMismatches", static_cast<double>(mismatches));
     run.setMetric("rebalanceMoves", static_cast<double>(moves.size()));
+    run.setMetric("dramPayloadBytes", static_cast<double>(dram_payload));
+    run.setMetric("linkPayloadBytes", static_cast<double>(link_payload));
+    run.setMetric("payloadCodecOps", static_cast<double>(codec_ops));
+    run.setMetric("linkEnergyUj", link_uj);
     return session.finish();
 }
 
@@ -571,6 +653,9 @@ runLookup(const Options &opt, telemetry::TelemetrySession &session)
     Tick complete = 0;
     std::size_t reads = 0;
     std::size_t references = 0;
+    std::uint64_t dram_payload = 0;
+    std::uint64_t link_payload = 0;
+    std::uint64_t codec_ops = 0;
     std::vector<Tick> batch_latency;
     Distribution batch_latency_us;
 
@@ -581,23 +666,54 @@ runLookup(const Options &opt, telemetry::TelemetrySession &session)
             batch_latency.push_back(t.totalTime());
             batch_latency_us.sample(
                 static_cast<double>(t.totalTime()) / kTicksPerUs);
+            if constexpr (requires { t.dramPayloadBytes; }) {
+                dram_payload += t.dramPayloadBytes;
+                link_payload += t.linkPayloadBytes;
+                codec_ops += t.activity.dequants + t.activity.requants;
+            }
         }
     };
+
+    if (opt.payload != embedding::PayloadFormat::Fp32 &&
+        opt.engine != "analytic" && opt.engine != "event") {
+        std::fprintf(stderr, "error: --payload=%s requires "
+                             "--engine=analytic or --engine=event\n",
+                     embedding::payloadFormatName(opt.payload));
+        return 2;
+    }
+
+    // Quantized transport runs re-check served values in-process: the
+    // event engine computes real vectors and every one must match the
+    // store-side quantized reference bit for bit (CI's quant-conformance
+    // smoke asserts payloadValueMismatches == 0).
+    const bool quant_check =
+        opt.engine == "event" &&
+        (opt.payload != embedding::PayloadFormat::Fp32 ||
+         !session.serving().payloadAccuracy.empty());
+    std::unique_ptr<embedding::EmbeddingStore> store;
 
     // The event engine outlives the run so its per-PE counters can be
     // exported after the lookups finish.
     std::unique_ptr<core::EventDrivenEngine> event_engine;
+    std::vector<core::EventLookupTiming> event_timings;
 
     if (opt.engine == "analytic" || opt.engine == "event") {
         core::EngineConfig cfg;
         cfg.dedup = opt.dedup;
         cfg.interactive = opt.interactive;
+        cfg.payload = opt.payload;
         if (opt.engine == "event") {
             core::EventEngineConfig ecfg;
             ecfg.base = cfg;
+            if (quant_check) {
+                store = std::make_unique<embedding::EmbeddingStore>(
+                    tables);
+                ecfg.computeValues = true;
+            }
             event_engine = std::make_unique<core::EventDrivenEngine>(
-                memory, layout, ecfg);
-            consume(event_engine->lookupMany(batches, 0));
+                memory, layout, ecfg, store.get());
+            event_timings = event_engine->lookupMany(batches, 0);
+            consume(event_timings);
         } else {
             core::FafnirEngine engine(memory, layout, cfg);
             consume(engine.lookupMany(batches, 0));
@@ -660,6 +776,91 @@ runLookup(const Options &opt, telemetry::TelemetrySession &session)
                 e.dramUj, e.ndpUj, e.hostIoUj, e.total(),
                 e.total() * 1000.0 / queries);
 
+    const hwmodel::LinkEnergyModel link_energy;
+    const double link_uj =
+        link_energy.energyNj(link_payload, codec_ops, tables.dim()) /
+        1000.0;
+    if (opt.engine == "analytic" || opt.engine == "event") {
+        std::printf("payload: %s (%zu B/vector vs %u fp32), "
+                    "%.2f MB dram, %.2f MB links, %.2f uJ link energy\n",
+                    embedding::payloadFormatName(opt.payload),
+                    embedding::payloadBytes(opt.payload, tables.dim()),
+                    tables.vectorBytes,
+                    static_cast<double>(dram_payload) / 1e6,
+                    static_cast<double>(link_payload) / 1e6,
+                    link_uj);
+    }
+
+    // Differential value + accuracy pass over the computed results.
+    std::size_t payload_mismatches = 0;
+    double max_abs = 0.0, sum_abs = 0.0, l2_num = 0.0, l2_den = 0.0;
+    std::size_t elements = 0;
+    if (quant_check) {
+        for (std::size_t b = 0; b < batches.size(); ++b) {
+            const auto &results = event_timings[b].results;
+            for (std::size_t q = 0; q < batches[b].queries.size(); ++q) {
+                const auto &indices = batches[b].queries[q].indices;
+                const embedding::Vector qref = quantizedReduce(
+                    *store, indices, embedding::ReduceOp::Sum,
+                    opt.payload);
+                const embedding::Vector &got = results[q];
+                if (got.size() != qref.size() ||
+                    (!got.empty() &&
+                     std::memcmp(got.data(), qref.data(),
+                                 got.size() * sizeof(float)) != 0))
+                    ++payload_mismatches;
+                const embedding::Vector exact = store->reduce(indices);
+                for (std::size_t i = 0; i < exact.size(); ++i) {
+                    const double err = std::fabs(
+                        static_cast<double>(qref[i]) - exact[i]);
+                    max_abs = std::max(max_abs, err);
+                    sum_abs += err;
+                    l2_num += err * err;
+                    l2_den += static_cast<double>(exact[i]) * exact[i];
+                    ++elements;
+                }
+            }
+        }
+        const double mean_abs =
+            elements > 0 ? sum_abs / static_cast<double>(elements) : 0.0;
+        const double rel_l2 =
+            l2_den > 0.0 ? std::sqrt(l2_num / l2_den) : 0.0;
+        std::printf("payload check: %zu mismatches vs the quantized "
+                    "reference; vs exact fp32: max abs %.4f, mean abs "
+                    "%.4f, rel-L2 %.5f\n",
+                    payload_mismatches, max_abs, mean_abs, rel_l2);
+        run.setMetric("payloadValueMismatches",
+                      static_cast<double>(payload_mismatches));
+        run.setMetric("payloadMaxAbsError", max_abs);
+        run.setMetric("payloadMeanAbsError", mean_abs);
+        run.setMetric("payloadRelL2", rel_l2);
+        const std::string &acc_path = session.serving().payloadAccuracy;
+        if (!acc_path.empty()) {
+            std::ofstream os(acc_path);
+            if (!os) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             acc_path.c_str());
+                return 1;
+            }
+            os << "{\n"
+               << "  \"schemaVersion\": 1,\n"
+               << "  \"tool\": \"fafnir_sim\",\n"
+               << "  \"format\": \""
+               << embedding::payloadFormatName(opt.payload) << "\",\n"
+               << "  \"backend\": \""
+               << embedding::quantizeKernelBackend() << "\",\n"
+               << "  \"queries\": "
+               << static_cast<std::uint64_t>(queries) << ",\n"
+               << "  \"payloadValueMismatches\": " << payload_mismatches
+               << ",\n"
+               << "  \"maxAbsError\": " << max_abs << ",\n"
+               << "  \"meanAbsError\": " << mean_abs << ",\n"
+               << "  \"relativeL2\": " << rel_l2 << "\n"
+               << "}\n";
+            run.noteArtifact("payloadAccuracy", acc_path);
+        }
+    }
+
     if (auto *attr = session.attribution();
         attr != nullptr && !attr->queries().empty()) {
         Tick dram = 0, ctrl = 0, compute = 0, wait = 0, service = 0,
@@ -704,6 +905,15 @@ runLookup(const Options &opt, telemetry::TelemetrySession &session)
     run.setMetric("references", static_cast<double>(references));
     run.setMetric("energyUj", e.total());
     run.setMetric("energyNjPerQuery", e.total() * 1000.0 / queries);
+    if (opt.engine == "analytic" || opt.engine == "event") {
+        run.setMetric("dramPayloadBytes",
+                      static_cast<double>(dram_payload));
+        run.setMetric("linkPayloadBytes",
+                      static_cast<double>(link_payload));
+        run.setMetric("payloadCodecOps",
+                      static_cast<double>(codec_ops));
+        run.setMetric("linkEnergyUj", link_uj);
+    }
 
     if (auto *ts = session.traceSink())
         dram::writeTrace(cmdlog, *ts);
@@ -869,9 +1079,20 @@ main(int argc, char **argv)
     flags.parse(argc, argv);
     session.start();
 
+    if (!embedding::parsePayloadFormat(session.serving().payload,
+                                       opt.payload)) {
+        std::fprintf(stderr,
+                     "error: unknown --payload '%s' (expected fp32, int8, "
+                     "or twobit)\nrun with --help for usage\n",
+                     session.serving().payload.c_str());
+        return 2;
+    }
+
     telemetry::RunReport &report = session.report();
     report.setConfig("mode", opt.mode);
     report.setConfig("engine", opt.engine);
+    report.setConfig("payload",
+                     std::string(embedding::payloadFormatName(opt.payload)));
     report.setConfig("ranks", static_cast<std::uint64_t>(opt.ranks));
     report.setConfig("batches", static_cast<std::uint64_t>(opt.batches));
     report.setConfig("batch", static_cast<std::uint64_t>(opt.batch));
